@@ -1,0 +1,64 @@
+//! Criterion benches for whole-frame rendering: Neo's reuse-and-update
+//! renderer vs the per-frame-resort baseline, plus the device models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use neo_core::{RendererConfig, SplatRenderer, StrategyKind};
+use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+use neo_sim::devices::{Device, GsCore, NeoDevice, OrinAgx};
+use neo_sim::WorkloadFrame;
+
+fn bench_renderers(c: &mut Criterion) {
+    let cloud = ScenePreset::Horse.build_scaled(0.003);
+    let sampler = FrameSampler::new(
+        ScenePreset::Horse.trajectory(),
+        30.0,
+        Resolution::Custom(320, 180),
+    );
+    let mut group = c.benchmark_group("renderer_frame");
+    for (label, kind) in [
+        ("neo_reuse_update", StrategyKind::ReuseUpdate),
+        ("baseline_full_resort", StrategyKind::FullResort),
+    ] {
+        group.bench_function(label, |b| {
+            let mut r = SplatRenderer::new(kind, RendererConfig::default().with_tile_size(32));
+            let mut i = 0usize;
+            r.render_frame(&cloud, &sampler.frame(0)); // warm tables
+            b.iter(|| {
+                i += 1;
+                r.render_frame(black_box(&cloud), &sampler.frame(i % 60))
+            })
+        });
+    }
+    // Statistics-only mode (what the workload capture runs).
+    group.bench_function("neo_workload_mode", |b| {
+        let mut r = SplatRenderer::new_neo(
+            RendererConfig::default().with_tile_size(32).without_image(),
+        );
+        let mut i = 0usize;
+        r.render_frame(&cloud, &sampler.frame(0));
+        b.iter(|| {
+            i += 1;
+            r.render_frame(black_box(&cloud), &sampler.frame(i % 60))
+        })
+    });
+    group.finish();
+}
+
+fn bench_device_models(c: &mut Criterion) {
+    let w = WorkloadFrame::synthetic_qhd(1_400_000);
+    let mut group = c.benchmark_group("device_models");
+    let orin = OrinAgx::new();
+    let gscore = GsCore::scaled_16();
+    let neo = NeoDevice::paper_default();
+    group.bench_function("orin_frame", |b| b.iter(|| orin.simulate_frame(black_box(&w))));
+    group.bench_function("gscore_frame", |b| b.iter(|| gscore.simulate_frame(black_box(&w))));
+    group.bench_function("neo_frame", |b| b.iter(|| neo.simulate_frame(black_box(&w))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_renderers, bench_device_models
+}
+criterion_main!(benches);

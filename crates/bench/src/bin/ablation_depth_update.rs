@@ -1,0 +1,77 @@
+//! Ablation: deferred depth update (Section 4.4). Without piggybacking
+//! depth refresh on rasterization, the table needs an extra (random
+//! access) memory pass — the paper reports +33.2% traffic.
+//!
+//! Run: `cargo run --release -p neo-bench --bin ablation_depth_update`
+
+use neo_bench::{ExperimentRecord, TextTable};
+use neo_core::{RendererConfig, SplatRenderer};
+use neo_scene::{presets::ScenePreset, Resolution};
+use neo_sim::devices::{Device, NeoDevice};
+use neo_workloads::experiments::scene_workload;
+
+fn main() {
+    println!("Ablation — deferred depth update (Section 4.4)\n");
+    let workloads: Vec<_> = ScenePreset::TANKS_AND_TEMPLES
+        .iter()
+        .flat_map(|&s| scene_workload(s, Resolution::Qhd))
+        .collect();
+    let mut record = ExperimentRecord::new(
+        "ablation_depth_update",
+        "traffic/latency with and without deferred depth updates",
+    );
+
+    // Hardware model view.
+    let neo = NeoDevice::paper_default();
+    let eager = NeoDevice::paper_default().without_deferred_depth_update();
+    let mut hw = TextTable::new(["Config", "GB / 60 frames", "mean ms", "overhead"]);
+    let base_traffic = neo.total_traffic(&workloads) as f64 / 6.0;
+    for (label, dev) in [("deferred (Neo)", &neo), ("separate pass", &eager)] {
+        let traffic = dev.total_traffic(&workloads) as f64 / 6.0;
+        let lat: f64 = workloads
+            .iter()
+            .map(|w| dev.simulate_frame(w).latency_ms())
+            .sum::<f64>()
+            / workloads.len() as f64;
+        hw.row([
+            label.to_string(),
+            format!("{:.1}", traffic / 1e9),
+            format!("{lat:.2}"),
+            format!("{:+.1}%", (traffic / base_traffic - 1.0) * 100.0),
+        ]);
+        record.push_series(label, vec![traffic / 1e9, lat]);
+    }
+    println!("(a) hardware model (QHD, six-scene mean):\n{}", hw.render());
+
+    // Algorithm view: measured sorting bytes from the live sorters.
+    let cloud = ScenePreset::Family.build_scaled(0.005);
+    let sampler = neo_scene::FrameSampler::new(
+        ScenePreset::Family.trajectory(),
+        30.0,
+        Resolution::Custom(640, 360),
+    );
+    let mut algo = TextTable::new(["Config", "sort KB/frame"]);
+    for (label, deferred) in [("deferred (Neo)", true), ("separate pass", false)] {
+        let mut cfg = RendererConfig::default().without_image();
+        if !deferred {
+            cfg = cfg.without_deferred_depth_update();
+        }
+        let mut r = SplatRenderer::new_neo(cfg);
+        let mut bytes = 0u64;
+        let mut counted = 0u64;
+        for i in 0..10 {
+            let fr = r.render_frame(&cloud, &sampler.frame(i));
+            if i >= 2 {
+                bytes += fr.sort_cost.bytes_total();
+                counted += 1;
+            }
+        }
+        algo.row([label.to_string(), format!("{}", bytes / counted / 1024)]);
+        record.push_series(format!("algo-{label}"), vec![(bytes / counted) as f64]);
+    }
+    println!("(b) measured sorting traffic in the live algorithm:\n{}", algo.render());
+    println!("Paper reference: +33.2% traffic without deferred depth updates.");
+    if let Ok(p) = record.save() {
+        println!("saved {}", p.display());
+    }
+}

@@ -1,0 +1,19 @@
+//! Prints captured workload statistics for calibration.
+use neo_scene::{presets::ScenePreset, Resolution};
+use neo_workloads::capture::{capture_workload, steady_state_mean, CaptureConfig};
+
+fn main() {
+    for res in [Resolution::Hd, Resolution::Qhd] {
+        for scene in [ScenePreset::Family, ScenePreset::Train] {
+            let w = steady_state_mean(&capture_workload(&CaptureConfig {
+                scene, resolution: res, frames: 10, scale: 0.01, speed: 1.0,
+            }));
+            println!(
+                "{:<12} {:>4}: N={:>9} proj={:>9} dup={:>10} tiles/g={:.2} occ={:>4} inc={:>8} out={:>8} table={:>10}",
+                scene.name(), res.label(), w.n_gaussians, w.n_projected, w.duplicates,
+                w.duplicates as f64 / w.n_projected.max(1) as f64,
+                w.occupied_tiles, w.incoming, w.outgoing, w.table_entries
+            );
+        }
+    }
+}

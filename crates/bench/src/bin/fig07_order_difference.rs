@@ -1,0 +1,46 @@
+//! Figure 7: sort-order differences between consecutive frames — the
+//! 90th/95th/99th-percentile rank displacement per scene.
+//!
+//! Run: `cargo run --release -p neo-bench --bin fig07_order_difference`
+
+use neo_bench::{ExperimentRecord, TextTable};
+use neo_scene::{presets::ScenePreset, Resolution};
+use neo_workloads::temporal::measure_temporal;
+
+fn main() {
+    println!("Figure 7 — temporal similarity of sort order per tile\n");
+    let mut table = TextTable::new([
+        "Scene",
+        "p90",
+        "p95",
+        "p99",
+        "p99 / tile-pop",
+    ]);
+    let mut record = ExperimentRecord::new(
+        "fig07",
+        "Order-difference percentiles (positions, scaled to full scene size)",
+    );
+
+    for scene in ScenePreset::TANKS_AND_TEMPLES {
+        let stats = measure_temporal(scene, Resolution::Qhd, 16, 0.01, 1.0);
+        let p90 = stats.order_diff_percentile(90.0);
+        let p95 = stats.order_diff_percentile(95.0);
+        let p99 = stats.order_diff_percentile(99.0);
+        table.row([
+            scene.name().to_string(),
+            p90.to_string(),
+            p95.to_string(),
+            p99.to_string(),
+            format!("{:.4}", stats.relative_order_diff(99.0)),
+        ]);
+        record.push_series(scene.name(), vec![p90 as f64, p95 as f64, p99 as f64]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper reference: p99 ≤ 31 positions on tiles holding thousands of\n\
+         Gaussians (≈1% of the tile population) — check the relative column."
+    );
+    if let Ok(p) = record.save() {
+        println!("saved {}", p.display());
+    }
+}

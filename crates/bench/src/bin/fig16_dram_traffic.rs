@@ -1,0 +1,56 @@
+//! Figure 16: DRAM traffic (GB) required to render 60 frames at QHD per
+//! scene, for Orin AGX, GSCore and Neo.
+//!
+//! Run: `cargo run --release -p neo-bench --bin fig16_dram_traffic`
+
+use neo_bench::{ExperimentRecord, TextTable};
+use neo_scene::{presets::ScenePreset, Resolution};
+use neo_sim::devices::{Device, GsCore, NeoDevice, OrinAgx};
+use neo_workloads::experiments::scene_workload;
+
+fn main() {
+    println!("Figure 16 — DRAM traffic for 60 frames at QHD (GB)\n");
+    let orin = OrinAgx::new();
+    let gscore = GsCore::scaled_16();
+    let neo = NeoDevice::paper_default();
+
+    let mut table = TextTable::new(["Scene", "Orin AGX", "GSCore", "Neo", "vs Orin", "vs GSCore"]);
+    let mut record = ExperimentRecord::new("fig16", "DRAM traffic (GB) per 60 QHD frames");
+    let mut totals = [0.0f64; 3];
+
+    for scene in ScenePreset::TANKS_AND_TEMPLES {
+        let frames = scene_workload(scene, Resolution::Qhd);
+        let gb: Vec<f64> = [&orin as &dyn Device, &gscore, &neo]
+            .iter()
+            .map(|d| d.total_traffic(&frames) as f64 / 1e9)
+            .collect();
+        for (t, g) in totals.iter_mut().zip(&gb) {
+            *t += g / 6.0;
+        }
+        table.row([
+            scene.name().to_string(),
+            format!("{:.1}", gb[0]),
+            format!("{:.1}", gb[1]),
+            format!("{:.1}", gb[2]),
+            format!("-{:.1}%", (1.0 - gb[2] / gb[0]) * 100.0),
+            format!("-{:.1}%", (1.0 - gb[2] / gb[1]) * 100.0),
+        ]);
+        record.push_series(scene.name(), gb);
+    }
+    table.row([
+        "MEAN".to_string(),
+        format!("{:.1}", totals[0]),
+        format!("{:.1}", totals[1]),
+        format!("{:.1}", totals[2]),
+        format!("-{:.1}%", (1.0 - totals[2] / totals[0]) * 100.0),
+        format!("-{:.1}%", (1.0 - totals[2] / totals[1]) * 100.0),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "Paper reference: means 346.5 GB (Orin) / 104.6 GB (GSCore) / 19.6 GB (Neo):\n\
+         94.4% and 81.3% reductions respectively."
+    );
+    if let Ok(p) = record.save() {
+        println!("saved {}", p.display());
+    }
+}

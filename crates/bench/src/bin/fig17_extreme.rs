@@ -1,0 +1,70 @@
+//! Figure 17: extreme AR/VR scenarios — (a) large-scale Mill 19 scenes
+//! (Building, Rubble) and (b) rapid camera movement (2×–16× speed).
+//!
+//! Run: `cargo run --release -p neo-bench --bin fig17_extreme`
+
+use neo_bench::{ExperimentRecord, TextTable};
+use neo_scene::{presets::ScenePreset, Resolution};
+use neo_sim::devices::{Device, GsCore, NeoDevice, OrinAgx};
+use neo_workloads::capture::{capture_workload, CaptureConfig};
+use neo_workloads::experiments::{scene_workload_with, SPEEDUPS};
+
+fn main() {
+    println!("Figure 17 — extreme AR/VR scenarios\n");
+    let orin = OrinAgx::new();
+    let gscore = GsCore::scaled_16();
+    let neo = NeoDevice::paper_default();
+    let mut record = ExperimentRecord::new("fig17", "Large scenes and rapid camera movement");
+
+    // (a) Large-scale scenes at QHD. Mill 19 clouds are in the millions of
+    // Gaussians; a 0.2% capture still instantiates ~10k.
+    let mut table_a = TextTable::new(["Scene", "Orin AGX", "GSCore", "Neo"]);
+    for scene in ScenePreset::MILL19 {
+        let frames = capture_workload(&CaptureConfig {
+            scene,
+            resolution: Resolution::Qhd,
+            frames: 30,
+            scale: 0.002,
+            speed: 1.0,
+        });
+        let fps: Vec<f64> = [&orin as &dyn Device, &gscore, &neo]
+            .iter()
+            .map(|d| d.mean_fps(&frames))
+            .collect();
+        table_a.row([
+            scene.name().to_string(),
+            format!("{:.1}", fps[0]),
+            format!("{:.1}", fps[1]),
+            format!("{:.1}", fps[2]),
+        ]);
+        record.push_series(scene.name(), fps);
+    }
+    println!("(a) large-scale scene FPS at QHD:\n{}", table_a.render());
+
+    // (b) Rapid camera movement on Family at QHD.
+    let mut table_b = TextTable::new(["Speed", "Neo FPS", "incoming/frame"]);
+    let mut speeds = vec![1.0f32];
+    speeds.extend_from_slice(&SPEEDUPS);
+    let mut series = Vec::new();
+    for speed in speeds {
+        let frames = scene_workload_with(ScenePreset::Family, Resolution::Qhd, speed, 30);
+        let fps = neo.mean_fps(&frames);
+        let churn =
+            frames[1..].iter().map(|w| w.incoming).sum::<u64>() / (frames.len() as u64 - 1);
+        table_b.row([
+            format!("{speed:.0}×"),
+            format!("{fps:.1}"),
+            format!("{churn}"),
+        ]);
+        series.push(fps);
+    }
+    record.push_series("neo-fps-vs-speed", series);
+    println!("(b) Neo FPS under rapid camera movement (Family, QHD):\n{}", table_b.render());
+    println!(
+        "Paper reference: (a) Neo ≈ 65.2 FPS mean vs Orin < 13.6 / GSCore < 24.9;\n\
+         (b) Neo stays above 60 FPS up to 16× camera speed."
+    );
+    if let Ok(p) = record.save() {
+        println!("saved {}", p.display());
+    }
+}

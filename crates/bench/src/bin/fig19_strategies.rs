@@ -1,0 +1,130 @@
+//! Figure 19: latency and rendering quality across 165 frames for four
+//! sorting-reuse methods — hierarchical (GSCore), periodic, background,
+//! and Neo's Dynamic Partial Sorting (incremental update).
+//!
+//! Latency uses the Neo hardware model with each strategy's *measured*
+//! per-frame sorting traffic (captured from the real per-tile sorters);
+//! quality renders real frames against an exhaustive-blend reference.
+//!
+//! Run: `cargo run --release -p neo-bench --bin fig19_strategies`
+
+use neo_bench::{ExperimentRecord, TextTable};
+use neo_core::{RendererConfig, SplatRenderer, StrategyKind};
+use neo_metrics::psnr;
+use neo_pipeline::{render_reference, RenderConfig};
+use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+use neo_sim::devices::{Device, NeoDevice};
+use neo_workloads::capture::{capture_workload, CaptureConfig};
+
+const FRAMES: usize = 165;
+const SLO_MS: f64 = 16.6;
+
+fn strategies() -> Vec<(&'static str, StrategyKind)> {
+    vec![
+        ("Hierarchical (GSCore)", StrategyKind::Hierarchical),
+        ("Periodic (every 30)", StrategyKind::Periodic(30)),
+        ("Background (lag 2)", StrategyKind::Background(2)),
+        ("Dynamic Partial (Neo)", StrategyKind::ReuseUpdate),
+    ]
+}
+
+/// Per-frame latencies: Neo hardware FE/raster stages plus the strategy's
+/// measured sorting bytes through the DRAM model.
+fn latency_series(kind: StrategyKind) -> Vec<f64> {
+    let scene = ScenePreset::Family;
+    let scale = 0.01;
+    let workloads = capture_workload(&CaptureConfig {
+        scene,
+        resolution: Resolution::Qhd,
+        frames: FRAMES,
+        scale,
+        speed: 1.0,
+    });
+    // Re-run the per-tile sorters with this strategy to get its sorting
+    // traffic per frame.
+    let cloud = scene.build_scaled(scale);
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Qhd);
+    let mut renderer =
+        SplatRenderer::new(kind, RendererConfig::default().without_image());
+    let device = NeoDevice::paper_default();
+    let inv = 1.0 / scale;
+
+    (0..FRAMES)
+        .map(|i| {
+            let fr = renderer.render_frame(&cloud, &sampler.frame(i));
+            let sort_bytes = (fr.sort_cost.bytes_total() as f64 * inv) as u64;
+            let t = device.simulate_frame(&workloads[i]);
+            let fe = t.stages[0].latency_s();
+            let raster = t.stages[2].latency_s();
+            let sort = device.dram.transfer_time(sort_bytes).max(t.stages[1].compute_s);
+            (fe + sort + raster) * 1e3
+        })
+        .collect()
+}
+
+/// Per-frame PSNR against an exhaustive-blend reference at reduced
+/// resolution (quality differences come from ordering, not resolution).
+fn psnr_series(kind: StrategyKind) -> Vec<f64> {
+    let scene = ScenePreset::Family;
+    let res = Resolution::Custom(256, 144);
+    let cloud = scene.build_scaled(0.004);
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, res);
+    let gt_cfg = RenderConfig {
+        tile_size: 32,
+        subtiling: false,
+        transmittance_eps: 1e-6,
+        ..RenderConfig::default()
+    };
+    let mut renderer =
+        SplatRenderer::new(kind, RendererConfig::default().with_tile_size(32));
+    (0..FRAMES)
+        .map(|i| {
+            let cam = sampler.frame(i);
+            let (gt, _) = render_reference(&cloud, &cam, &gt_cfg);
+            let fr = renderer.render_frame(&cloud, &cam);
+            psnr(&gt, &fr.image.expect("image enabled")).min(60.0)
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Figure 19 — latency and quality across {FRAMES} frames (Family, QHD model)\n");
+    let mut record = ExperimentRecord::new(
+        "fig19",
+        "Per-frame latency (ms) and PSNR (dB) for four sorting strategies",
+    );
+
+    let mut lat_table = TextTable::new([
+        "Strategy", "mean ms", "max ms", "frames > SLO", "mean PSNR dB", "min PSNR dB",
+    ]);
+    for (label, kind) in strategies() {
+        let lat = latency_series(kind);
+        let q = psnr_series(kind);
+        let mean_lat = lat.iter().sum::<f64>() / lat.len() as f64;
+        let max_lat = lat.iter().cloned().fold(0.0, f64::max);
+        let violations = lat.iter().filter(|&&l| l > SLO_MS).count();
+        let mean_q = q.iter().sum::<f64>() / q.len() as f64;
+        let min_q = q.iter().cloned().fold(f64::INFINITY, f64::min);
+        lat_table.row([
+            label.to_string(),
+            format!("{mean_lat:.1}"),
+            format!("{max_lat:.1}"),
+            format!("{violations}"),
+            format!("{mean_q:.1}"),
+            format!("{min_q:.1}"),
+        ]);
+        record.push_series(format!("{label}-latency-ms"), lat);
+        record.push_series(format!("{label}-psnr-db"), q);
+    }
+    println!("{}", lat_table.render());
+    println!(
+        "Paper reference (shape): periodic sorting shows latency spikes over the\n\
+         16.6 ms SLO and decaying quality between refreshes; background sorting is\n\
+         stable but slower and lower quality (viewpoint lag); hierarchical matches\n\
+         Neo's quality but needs multiple off-chip passes (higher latency); Neo's\n\
+         Dynamic Partial Sorting is fastest with near-reference quality."
+    );
+    if let Ok(p) = record.save() {
+        println!("saved {}", p.display());
+    }
+}

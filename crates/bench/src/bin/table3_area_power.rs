@@ -1,0 +1,42 @@
+//! Table 3: evaluated area and power of GSCore and Neo at 7 nm / 1 GHz.
+//!
+//! Run: `cargo run --release -p neo-bench --bin table3_area_power`
+
+use neo_bench::{ExperimentRecord, TextTable};
+use neo_sim::asic::{gscore_totals, neo_components, totals};
+
+fn main() {
+    println!("Table 3 — evaluated accelerators (7 nm, 1 GHz)\n");
+    let (gs_area, gs_power) = gscore_totals();
+    let (neo_area, neo_power) = totals(&neo_components());
+
+    let mut table = TextTable::new(["Device", "Technology", "Frequency", "Area (mm²)", "Power (mW)"]);
+    table.row([
+        "GSCore".to_string(),
+        "7 nm".to_string(),
+        "1 GHz".to_string(),
+        format!("{gs_area:.3}"),
+        format!("{gs_power:.1}"),
+    ]);
+    table.row([
+        "Neo".to_string(),
+        "7 nm".to_string(),
+        "1 GHz".to_string(),
+        format!("{neo_area:.3}"),
+        format!("{neo_power:.1}"),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "Shape check: Neo is slightly smaller than GSCore ({:.1}% area) with a\n\
+         marginal power increase ({:+.1}%).",
+        (neo_area / gs_area - 1.0) * 100.0,
+        (neo_power / gs_power - 1.0) * 100.0
+    );
+
+    let mut record = ExperimentRecord::new("table3", "Area/power of GSCore and Neo");
+    record.push_series("gscore", vec![gs_area, gs_power]);
+    record.push_series("neo", vec![neo_area, neo_power]);
+    if let Ok(p) = record.save() {
+        println!("saved {}", p.display());
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 4: per-component area/power breakdown of the Neo accelerator,
+//! plus the share attributable to Neo's additional hardware (MSU+ and
+//! ITU).
+//!
+//! Run: `cargo run --release -p neo-bench --bin table4_breakdown`
+
+use neo_bench::{ExperimentRecord, TextTable};
+use neo_sim::asic::{engine_totals, neo_additional_hardware, neo_components, totals, Engine};
+
+fn main() {
+    println!("Table 4 — Neo component breakdown (7 nm, 1 GHz)\n");
+    let comps = neo_components();
+    let mut table = TextTable::new(["Component", "Area (mm²)", "Power (mW)"]);
+    let mut record = ExperimentRecord::new("table4", "Neo per-component area/power");
+
+    for engine in Engine::ALL {
+        for c in comps.iter().filter(|c| c.engine == engine && c.name != engine.name()) {
+            table.row([
+                format!("  {}", c.name),
+                format!("{:.3}", c.area_mm2),
+                format!("{:.1}", c.power_mw),
+            ]);
+            record.push_series(c.name, vec![c.area_mm2, c.power_mw]);
+        }
+        let (a, p) = engine_totals(&comps, engine);
+        table.row([
+            engine.name().to_string(),
+            format!("{a:.3}"),
+            format!("{p:.1}"),
+        ]);
+        record.push_series(engine.name(), vec![a, p]);
+    }
+    let (ta, tp) = totals(&comps);
+    table.row(["Total".to_string(), format!("{ta:.3}"), format!("{tp:.1}")]);
+    println!("{}", table.render());
+
+    let (aa, ap) = neo_additional_hardware();
+    println!(
+        "Neo's additional hardware (MSU+ + ITU): {:.2}% of area, {:.2}% of power\n\
+         (paper: 9.04% / 8.91%).",
+        aa / ta * 100.0,
+        ap / tp * 100.0
+    );
+    if let Ok(p) = record.save() {
+        println!("saved {}", p.display());
+    }
+}

@@ -1,0 +1,241 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary under `src/bin/` regenerates one figure or table from the
+//! paper (see `DESIGN.md` for the index). This crate provides the common
+//! pieces: aligned text tables, JSON result records, and the
+//! device-evaluation helpers the binaries share.
+
+#![deny(missing_docs)]
+
+use neo_scene::{presets::ScenePreset, Resolution};
+use neo_sim::devices::Device;
+use neo_sim::WorkloadFrame;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// A text table with aligned columns for terminal output.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One experiment result record, serialized to `results/<id>.json` so the
+/// regenerated figures are machine-readable.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment identifier ("fig15", "table2", ...).
+    pub id: String,
+    /// One-line description.
+    pub description: String,
+    /// Arbitrary per-series data: `(label, values)`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl ExperimentRecord {
+    /// Creates a record.
+    pub fn new(id: &str, description: &str) -> Self {
+        Self { id: id.into(), description: description.into(), series: Vec::new() }
+    }
+
+    /// Adds a named series.
+    pub fn push_series(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.series.push((label.into(), values));
+    }
+
+    /// Writes the record to `results/<id>.json` under the workspace root
+    /// (best effort: printing is the primary output, persistence is a
+    /// convenience).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from directory creation or writing.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(|p| p.join("results"))
+            .unwrap_or_else(|| PathBuf::from("results"));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        Ok(path)
+    }
+}
+
+/// Formats bytes as gigabytes with one decimal.
+pub fn gb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1e9)
+}
+
+/// Mean FPS of `device` over a 60-frame captured workload for
+/// `scene` × `resolution` (shared by Figures 3, 15, 16, 17).
+pub fn device_fps(device: &dyn Device, scene: ScenePreset, resolution: Resolution) -> f64 {
+    let frames = neo_workloads::experiments::scene_workload(scene, resolution);
+    device.mean_fps(&frames)
+}
+
+/// Total DRAM traffic of `device` over the canonical 60-frame workload.
+pub fn device_traffic(device: &dyn Device, scene: ScenePreset, resolution: Resolution) -> u64 {
+    let frames = neo_workloads::experiments::scene_workload(scene, resolution);
+    device.total_traffic(&frames)
+}
+
+/// Geometric-mean helper for speedup summaries.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Evaluates the mean FPS of a device over an explicit workload sequence —
+/// a thin convenience wrapper used by binaries with custom captures.
+pub fn mean_fps_of(device: &dyn Device, frames: &[WorkloadFrame]) -> f64 {
+    device.mean_fps(frames)
+}
+
+/// Maps `f` over `items` on up to `available_parallelism` scoped threads,
+/// preserving order. Workload captures per scene are independent, so the
+/// multi-scene harnesses (Figures 15, 16, ...) fan out across cores.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            s.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["Scene", "FPS"]);
+        t.row(["Family", "99.3"]);
+        t.row(["Train", "101.0"]);
+        let s = t.render();
+        assert!(s.contains("Family"));
+        assert!(s.lines().count() == 4);
+        // Header and data lines are equally wide.
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert_eq!(widths[0], widths[2]);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["A", "B", "C"]);
+        t.row(["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn gb_formats() {
+        assert_eq!(gb(19_600_000_000), "19.6");
+        assert_eq!(gb(0), "0.0");
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn record_serializes() {
+        let mut r = ExperimentRecord::new("test_fig", "demo");
+        r.push_series("fps", vec![1.0, 2.0]);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("test_fig"));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = par_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        assert!(par_map::<u64, u64, _>(&[], |&x| x).is_empty());
+    }
+}

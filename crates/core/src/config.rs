@@ -1,0 +1,130 @@
+//! Renderer configuration.
+
+use neo_math::Vec3;
+use neo_sort::dps::DpsConfig;
+use neo_sort::strategies::SorterConfig;
+
+/// Configuration for a [`crate::SplatRenderer`].
+///
+/// Builder-style setters allow one-liner construction:
+///
+/// ```
+/// use neo_core::RendererConfig;
+/// let cfg = RendererConfig::default().with_tile_size(32).without_image();
+/// assert_eq!(cfg.tile_size, 32);
+/// assert!(!cfg.render_image);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RendererConfig {
+    /// Tile edge in pixels (paper Table 1: 64).
+    pub tile_size: u32,
+    /// Background color.
+    pub background: Vec3,
+    /// Skip per-pixel blending and produce no image — used for large-scale
+    /// workload-statistics runs where only the sorting behaviour matters.
+    pub render_image: bool,
+    /// Use subtile bitmaps during rasterization (GSCore/Neo subtiling).
+    pub subtiling: bool,
+    /// Dynamic Partial Sorting parameters (ReuseUpdate strategy).
+    pub dps: DpsConfig,
+    /// Model deferred depth updates (true = Neo's design; false = the
+    /// extra-pass ablation of Section 4.4).
+    pub deferred_depth_update: bool,
+}
+
+impl Default for RendererConfig {
+    fn default() -> Self {
+        Self {
+            tile_size: 64,
+            background: Vec3::ZERO,
+            render_image: true,
+            subtiling: true,
+            dps: DpsConfig::default(),
+            deferred_depth_update: true,
+        }
+    }
+}
+
+impl RendererConfig {
+    /// Sets the tile size in pixels.
+    pub fn with_tile_size(mut self, tile_size: u32) -> Self {
+        assert!(tile_size > 0, "tile size must be positive");
+        self.tile_size = tile_size;
+        self
+    }
+
+    /// Sets the background color.
+    pub fn with_background(mut self, background: Vec3) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Disables image output (workload-statistics mode).
+    pub fn without_image(mut self) -> Self {
+        self.render_image = false;
+        self
+    }
+
+    /// Sets the DPS chunk size in entries.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.dps.chunk_size = chunk_size;
+        self
+    }
+
+    /// Sets the number of DPS passes per frame.
+    pub fn with_dps_passes(mut self, passes: u32) -> Self {
+        self.dps.passes = passes;
+        self
+    }
+
+    /// Disables the deferred depth update (ablation mode).
+    pub fn without_deferred_depth_update(mut self) -> Self {
+        self.deferred_depth_update = false;
+        self
+    }
+
+    /// The per-tile sorter configuration implied by this renderer config.
+    pub fn sorter_config(&self) -> SorterConfig {
+        SorterConfig {
+            dps: self.dps,
+            deferred_depth_update: self.deferred_depth_update,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table1() {
+        let cfg = RendererConfig::default();
+        assert_eq!(cfg.tile_size, 64);
+        assert_eq!(cfg.dps.chunk_size, 256);
+        assert_eq!(cfg.dps.passes, 1);
+        assert!(cfg.deferred_depth_update);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = RendererConfig::default()
+            .with_tile_size(16)
+            .with_chunk_size(64)
+            .with_dps_passes(2)
+            .without_deferred_depth_update()
+            .with_background(Vec3::ONE)
+            .without_image();
+        assert_eq!(cfg.tile_size, 16);
+        assert_eq!(cfg.dps.chunk_size, 64);
+        assert_eq!(cfg.dps.passes, 2);
+        assert!(!cfg.deferred_depth_update);
+        assert!(!cfg.render_image);
+        assert_eq!(cfg.sorter_config().dps.chunk_size, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile size")]
+    fn zero_tile_size_rejected() {
+        let _ = RendererConfig::default().with_tile_size(0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Per-frame render results.
+
+use neo_pipeline::{FrameStats, Image};
+use neo_sort::SortCost;
+
+/// Per-tile load snapshot, the workload record the performance model
+/// consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileLoad {
+    /// Flat tile index.
+    pub tile: u32,
+    /// Table length after this frame's merge.
+    pub table_len: u32,
+    /// Incoming Gaussians inserted this frame.
+    pub incoming: u32,
+    /// Outgoing Gaussians flagged this frame.
+    pub outgoing: u32,
+}
+
+/// Everything produced by rendering one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameResult {
+    /// The rendered image (absent in workload-statistics mode).
+    pub image: Option<Image>,
+    /// Functional pipeline statistics, including the DRAM-traffic ledger.
+    pub stats: FrameStats,
+    /// Aggregate sorting cost across all tiles.
+    pub sort_cost: SortCost,
+    /// Total incoming Gaussians across tiles.
+    pub incoming: usize,
+    /// Total outgoing Gaussians across tiles.
+    pub outgoing: usize,
+    /// Per-tile loads for occupied tiles.
+    pub tile_loads: Vec<TileLoad>,
+}
+
+impl FrameResult {
+    /// Mean per-tile table length this frame.
+    pub fn mean_table_len(&self) -> f64 {
+        if self.tile_loads.is_empty() {
+            0.0
+        } else {
+            self.tile_loads.iter().map(|t| t.table_len as f64).sum::<f64>()
+                / self.tile_loads.len() as f64
+        }
+    }
+
+    /// Total table entries across tiles.
+    pub fn total_table_entries(&self) -> u64 {
+        self.tile_loads.iter().map(|t| t.table_len as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_table_len() {
+        let fr = FrameResult {
+            image: None,
+            stats: FrameStats::default(),
+            sort_cost: SortCost::new(),
+            incoming: 0,
+            outgoing: 0,
+            tile_loads: vec![
+                TileLoad { tile: 0, table_len: 10, incoming: 1, outgoing: 0 },
+                TileLoad { tile: 1, table_len: 30, incoming: 0, outgoing: 2 },
+            ],
+        };
+        assert_eq!(fr.mean_table_len(), 20.0);
+        assert_eq!(fr.total_table_entries(), 40);
+    }
+}

@@ -1,0 +1,48 @@
+//! Neo's reuse-and-update 3DGS renderer — the paper's core contribution as
+//! a reusable library.
+//!
+//! A [`SplatRenderer`] renders a sequence of frames while carrying per-tile
+//! Gaussian tables across frames. With [`StrategyKind::ReuseUpdate`] it
+//! implements the full Neo algorithm of Figure 8:
+//!
+//! 1. **Reordering** — Dynamic Partial Sorting of each inherited table
+//!    (single off-chip pass, interleaved chunk boundaries);
+//! 2. **Insertion** — newly visible Gaussians are chunk-sorted and merged;
+//! 3. **Deletion** — entries invalidated by the previous frame's
+//!    rasterization are dropped during the same merge;
+//! 4. **Depth update** — depths in the table are refreshed from the values
+//!    rasterization already fetched (deferred, one frame stale).
+//!
+//! Any other [`StrategyKind`] gives a baseline renderer over the same
+//! functional pipeline: per-frame full sorting ("original 3DGS"),
+//! GSCore-style hierarchical sorting, periodic sorting, or background
+//! sorting — the comparison set of Figure 19.
+//!
+//! # Examples
+//!
+//! ```
+//! use neo_core::{RendererConfig, SplatRenderer};
+//! use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+//!
+//! let cloud = ScenePreset::Family.build_scaled(0.002);
+//! let sampler = FrameSampler::new(
+//!     ScenePreset::Family.trajectory(), 30.0, Resolution::Custom(128, 72));
+//! let mut renderer = SplatRenderer::new_neo(RendererConfig::default());
+//! let f0 = renderer.render_frame(&cloud, &sampler.frame(0));
+//! let f1 = renderer.render_frame(&cloud, &sampler.frame(1));
+//! // Frame 1 reuses frame 0's tables: most Gaussians are retained.
+//! assert!(f1.incoming < f0.incoming);
+//! ```
+
+#![deny(missing_docs)]
+
+mod config;
+mod frame;
+mod renderer;
+mod sequence;
+
+pub use config::RendererConfig;
+pub use frame::{FrameResult, TileLoad};
+pub use neo_sort::strategies::StrategyKind;
+pub use renderer::SplatRenderer;
+pub use sequence::SequenceStats;

@@ -1,0 +1,315 @@
+//! The strategy-parameterized splat renderer.
+
+use crate::{FrameResult, RendererConfig, TileLoad};
+use neo_pipeline::{
+    bin_to_tiles, project_cloud, rasterize_tile, FrameStats, Image, ProjectedGaussian,
+    RenderConfig, Stage, TileGrid,
+};
+use neo_scene::{Camera, GaussianCloud};
+use neo_sort::strategies::{StrategyKind, TileSorter};
+use neo_sort::SortCost;
+
+/// A frame-to-frame stateful 3DGS renderer parameterized by sorting
+/// strategy.
+///
+/// The renderer owns one [`TileSorter`] per tile; tables persist across
+/// [`SplatRenderer::render_frame`] calls, which is what enables Neo's
+/// reuse-and-update sorting. Changing the camera resolution or tile size
+/// resets the state (tables are layout-specific).
+#[derive(Debug)]
+pub struct SplatRenderer {
+    strategy: StrategyKind,
+    config: RendererConfig,
+    sorters: Vec<Option<TileSorter>>,
+    grid: Option<TileGrid>,
+    frames_rendered: u64,
+}
+
+impl SplatRenderer {
+    /// Creates a renderer with an explicit sorting strategy.
+    pub fn new(strategy: StrategyKind, config: RendererConfig) -> Self {
+        Self { strategy, config, sorters: Vec::new(), grid: None, frames_rendered: 0 }
+    }
+
+    /// Creates a Neo renderer (reuse-and-update sorting).
+    pub fn new_neo(config: RendererConfig) -> Self {
+        Self::new(StrategyKind::ReuseUpdate, config)
+    }
+
+    /// Creates an "original 3DGS" baseline (full re-sort every frame).
+    pub fn new_baseline(config: RendererConfig) -> Self {
+        Self::new(StrategyKind::FullResort, config)
+    }
+
+    /// The sorting strategy in use.
+    pub fn strategy(&self) -> StrategyKind {
+        self.strategy
+    }
+
+    /// The renderer configuration.
+    pub fn config(&self) -> &RendererConfig {
+        &self.config
+    }
+
+    /// Frames rendered since construction (or the last reset).
+    pub fn frames_rendered(&self) -> u64 {
+        self.frames_rendered
+    }
+
+    /// Drops all per-tile state (tables, strategy queues).
+    pub fn reset(&mut self) {
+        self.sorters.clear();
+        self.grid = None;
+        self.frames_rendered = 0;
+    }
+
+    fn ensure_grid(&mut self, cam: &Camera) -> TileGrid {
+        let want = TileGrid::new(cam.width, cam.height, self.config.tile_size);
+        match self.grid {
+            Some(g) if g == want => g,
+            _ => {
+                self.sorters.clear();
+                self.sorters.resize_with(want.tile_count(), || None);
+                self.grid = Some(want);
+                want
+            }
+        }
+    }
+
+    /// Renders one frame, advancing all per-tile sorting state.
+    ///
+    /// Gaussian IDs must be stable across frames (the same cloud, or at
+    /// least stable indices) — reuse is keyed on IDs.
+    pub fn render_frame(&mut self, cloud: &GaussianCloud, cam: &Camera) -> FrameResult {
+        let grid = self.ensure_grid(cam);
+        let projected = project_cloud(cam, cloud);
+        let assignments = bin_to_tiles(&grid, &projected);
+
+        // ID → projected-splat lookup for rasterization.
+        let mut by_id: Vec<Option<usize>> = vec![None; cloud.len()];
+        for (i, p) in projected.iter().enumerate() {
+            by_id[p.id as usize] = Some(i);
+        }
+
+        let mut stats = FrameStats {
+            input: cloud.len(),
+            projected: projected.len(),
+            duplicates: assignments.total_assignments(),
+            occupied_tiles: assignments.occupied_tiles(),
+            ..Default::default()
+        };
+        let feature_bytes = cloud.feature_record_bytes() as u64;
+        stats
+            .traffic
+            .read(Stage::FeatureExtraction, cloud.len() as u64 * feature_bytes);
+
+        let mut image = self
+            .config
+            .render_image
+            .then(|| Image::new(cam.width, cam.height, self.config.background));
+        let raster_cfg = RenderConfig {
+            tile_size: self.config.tile_size,
+            background: self.config.background,
+            subtiling: self.config.subtiling,
+            ..RenderConfig::default()
+        };
+
+        let mut sort_cost = SortCost::new();
+        let mut incoming_total = 0usize;
+        let mut outgoing_total = 0usize;
+        let mut tile_loads = Vec::with_capacity(stats.occupied_tiles);
+
+        for (tile_index, entries) in assignments.iter_occupied() {
+            let sorter = self.sorters[tile_index]
+                .get_or_insert_with(|| {
+                    TileSorter::with_config(self.strategy, self.config.sorter_config())
+                });
+            let out = sorter.process_frame(entries);
+            sort_cost += out.cost;
+            incoming_total += out.incoming;
+            outgoing_total += out.outgoing;
+            stats.traffic.read(Stage::Sorting, out.cost.bytes_read);
+            stats.traffic.write(Stage::Sorting, out.cost.bytes_written);
+            tile_loads.push(TileLoad {
+                tile: tile_index as u32,
+                table_len: out.order.len() as u32,
+                incoming: out.incoming as u32,
+                outgoing: out.outgoing as u32,
+            });
+
+            // Rasterization fetches features for every entry in the blend
+            // order (stale entries included — they are fetched, found
+            // non-intersecting by the ITU, and skipped).
+            stats
+                .traffic
+                .read(Stage::Rasterization, out.order.len() as u64 * feature_bytes);
+
+            if let Some(img) = image.as_mut() {
+                // Blend in the strategy's order; IDs without current
+                // features (stale entries) are skipped.
+                let order: Vec<&ProjectedGaussian> = out
+                    .order
+                    .iter()
+                    .filter(|e| e.valid)
+                    .filter_map(|e| {
+                        by_id
+                            .get(e.id as usize)
+                            .copied()
+                            .flatten()
+                            .map(|i| &projected[i])
+                    })
+                    .collect();
+                let ts = rasterize_tile(img, &grid, tile_index, &order, &raster_cfg);
+                stats.blend_ops += ts.blend_ops;
+                stats.saturated_pixels += ts.saturated_pixels;
+            }
+        }
+        stats
+            .traffic
+            .write(Stage::Rasterization, cam.width as u64 * cam.height as u64 * 4);
+
+        self.frames_rendered += 1;
+        FrameResult {
+            image,
+            stats,
+            sort_cost,
+            incoming: incoming_total,
+            outgoing: outgoing_total,
+            tile_loads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_math::Vec3;
+    use neo_scene::presets::ScenePreset;
+    use neo_scene::{FrameSampler, Resolution};
+
+    fn small_setup() -> (GaussianCloud, FrameSampler) {
+        let cloud = ScenePreset::Family.build_scaled(0.002);
+        let sampler = FrameSampler::new(
+            ScenePreset::Family.trajectory(),
+            30.0,
+            Resolution::Custom(160, 96),
+        );
+        (cloud, sampler)
+    }
+
+    #[test]
+    fn neo_and_baseline_render_similar_images() {
+        let (cloud, sampler) = small_setup();
+        let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
+        let mut base =
+            SplatRenderer::new_baseline(RendererConfig::default().with_tile_size(32));
+        // Warm both renderers over a few frames, then compare.
+        let mut last_pair = None;
+        for i in 0..5 {
+            let cam = sampler.frame(i);
+            let a = neo.render_frame(&cloud, &cam);
+            let b = base.render_frame(&cloud, &cam);
+            last_pair = Some((a, b));
+        }
+        let (a, b) = last_pair.unwrap();
+        let (ia, ib) = (a.image.unwrap(), b.image.unwrap());
+        let mse: f32 = ia
+            .pixels()
+            .iter()
+            .zip(ib.pixels())
+            .map(|(p, q)| (*p - *q).length_squared())
+            .sum::<f32>()
+            / ia.pixels().len() as f32;
+        assert!(mse < 1e-3, "Neo must match the baseline closely, mse = {mse}");
+    }
+
+    #[test]
+    fn reuse_cuts_sorting_traffic() {
+        let (cloud, sampler) = small_setup();
+        let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
+        let mut base =
+            SplatRenderer::new_baseline(RendererConfig::default().with_tile_size(32));
+        let mut neo_bytes = 0u64;
+        let mut base_bytes = 0u64;
+        for i in 0..6 {
+            let cam = sampler.frame(i);
+            let a = neo.render_frame(&cloud, &cam);
+            let b = base.render_frame(&cloud, &cam);
+            if i > 0 {
+                neo_bytes += a.stats.traffic.stage_total(Stage::Sorting);
+                base_bytes += b.stats.traffic.stage_total(Stage::Sorting);
+            }
+        }
+        assert!(
+            (neo_bytes as f64) < base_bytes as f64 * 0.55,
+            "neo {neo_bytes} vs baseline {base_bytes}"
+        );
+    }
+
+    #[test]
+    fn second_frame_retains_most_gaussians() {
+        let (cloud, sampler) = small_setup();
+        let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
+        let f0 = neo.render_frame(&cloud, &sampler.frame(0));
+        let f1 = neo.render_frame(&cloud, &sampler.frame(1));
+        assert!(f0.incoming > 0);
+        let churn = f1.incoming as f64 / f0.incoming.max(1) as f64;
+        assert!(churn < 0.25, "frame-1 churn should be small, got {churn:.3}");
+        assert_eq!(neo.frames_rendered(), 2);
+    }
+
+    #[test]
+    fn resolution_change_resets_state() {
+        let (cloud, sampler) = small_setup();
+        let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
+        neo.render_frame(&cloud, &sampler.frame(0));
+        let cam_big = sampler.frame(1).with_resolution(Resolution::Custom(320, 192));
+        let f = neo.render_frame(&cloud, &cam_big);
+        // All Gaussians are "incoming" again after the reset.
+        assert_eq!(f.incoming, f.stats.duplicates);
+    }
+
+    #[test]
+    fn workload_mode_skips_image() {
+        let (cloud, sampler) = small_setup();
+        let mut neo = SplatRenderer::new_neo(
+            RendererConfig::default().with_tile_size(32).without_image(),
+        );
+        let f = neo.render_frame(&cloud, &sampler.frame(0));
+        assert!(f.image.is_none());
+        assert!(f.stats.blend_ops == 0);
+        assert!(!f.tile_loads.is_empty());
+        assert!(f.mean_table_len() > 0.0);
+    }
+
+    #[test]
+    fn periodic_strategy_renders_with_stale_tables() {
+        let (cloud, sampler) = small_setup();
+        let mut per = SplatRenderer::new(
+            StrategyKind::Periodic(4),
+            RendererConfig::default().with_tile_size(32),
+        );
+        let f0 = per.render_frame(&cloud, &sampler.frame(0));
+        let f1 = per.render_frame(&cloud, &sampler.frame(1));
+        assert!(f0.stats.traffic.stage_total(Stage::Sorting) > 0);
+        assert_eq!(f1.stats.traffic.stage_total(Stage::Sorting), 0, "skip frame");
+        assert!(f1.image.is_some());
+    }
+
+    #[test]
+    fn background_color_fills_empty_regions() {
+        let cloud = GaussianCloud::new();
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            1.0,
+            Resolution::Custom(64, 64),
+        );
+        let mut r = SplatRenderer::new_neo(
+            RendererConfig::default().with_background(Vec3::new(1.0, 0.0, 0.0)),
+        );
+        let f = r.render_frame(&cloud, &cam);
+        assert_eq!(f.image.unwrap().get(10, 10), Vec3::new(1.0, 0.0, 0.0));
+    }
+}

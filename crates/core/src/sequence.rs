@@ -1,0 +1,130 @@
+//! Sequence-level rendering helpers and aggregate statistics.
+
+use crate::{FrameResult, SplatRenderer};
+use neo_pipeline::{Stage, TrafficLedger};
+use neo_scene::{Camera, GaussianCloud};
+use neo_sort::SortCost;
+
+/// Aggregate statistics over a rendered frame sequence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SequenceStats {
+    /// Frames aggregated.
+    pub frames: usize,
+    /// Summed DRAM-traffic ledger.
+    pub traffic: TrafficLedger,
+    /// Summed sorting cost.
+    pub sort_cost: SortCost,
+    /// Total incoming Gaussians.
+    pub incoming: u64,
+    /// Total outgoing Gaussians.
+    pub outgoing: u64,
+    /// Total α-blend operations.
+    pub blend_ops: u64,
+}
+
+impl SequenceStats {
+    /// Folds one frame into the aggregate.
+    pub fn push(&mut self, frame: &FrameResult) {
+        self.frames += 1;
+        self.traffic += frame.stats.traffic;
+        self.sort_cost += frame.sort_cost;
+        self.incoming += frame.incoming as u64;
+        self.outgoing += frame.outgoing as u64;
+        self.blend_ops += frame.stats.blend_ops;
+    }
+
+    /// Mean sorting-stage bytes per frame.
+    pub fn mean_sort_bytes(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.traffic.stage_total(Stage::Sorting) as f64 / self.frames as f64
+        }
+    }
+
+    /// Mean per-frame churn (incoming Gaussians).
+    pub fn mean_incoming(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.incoming as f64 / self.frames as f64
+        }
+    }
+}
+
+impl SplatRenderer {
+    /// Renders every camera in `cameras`, returning the per-frame results
+    /// and the aggregate statistics.
+    ///
+    /// A convenience for experiment loops:
+    ///
+    /// ```
+    /// use neo_core::{RendererConfig, SplatRenderer};
+    /// use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+    ///
+    /// let cloud = ScenePreset::Train.build_scaled(0.002);
+    /// let sampler = FrameSampler::new(
+    ///     ScenePreset::Train.trajectory(), 30.0, Resolution::Custom(96, 54));
+    /// let mut r = SplatRenderer::new_neo(RendererConfig::default().without_image());
+    /// let cams: Vec<_> = sampler.frames(4).collect();
+    /// let (frames, stats) = r.render_sequence(&cloud, &cams);
+    /// assert_eq!(frames.len(), 4);
+    /// assert_eq!(stats.frames, 4);
+    /// ```
+    pub fn render_sequence(
+        &mut self,
+        cloud: &GaussianCloud,
+        cameras: &[Camera],
+    ) -> (Vec<FrameResult>, SequenceStats) {
+        let mut stats = SequenceStats::default();
+        let mut frames = Vec::with_capacity(cameras.len());
+        for cam in cameras {
+            let fr = self.render_frame(cloud, cam);
+            stats.push(&fr);
+            frames.push(fr);
+        }
+        (frames, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RendererConfig;
+    use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+
+    #[test]
+    fn sequence_aggregates_match_frames() {
+        let cloud = ScenePreset::Horse.build_scaled(0.002);
+        let sampler = FrameSampler::new(
+            ScenePreset::Horse.trajectory(),
+            30.0,
+            Resolution::Custom(128, 72),
+        );
+        let cams: Vec<_> = sampler.frames(5).collect();
+        let mut r = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
+        let (frames, stats) = r.render_sequence(&cloud, &cams);
+        assert_eq!(frames.len(), 5);
+        assert_eq!(stats.frames, 5);
+        let manual_incoming: u64 = frames.iter().map(|f| f.incoming as u64).sum();
+        assert_eq!(stats.incoming, manual_incoming);
+        let manual_sort: u64 = frames
+            .iter()
+            .map(|f| f.stats.traffic.stage_total(Stage::Sorting))
+            .sum();
+        assert_eq!(stats.traffic.stage_total(Stage::Sorting), manual_sort);
+        assert!(stats.mean_sort_bytes() > 0.0);
+        assert!(stats.mean_incoming() > 0.0);
+    }
+
+    #[test]
+    fn empty_sequence_is_zeroed() {
+        let cloud = GaussianCloud::new();
+        let mut r = SplatRenderer::new_neo(RendererConfig::default());
+        let (frames, stats) = r.render_sequence(&cloud, &[]);
+        assert!(frames.is_empty());
+        assert_eq!(stats.frames, 0);
+        assert_eq!(stats.mean_sort_bytes(), 0.0);
+        assert_eq!(stats.mean_incoming(), 0.0);
+    }
+}

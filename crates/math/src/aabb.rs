@@ -1,0 +1,162 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Vec3;
+
+/// Axis-aligned bounding box in 3D.
+///
+/// Used for scene extents and coarse frustum tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// An empty box (inverted bounds); union with any point yields that point.
+    pub const EMPTY: Self = Self {
+        min: Vec3::splat(f32::INFINITY),
+        max: Vec3::splat(f32::NEG_INFINITY),
+    };
+
+    /// Builds a box from corners. Components of `min` must not exceed `max`;
+    /// callers building incrementally should start from [`Aabb::EMPTY`].
+    #[inline]
+    pub const fn new(min: Vec3, max: Vec3) -> Self {
+        Self { min, max }
+    }
+
+    /// Box centered at `center` with the given half-extent in each axis.
+    #[inline]
+    pub fn from_center_half_extent(center: Vec3, half: Vec3) -> Self {
+        Self { min: center - half, max: center + half }
+    }
+
+    /// True when the box contains no points.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Center point. Meaningless for empty boxes.
+    #[inline]
+    pub fn center(self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Half-extent per axis. Meaningless for empty boxes.
+    #[inline]
+    pub fn half_extent(self) -> Vec3 {
+        (self.max - self.min) * 0.5
+    }
+
+    /// Grows the box to include `p`.
+    #[inline]
+    pub fn union_point(self, p: Vec3) -> Self {
+        Self { min: self.min.min(p), max: self.max.max(p) }
+    }
+
+    /// Smallest box containing both boxes.
+    #[inline]
+    pub fn union(self, other: Self) -> Self {
+        Self { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// True when the boxes overlap (closed intervals).
+    #[inline]
+    pub fn intersects(self, other: Self) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Length of the diagonal.
+    #[inline]
+    pub fn diagonal(self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max - self.min).length()
+        }
+    }
+
+    /// Builds the tightest box around an iterator of points.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Self {
+        points
+            .into_iter()
+            .fold(Self::EMPTY, |acc, p| acc.union_point(p))
+    }
+}
+
+impl Default for Aabb {
+    #[inline]
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_behaves() {
+        let e = Aabb::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.diagonal(), 0.0);
+        let with_point = e.union_point(Vec3::new(1.0, 2.0, 3.0));
+        assert!(!with_point.is_empty());
+        assert_eq!(with_point.min, with_point.max);
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+        assert!(a.contains(Vec3::splat(1.0)));
+        assert!(a.contains(Vec3::ZERO));
+        assert!(!a.contains(Vec3::splat(2.1)));
+
+        let b = Aabb::new(Vec3::splat(1.5), Vec3::splat(3.0));
+        let c = Aabb::new(Vec3::splat(5.0), Vec3::splat(6.0));
+        assert!(a.intersects(b));
+        assert!(b.intersects(a));
+        assert!(!a.intersects(c));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let b = Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0));
+        let u = a.union(b);
+        assert!(u.contains(Vec3::splat(0.5)));
+        assert!(u.contains(Vec3::splat(2.5)));
+    }
+
+    #[test]
+    fn from_points_is_tight() {
+        let pts = vec![
+            Vec3::new(-1.0, 0.0, 2.0),
+            Vec3::new(3.0, -5.0, 1.0),
+            Vec3::new(0.0, 4.0, 0.0),
+        ];
+        let bb = Aabb::from_points(pts);
+        assert_eq!(bb.min, Vec3::new(-1.0, -5.0, 0.0));
+        assert_eq!(bb.max, Vec3::new(3.0, 4.0, 2.0));
+        assert_eq!(bb.center(), Vec3::new(1.0, -0.5, 1.0));
+    }
+}

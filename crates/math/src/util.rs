@@ -1,0 +1,80 @@
+//! Small scalar helpers shared across the workspace.
+
+/// Linear interpolation between `a` and `b`.
+///
+/// ```
+/// assert_eq!(neo_math::lerp(0.0, 10.0, 0.25), 2.5);
+/// ```
+#[inline]
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+/// Clamps `v` to `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics in debug builds when `lo > hi`.
+#[inline]
+pub fn clamp(v: f32, lo: f32, hi: f32) -> f32 {
+    debug_assert!(lo <= hi, "clamp called with lo > hi");
+    v.max(lo).min(hi)
+}
+
+/// Logistic sigmoid; 3DGS stores opacity in logit space.
+///
+/// ```
+/// assert!((neo_math::sigmoid(0.0) - 0.5).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Inverse of [`sigmoid`], clamping the input away from {0, 1} to stay
+/// finite.
+#[inline]
+pub fn inv_sigmoid(y: f32) -> f32 {
+    let y = clamp(y, 1e-6, 1.0 - 1e-6);
+    (y / (1.0 - y)).ln()
+}
+
+/// Approximate equality with absolute tolerance `eps`.
+#[inline]
+pub fn approx_eq(a: f32, b: f32, eps: f32) -> bool {
+    (a - b).abs() <= eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_basics() {
+        assert_eq!(lerp(2.0, 4.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 4.0, 1.0), 4.0);
+        assert_eq!(lerp(2.0, 4.0, 0.5), 3.0);
+    }
+
+    #[test]
+    fn clamp_basics() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.25, 0.0, 1.0), 0.25);
+    }
+
+    #[test]
+    fn sigmoid_roundtrip() {
+        for &x in &[-4.0f32, -1.0, 0.0, 0.5, 3.0] {
+            let y = sigmoid(x);
+            assert!(approx_eq(inv_sigmoid(y), x, 1e-3), "x={x}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(10.0) > 0.999);
+    }
+}

@@ -1,0 +1,152 @@
+//! Tile binning (the "duplication" step of stage ❸).
+//!
+//! Each projected splat is assigned to every tile its 3σ disc overlaps,
+//! exactly like the duplication units in GSCore/Neo's Preprocessing
+//! Engine. The result — per-tile lists of `(gaussian_id, depth)` — is the
+//! unsorted input to the sorting stage.
+
+use crate::projection::ProjectedGaussian;
+use crate::tiles::TileGrid;
+
+/// Per-tile lists of `(gaussian_id, depth)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileAssignments {
+    grid: TileGrid,
+    tiles: Vec<Vec<(u32, f32)>>,
+}
+
+impl TileAssignments {
+    /// Creates empty assignments for a grid.
+    pub fn new(grid: TileGrid) -> Self {
+        Self { grid, tiles: vec![Vec::new(); grid.tile_count()] }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// Entries of one tile, in insertion (cloud) order.
+    pub fn tile(&self, index: usize) -> &[(u32, f32)] {
+        &self.tiles[index]
+    }
+
+    /// Number of tiles (occupied or not).
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Total assignments across tiles (Σ duplicates).
+    pub fn total_assignments(&self) -> usize {
+        self.tiles.iter().map(Vec::len).sum()
+    }
+
+    /// Number of tiles with at least one entry.
+    pub fn occupied_tiles(&self) -> usize {
+        self.tiles.iter().filter(|t| !t.is_empty()).count()
+    }
+
+    /// Iterates `(tile_index, entries)` over occupied tiles.
+    pub fn iter_occupied(&self) -> impl Iterator<Item = (usize, &[(u32, f32)])> {
+        self.tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_empty())
+            .map(|(i, t)| (i, t.as_slice()))
+    }
+
+    /// Largest per-tile population.
+    pub fn max_tile_population(&self) -> usize {
+        self.tiles.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Bins projected splats into tiles.
+///
+/// Entries within a tile keep the input order (ascending Gaussian ID),
+/// making the output deterministic.
+pub fn bin_to_tiles(grid: &TileGrid, projected: &[ProjectedGaussian]) -> TileAssignments {
+    let mut out = TileAssignments::new(*grid);
+    for p in projected {
+        let Some((tx0, ty0, tx1, ty1)) = grid.tiles_for_splat(p.mean2d, p.radius) else {
+            continue;
+        };
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                out.tiles[grid.tile_index(tx, ty)].push((p.id, p.depth));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_math::{Vec2, Vec3};
+
+    fn splat(id: u32, x: f32, y: f32, radius: f32, depth: f32) -> ProjectedGaussian {
+        ProjectedGaussian {
+            id,
+            mean2d: Vec2::new(x, y),
+            depth,
+            conic: (1.0, 0.0, 1.0),
+            radius,
+            color: Vec3::ONE,
+            opacity: 0.9,
+        }
+    }
+
+    #[test]
+    fn small_splat_lands_in_one_tile() {
+        let grid = TileGrid::new(256, 256, 64);
+        let binned = bin_to_tiles(&grid, &[splat(0, 100.0, 30.0, 5.0, 2.0)]);
+        assert_eq!(binned.total_assignments(), 1);
+        assert_eq!(binned.occupied_tiles(), 1);
+        assert_eq!(binned.tile(grid.tile_index(1, 0)), &[(0, 2.0)]);
+    }
+
+    #[test]
+    fn straddling_splat_is_duplicated() {
+        let grid = TileGrid::new(256, 256, 64);
+        let binned = bin_to_tiles(&grid, &[splat(3, 64.0, 64.0, 6.0, 1.0)]);
+        assert_eq!(binned.total_assignments(), 4);
+        for (tx, ty) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+            assert_eq!(binned.tile(grid.tile_index(tx, ty)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn off_screen_splat_is_skipped() {
+        let grid = TileGrid::new(256, 256, 64);
+        let binned = bin_to_tiles(&grid, &[splat(0, -100.0, 10.0, 5.0, 1.0)]);
+        assert_eq!(binned.total_assignments(), 0);
+        assert_eq!(binned.occupied_tiles(), 0);
+    }
+
+    #[test]
+    fn order_within_tile_is_input_order() {
+        let grid = TileGrid::new(128, 128, 64);
+        let splats = vec![
+            splat(0, 30.0, 30.0, 3.0, 5.0),
+            splat(1, 35.0, 30.0, 3.0, 1.0),
+            splat(2, 40.0, 30.0, 3.0, 3.0),
+        ];
+        let binned = bin_to_tiles(&grid, &splats);
+        let tile = binned.tile(0);
+        assert_eq!(tile.iter().map(|e| e.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn population_stats() {
+        let grid = TileGrid::new(128, 128, 64);
+        let splats = vec![
+            splat(0, 30.0, 30.0, 3.0, 5.0),
+            splat(1, 35.0, 30.0, 3.0, 1.0),
+            splat(2, 100.0, 100.0, 3.0, 3.0),
+        ];
+        let binned = bin_to_tiles(&grid, &splats);
+        assert_eq!(binned.max_tile_population(), 2);
+        assert_eq!(binned.iter_occupied().count(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Stage ❶: frustum culling.
+
+use neo_math::Vec3;
+use neo_scene::{Camera, GaussianCloud};
+
+/// Conservative frustum test for a bounding sphere in *camera space*.
+///
+/// `t` is the camera-space center, `radius` the world-space bounding
+/// radius (camera transforms are rigid, so lengths are preserved). The test
+/// checks the near/far planes and the four side planes derived from the
+/// fields of view, each relaxed by `radius`.
+pub fn in_frustum(cam: &Camera, t: Vec3, radius: f32) -> bool {
+    if t.z + radius < cam.near || t.z - radius > cam.far {
+        return false;
+    }
+    // Side planes: |x| <= z·tan(fovx/2) + slack, similarly for y. Use the
+    // sphere radius as slack (conservative, cheap — same test GSCore's
+    // projection unit applies).
+    let z = t.z.max(cam.near);
+    let tan_x = (cam.fov_x() * 0.5).tan();
+    let tan_y = (cam.fov_y * 0.5).tan();
+    t.x.abs() <= z * tan_x + radius && t.y.abs() <= z * tan_y + radius
+}
+
+/// Outcome of culling a cloud against a camera.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CullResult {
+    /// IDs of Gaussians that survive culling, ascending.
+    pub visible: Vec<u32>,
+    /// Number of Gaussians culled.
+    pub culled: usize,
+}
+
+impl CullResult {
+    /// Fraction of the cloud that survived.
+    pub fn survival_rate(&self) -> f64 {
+        let total = self.visible.len() + self.culled;
+        if total == 0 {
+            0.0
+        } else {
+            self.visible.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Culls an entire cloud, returning surviving IDs.
+pub fn cull_cloud(cam: &Camera, cloud: &GaussianCloud) -> CullResult {
+    let view = cam.view_matrix();
+    let mut visible = Vec::with_capacity(cloud.len());
+    for (id, g) in cloud.iter() {
+        let t = view.transform_point(g.mean);
+        if in_frustum(cam, t, g.bounding_radius()) {
+            visible.push(id);
+        }
+    }
+    let culled = cloud.len() - visible.len();
+    CullResult { visible, culled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_scene::{Gaussian, Resolution};
+
+    fn cam() -> Camera {
+        Camera::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            1.0,
+            Resolution::Hd,
+        )
+    }
+
+    #[test]
+    fn center_is_visible() {
+        let c = cam();
+        assert!(in_frustum(&c, Vec3::new(0.0, 0.0, 5.0), 0.1));
+    }
+
+    #[test]
+    fn behind_near_plane_is_culled() {
+        let c = cam();
+        assert!(!in_frustum(&c, Vec3::new(0.0, 0.0, -1.0), 0.1));
+        // ... unless the bounding sphere pokes through the near plane.
+        assert!(in_frustum(&c, Vec3::new(0.0, 0.0, -1.0), 2.0));
+    }
+
+    #[test]
+    fn beyond_far_plane_is_culled() {
+        let mut c = cam();
+        c.far = 100.0;
+        assert!(!in_frustum(&c, Vec3::new(0.0, 0.0, 150.0), 1.0));
+    }
+
+    #[test]
+    fn side_planes_respect_radius() {
+        let c = cam();
+        let z = 5.0;
+        let limit = z * (c.fov_x() * 0.5).tan();
+        assert!(!in_frustum(&c, Vec3::new(limit + 1.0, 0.0, z), 0.5));
+        assert!(in_frustum(&c, Vec3::new(limit + 1.0, 0.0, z), 2.0));
+    }
+
+    #[test]
+    fn cull_cloud_counts() {
+        let c = cam();
+        let mut cloud = GaussianCloud::new();
+        cloud.push(Gaussian::isotropic(Vec3::ZERO, 0.1, 0.9, Vec3::ONE)); // visible
+        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, -30.0), 0.1, 0.9, Vec3::ONE)); // behind
+        cloud.push(Gaussian::isotropic(Vec3::new(50.0, 0.0, 0.0), 0.1, 0.9, Vec3::ONE)); // side
+        let r = cull_cloud(&c, &cloud);
+        assert_eq!(r.visible, vec![0]);
+        assert_eq!(r.culled, 2);
+        assert!((r.survival_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

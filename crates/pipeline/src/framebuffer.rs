@@ -1,0 +1,148 @@
+//! RGB framebuffer with `f32` channels.
+
+use neo_math::Vec3;
+
+/// An RGB image with `f32` channels in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    data: Vec<Vec3>,
+}
+
+impl Image {
+    /// Creates an image filled with `background`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(width: u32, height: u32, background: Vec3) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Self {
+            width,
+            height,
+            data: vec![background; (width * height) as usize],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Vec3 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Vec3) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[(y * self.width + x) as usize] = c;
+    }
+
+    /// Raw pixel slice, row-major.
+    pub fn pixels(&self) -> &[Vec3] {
+        &self.data
+    }
+
+    /// Mutable raw pixel slice, row-major.
+    pub fn pixels_mut(&mut self) -> &mut [Vec3] {
+        &mut self.data
+    }
+
+    /// Mean pixel value across the image.
+    pub fn mean(&self) -> Vec3 {
+        let sum = self
+            .data
+            .iter()
+            .fold(Vec3::ZERO, |acc, &p| acc + p);
+        sum / self.data.len() as f32
+    }
+
+    /// Converts to 8-bit RGB, clamping to `[0, 1]`.
+    pub fn to_rgb8(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 3);
+        for p in &self.data {
+            out.push((p.x.clamp(0.0, 1.0) * 255.0).round() as u8);
+            out.push((p.y.clamp(0.0, 1.0) * 255.0).round() as u8);
+            out.push((p.z.clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+        out
+    }
+
+    /// Writes a binary PPM (P6) representation, handy for eyeballing
+    /// example output.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend(self.to_rgb8());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_fills_background() {
+        let img = Image::new(4, 2, Vec3::new(0.5, 0.0, 1.0));
+        assert_eq!(img.get(3, 1), Vec3::new(0.5, 0.0, 1.0));
+        assert_eq!(img.pixels().len(), 8);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = Image::new(3, 3, Vec3::ZERO);
+        img.set(1, 2, Vec3::ONE);
+        assert_eq!(img.get(1, 2), Vec3::ONE);
+        assert_eq!(img.get(2, 1), Vec3::ZERO);
+    }
+
+    #[test]
+    fn rgb8_clamps() {
+        let mut img = Image::new(1, 1, Vec3::new(2.0, -1.0, 0.5));
+        let bytes = img.to_rgb8();
+        assert_eq!(bytes, vec![255, 0, 128]);
+        img.set(0, 0, Vec3::ZERO);
+        assert_eq!(img.to_rgb8(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn ppm_has_header() {
+        let img = Image::new(2, 2, Vec3::ZERO);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 12);
+    }
+
+    #[test]
+    fn mean_averages() {
+        let mut img = Image::new(2, 1, Vec3::ZERO);
+        img.set(1, 0, Vec3::ONE);
+        assert_eq!(img.mean(), Vec3::splat(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        let img = Image::new(2, 2, Vec3::ZERO);
+        let _ = img.get(2, 0);
+    }
+}

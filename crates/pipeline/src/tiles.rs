@@ -1,0 +1,226 @@
+//! Tile grid and subtile bitmaps.
+//!
+//! The image plane is divided into square tiles (the paper's Neo
+//! configuration uses 64×64-pixel tiles) and each tile into 8×8-pixel
+//! subtiles, giving 64 subtiles per tile tracked in a 64-bit bitmap —
+//! exactly the lightweight metadata GSCore/Neo's Intersection Test Units
+//! produce.
+
+use neo_math::Vec2;
+
+/// Subtile edge length in pixels (paper Table 1: 8×8 px subtiles).
+pub const SUBTILE_SIZE: u32 = 8;
+
+/// Number of subtiles per 64×64 tile (8×8 grid → 64, one bit each).
+pub const SUBTILES_PER_TILE: u32 = 64;
+
+/// Partition of an image into square tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGrid {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Tile edge length in pixels.
+    pub tile_size: u32,
+    tiles_x: u32,
+    tiles_y: u32,
+}
+
+impl TileGrid {
+    /// Creates a grid for a `width`×`height` image with `tile_size` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero.
+    pub fn new(width: u32, height: u32, tile_size: u32) -> Self {
+        assert!(width > 0 && height > 0 && tile_size > 0, "dimensions must be positive");
+        Self {
+            width,
+            height,
+            tile_size,
+            tiles_x: width.div_ceil(tile_size),
+            tiles_y: height.div_ceil(tile_size),
+        }
+    }
+
+    /// Number of tile columns.
+    pub fn tiles_x(&self) -> u32 {
+        self.tiles_x
+    }
+
+    /// Number of tile rows.
+    pub fn tiles_y(&self) -> u32 {
+        self.tiles_y
+    }
+
+    /// Total tile count.
+    pub fn tile_count(&self) -> usize {
+        (self.tiles_x * self.tiles_y) as usize
+    }
+
+    /// Flat tile index for tile coordinates `(tx, ty)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when out of range.
+    pub fn tile_index(&self, tx: u32, ty: u32) -> usize {
+        debug_assert!(tx < self.tiles_x && ty < self.tiles_y);
+        (ty * self.tiles_x + tx) as usize
+    }
+
+    /// Pixel rectangle `(x0, y0, x1, y1)` of a tile (exclusive max, clamped
+    /// to the image).
+    pub fn tile_rect(&self, tx: u32, ty: u32) -> (u32, u32, u32, u32) {
+        let x0 = tx * self.tile_size;
+        let y0 = ty * self.tile_size;
+        (
+            x0,
+            y0,
+            (x0 + self.tile_size).min(self.width),
+            (y0 + self.tile_size).min(self.height),
+        )
+    }
+
+    /// Inclusive tile-coordinate ranges overlapped by a circle of `radius`
+    /// pixels centered at `center`, or `None` when it misses the image.
+    pub fn tiles_for_splat(
+        &self,
+        center: Vec2,
+        radius: f32,
+    ) -> Option<(u32, u32, u32, u32)> {
+        let min_x = center.x - radius;
+        let min_y = center.y - radius;
+        let max_x = center.x + radius;
+        let max_y = center.y + radius;
+        if max_x < 0.0 || max_y < 0.0 || min_x >= self.width as f32 || min_y >= self.height as f32
+        {
+            return None;
+        }
+        let tx0 = (min_x.max(0.0) as u32) / self.tile_size;
+        let ty0 = (min_y.max(0.0) as u32) / self.tile_size;
+        let tx1 = ((max_x.min(self.width as f32 - 1.0)) as u32) / self.tile_size;
+        let ty1 = ((max_y.min(self.height as f32 - 1.0)) as u32) / self.tile_size;
+        Some((tx0, ty0, tx1.min(self.tiles_x - 1), ty1.min(self.tiles_y - 1)))
+    }
+
+    /// Subtile grid dimension along one tile edge.
+    pub fn subtiles_per_edge(&self) -> u32 {
+        self.tile_size.div_ceil(SUBTILE_SIZE)
+    }
+}
+
+/// Computes the subtile intersection bitmap for a splat within a tile.
+///
+/// Bit `s` is set when the circle (`center`, `radius`, in pixels) overlaps
+/// subtile `s` (row-major within the tile). This models the ITU's
+/// on-the-fly bitmap generation. Tiles larger than 64 subtiles clamp to the
+/// first 64 (not the case for the paper's 64×64/8×8 configuration).
+pub fn subtile_bitmap(
+    grid: &TileGrid,
+    tx: u32,
+    ty: u32,
+    center: Vec2,
+    radius: f32,
+) -> u64 {
+    let (x0, y0, x1, y1) = grid.tile_rect(tx, ty);
+    let per_edge = grid.subtiles_per_edge();
+    let mut bitmap = 0u64;
+    let mut bit = 0u32;
+    for sy in 0..per_edge {
+        for sx in 0..per_edge {
+            if bit >= 64 {
+                return bitmap;
+            }
+            let sx0 = (x0 + sx * SUBTILE_SIZE) as f32;
+            let sy0 = (y0 + sy * SUBTILE_SIZE) as f32;
+            let sx1 = ((x0 + (sx + 1) * SUBTILE_SIZE).min(x1)) as f32;
+            let sy1 = ((y0 + (sy + 1) * SUBTILE_SIZE).min(y1)) as f32;
+            if sx1 <= sx0 || sy1 <= sy0 {
+                bit += 1;
+                continue;
+            }
+            // Circle-rectangle overlap: clamp center to the rect.
+            let cx = center.x.clamp(sx0, sx1);
+            let cy = center.y.clamp(sy0, sy1);
+            let dx = center.x - cx;
+            let dy = center.y - cy;
+            if dx * dx + dy * dy <= radius * radius {
+                bitmap |= 1u64 << bit;
+            }
+            bit += 1;
+        }
+    }
+    bitmap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions_round_up() {
+        let g = TileGrid::new(2560, 1440, 64);
+        assert_eq!(g.tiles_x(), 40);
+        assert_eq!(g.tiles_y(), 23); // 1440/64 = 22.5 → 23
+        assert_eq!(g.tile_count(), 920);
+        assert_eq!(g.subtiles_per_edge(), 8);
+    }
+
+    #[test]
+    fn tile_rect_clamps_at_border() {
+        let g = TileGrid::new(100, 70, 64);
+        assert_eq!(g.tile_rect(0, 0), (0, 0, 64, 64));
+        assert_eq!(g.tile_rect(1, 1), (64, 64, 100, 70));
+    }
+
+    #[test]
+    fn splat_tile_ranges() {
+        let g = TileGrid::new(256, 256, 64);
+        // Small splat inside one tile.
+        let r = g.tiles_for_splat(Vec2::new(32.0, 32.0), 8.0).unwrap();
+        assert_eq!(r, (0, 0, 0, 0));
+        // Splat straddling four tiles.
+        let r = g.tiles_for_splat(Vec2::new(64.0, 64.0), 4.0).unwrap();
+        assert_eq!(r, (0, 0, 1, 1));
+        // Splat fully outside.
+        assert!(g.tiles_for_splat(Vec2::new(-50.0, 10.0), 8.0).is_none());
+        assert!(g.tiles_for_splat(Vec2::new(500.0, 10.0), 8.0).is_none());
+    }
+
+    #[test]
+    fn splat_overlapping_edge_is_kept() {
+        let g = TileGrid::new(256, 256, 64);
+        let r = g.tiles_for_splat(Vec2::new(-5.0, 10.0), 8.0).unwrap();
+        assert_eq!(r.0, 0);
+    }
+
+    #[test]
+    fn subtile_bitmap_small_splat_sets_one_bit() {
+        let g = TileGrid::new(256, 256, 64);
+        // Center of subtile (2, 3) within tile (0, 0): bit 3*8+2 = 26.
+        let c = Vec2::new(2.0 * 8.0 + 4.0, 3.0 * 8.0 + 4.0);
+        let bm = subtile_bitmap(&g, 0, 0, c, 2.0);
+        assert_eq!(bm, 1u64 << 26);
+    }
+
+    #[test]
+    fn subtile_bitmap_big_splat_covers_tile() {
+        let g = TileGrid::new(64, 64, 64);
+        let bm = subtile_bitmap(&g, 0, 0, Vec2::new(32.0, 32.0), 64.0);
+        assert_eq!(bm, u64::MAX);
+    }
+
+    #[test]
+    fn subtile_bitmap_outside_is_zero() {
+        let g = TileGrid::new(128, 128, 64);
+        let bm = subtile_bitmap(&g, 0, 0, Vec2::new(120.0, 120.0), 4.0);
+        assert_eq!(bm, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tile_size_rejected() {
+        let _ = TileGrid::new(100, 100, 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Pinhole camera model and target resolutions.
+
+use neo_math::{Mat3, Mat4, Quat, Vec2, Vec3};
+
+/// Render resolutions evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// 1280×720.
+    Hd,
+    /// 1920×1080.
+    Fhd,
+    /// 2560×1440 (the paper's AR/VR target).
+    Qhd,
+    /// 3840×2160 (capture resolution of the source sequences).
+    Uhd,
+    /// Arbitrary dimensions, e.g. reduced sizes for quality tests.
+    Custom(u32, u32),
+}
+
+impl Resolution {
+    /// Pixel dimensions `(width, height)`.
+    pub fn dims(self) -> (u32, u32) {
+        match self {
+            Resolution::Hd => (1280, 720),
+            Resolution::Fhd => (1920, 1080),
+            Resolution::Qhd => (2560, 1440),
+            Resolution::Uhd => (3840, 2160),
+            Resolution::Custom(w, h) => (w, h),
+        }
+    }
+
+    /// Total pixel count.
+    pub fn pixels(self) -> u64 {
+        let (w, h) = self.dims();
+        w as u64 * h as u64
+    }
+
+    /// Short label used in experiment output ("HD", "FHD", ...).
+    pub fn label(self) -> String {
+        match self {
+            Resolution::Hd => "HD".to_owned(),
+            Resolution::Fhd => "FHD".to_owned(),
+            Resolution::Qhd => "QHD".to_owned(),
+            Resolution::Uhd => "UHD".to_owned(),
+            Resolution::Custom(w, h) => format!("{w}x{h}"),
+        }
+    }
+}
+
+/// A pinhole camera with a rigid pose.
+///
+/// Conventions follow 3DGS/COLMAP: camera space is right-handed with +X
+/// right, +Y down, **+Z forward**; depth is the camera-space Z coordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Camera position in world space.
+    pub position: Vec3,
+    /// Rotation from camera space to world space.
+    pub rotation: Quat,
+    /// Vertical field of view in radians.
+    pub fov_y: f32,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Near clipping plane (camera-space Z).
+    pub near: f32,
+    /// Far clipping plane (camera-space Z).
+    pub far: f32,
+}
+
+impl Camera {
+    /// Creates a camera at `position` looking at `target`.
+    ///
+    /// `fov_y` is in radians. Near/far default to `0.1` / `1000.0` and can
+    /// be adjusted via the public fields.
+    pub fn look_at(position: Vec3, target: Vec3, up: Vec3, fov_y: f32, res: Resolution) -> Self {
+        let forward = (target - position).normalized();
+        // Camera +Y is down: build the look rotation with a down-flipped up
+        // hint so projected images are not vertically mirrored.
+        let rotation = Quat::look_rotation(forward, -up);
+        let (width, height) = res.dims();
+        Self { position, rotation, fov_y, width, height, near: 0.1, far: 1000.0 }
+    }
+
+    /// Aspect ratio (width / height).
+    pub fn aspect(&self) -> f32 {
+        self.width as f32 / self.height as f32
+    }
+
+    /// Focal lengths in pixels `(fx, fy)`.
+    pub fn focal(&self) -> Vec2 {
+        let fy = self.height as f32 / (2.0 * (self.fov_y * 0.5).tan());
+        // Square pixels: fx = fy.
+        Vec2::new(fy, fy)
+    }
+
+    /// Horizontal field of view in radians.
+    pub fn fov_x(&self) -> f32 {
+        2.0 * ((self.fov_y * 0.5).tan() * self.aspect()).atan()
+    }
+
+    /// World-to-camera (view) matrix.
+    pub fn view_matrix(&self) -> Mat4 {
+        Mat4::from_rotation_translation(self.rotation.to_mat3(), self.position).inverse_rigid()
+    }
+
+    /// Camera-to-world rotation as a matrix.
+    pub fn rotation_matrix(&self) -> Mat3 {
+        self.rotation.to_mat3()
+    }
+
+    /// Transforms a world point into camera space (depth = result.z).
+    pub fn world_to_camera(&self, p: Vec3) -> Vec3 {
+        self.view_matrix().transform_point(p)
+    }
+
+    /// Projects a camera-space point to pixel coordinates.
+    ///
+    /// Returns `None` when the point is behind the near plane.
+    pub fn camera_to_pixel(&self, p_cam: Vec3) -> Option<Vec2> {
+        if p_cam.z < self.near {
+            return None;
+        }
+        let f = self.focal();
+        let cx = self.width as f32 * 0.5;
+        let cy = self.height as f32 * 0.5;
+        Some(Vec2::new(
+            f.x * p_cam.x / p_cam.z + cx,
+            f.y * p_cam.y / p_cam.z + cy,
+        ))
+    }
+
+    /// Projects a world point to pixel coordinates, if in front of camera.
+    pub fn project(&self, p_world: Vec3) -> Option<Vec2> {
+        self.camera_to_pixel(self.world_to_camera(p_world))
+    }
+
+    /// Unit view direction from the camera towards a world point, used for
+    /// SH color evaluation.
+    pub fn view_direction(&self, p_world: Vec3) -> Vec3 {
+        (p_world - self.position).normalized()
+    }
+
+    /// Returns the same camera with a different target resolution.
+    pub fn with_resolution(mut self, res: Resolution) -> Self {
+        let (w, h) = res.dims();
+        self.width = w;
+        self.height = h;
+        self
+    }
+}
+
+impl Default for Camera {
+    fn default() -> Self {
+        Camera::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            std::f32::consts::FRAC_PI_3,
+            Resolution::Hd,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolutions_match_paper() {
+        assert_eq!(Resolution::Hd.dims(), (1280, 720));
+        assert_eq!(Resolution::Fhd.dims(), (1920, 1080));
+        assert_eq!(Resolution::Qhd.dims(), (2560, 1440));
+        assert_eq!(Resolution::Qhd.pixels(), 2560 * 1440);
+        assert_eq!(Resolution::Custom(100, 50).label(), "100x50");
+    }
+
+    #[test]
+    fn look_at_centers_target() {
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            1.0,
+            Resolution::Hd,
+        );
+        let px = cam.project(Vec3::ZERO).unwrap();
+        assert!((px.x - 640.0).abs() < 1e-2, "px = {px}");
+        assert!((px.y - 360.0).abs() < 1e-2, "px = {px}");
+        // Depth equals distance along the optical axis.
+        assert!((cam.world_to_camera(Vec3::ZERO).z - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn point_behind_camera_is_rejected() {
+        let cam = Camera::default();
+        assert!(cam.project(Vec3::new(0.0, 0.0, -10.0)).is_none());
+    }
+
+    #[test]
+    fn image_plane_orientation() {
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            1.0,
+            Resolution::Hd,
+        );
+        // In a Y-up right-handed world viewed along +Z, the camera x axis
+        // is -X world (proper rotation, no mirroring): world +X lands left
+        // of center.
+        let px = cam.project(Vec3::new(1.0, 0.0, 0.0)).unwrap();
+        assert!(px.x < 640.0, "x = {}", px.x);
+        // World +Y (up) projects *above* center => smaller pixel y.
+        let upper = cam.project(Vec3::new(0.0, 1.0, 0.0)).unwrap();
+        assert!(upper.y < 360.0, "y = {}", upper.y);
+        // The basis is a proper rotation (determinant +1).
+        assert!((cam.rotation_matrix().determinant() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn focal_follows_fov() {
+        let cam = Camera::look_at(
+            Vec3::ZERO,
+            Vec3::Z,
+            Vec3::Y,
+            std::f32::consts::FRAC_PI_2,
+            Resolution::Custom(100, 100),
+        );
+        // tan(45°) = 1 => fy = h/2.
+        assert!((cam.focal().y - 50.0).abs() < 1e-3);
+        assert!((cam.fov_x() - std::f32::consts::FRAC_PI_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn view_matrix_roundtrip() {
+        let cam = Camera::look_at(
+            Vec3::new(3.0, 2.0, -4.0),
+            Vec3::new(0.5, 0.0, 1.0),
+            Vec3::Y,
+            1.0,
+            Resolution::Hd,
+        );
+        let p = Vec3::new(1.0, -2.0, 3.0);
+        let cam_space = cam.world_to_camera(p);
+        let back = Mat4::from_rotation_translation(cam.rotation.to_mat3(), cam.position)
+            .transform_point(cam_space);
+        assert!((back - p).length() < 1e-3);
+    }
+}

@@ -1,0 +1,161 @@
+//! A collection of Gaussians forming a scene.
+
+use crate::Gaussian;
+use neo_math::Aabb;
+
+/// An ordered collection of [`Gaussian`]s; Gaussian IDs used throughout the
+/// pipeline are indices into this collection.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GaussianCloud {
+    gaussians: Vec<Gaussian>,
+}
+
+impl GaussianCloud {
+    /// Creates an empty cloud.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a cloud from a vector of Gaussians.
+    pub fn from_gaussians(gaussians: Vec<Gaussian>) -> Self {
+        Self { gaussians }
+    }
+
+    /// Number of Gaussians.
+    pub fn len(&self) -> usize {
+        self.gaussians.len()
+    }
+
+    /// True when the cloud holds no Gaussians.
+    pub fn is_empty(&self) -> bool {
+        self.gaussians.is_empty()
+    }
+
+    /// Immutable view of the Gaussians.
+    pub fn gaussians(&self) -> &[Gaussian] {
+        &self.gaussians
+    }
+
+    /// Gaussian by ID, if in range.
+    pub fn get(&self, id: u32) -> Option<&Gaussian> {
+        self.gaussians.get(id as usize)
+    }
+
+    /// Appends a Gaussian, returning its ID.
+    pub fn push(&mut self, g: Gaussian) -> u32 {
+        let id = self.gaussians.len() as u32;
+        self.gaussians.push(g);
+        id
+    }
+
+    /// Iterates over `(id, gaussian)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Gaussian)> {
+        self.gaussians.iter().enumerate().map(|(i, g)| (i as u32, g))
+    }
+
+    /// Tight bounds over all means (ignores Gaussian extents).
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_points(self.gaussians.iter().map(|g| g.mean))
+    }
+
+    /// Bounds inflated by each Gaussian's 3σ radius.
+    pub fn bounds_inflated(&self) -> Aabb {
+        self.gaussians.iter().fold(Aabb::EMPTY, |acc, g| {
+            acc.union(Aabb::from_center_half_extent(
+                g.mean,
+                neo_math::Vec3::splat(g.bounding_radius()),
+            ))
+        })
+    }
+
+    /// Size in bytes of one Gaussian's *feature record* as stored in the
+    /// off-chip feature table (position + scale + rotation + opacity + SH).
+    ///
+    /// This is the unit the DRAM-traffic model charges for feature fetches.
+    pub fn feature_record_bytes(&self) -> usize {
+        let sh_bytes = self
+            .gaussians
+            .first()
+            .map(|g| g.sh.byte_size())
+            .unwrap_or(12);
+        // mean (12) + scale (12) + rotation (16) + opacity (4) + SH
+        12 + 12 + 16 + 4 + sh_bytes
+    }
+
+    /// Drops Gaussians failing [`Gaussian::is_valid`], returning how many
+    /// were removed. IDs are reassigned (they are positional).
+    pub fn retain_valid(&mut self) -> usize {
+        let before = self.gaussians.len();
+        self.gaussians.retain(Gaussian::is_valid);
+        before - self.gaussians.len()
+    }
+}
+
+impl FromIterator<Gaussian> for GaussianCloud {
+    fn from_iter<T: IntoIterator<Item = Gaussian>>(iter: T) -> Self {
+        Self { gaussians: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Gaussian> for GaussianCloud {
+    fn extend<T: IntoIterator<Item = Gaussian>>(&mut self, iter: T) {
+        self.gaussians.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_math::Vec3;
+
+    fn probe(x: f32) -> Gaussian {
+        Gaussian::isotropic(Vec3::new(x, 0.0, 0.0), 0.1, 0.5, Vec3::ONE)
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut c = GaussianCloud::new();
+        assert_eq!(c.push(probe(0.0)), 0);
+        assert_eq!(c.push(probe(1.0)), 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1).unwrap().mean.x, 1.0);
+        assert!(c.get(2).is_none());
+    }
+
+    #[test]
+    fn bounds_cover_means() {
+        let c: GaussianCloud = (0..5).map(|i| probe(i as f32)).collect();
+        let b = c.bounds();
+        assert_eq!(b.min.x, 0.0);
+        assert_eq!(b.max.x, 4.0);
+        let bi = c.bounds_inflated();
+        assert!(bi.min.x < b.min.x && bi.max.x > b.max.x);
+    }
+
+    #[test]
+    fn retain_valid_drops_bad_entries() {
+        let mut c = GaussianCloud::new();
+        c.push(probe(0.0));
+        let mut bad = probe(1.0);
+        bad.opacity = 2.0;
+        c.push(bad);
+        assert_eq!(c.retain_valid(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn feature_record_bytes_reflects_sh_degree() {
+        let c: GaussianCloud = (0..1).map(|i| probe(i as f32)).collect();
+        // degree-0 SH: 12 bytes; total = 44 + 12.
+        assert_eq!(c.feature_record_bytes(), 56);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut c = GaussianCloud::new();
+        c.extend((0..3).map(|i| probe(i as f32)));
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.iter().count(), 3);
+    }
+}

@@ -1,0 +1,209 @@
+//! Compact binary (de)serialization of Gaussian clouds.
+//!
+//! The format (`NEOG` v1) is a dense little-endian record stream, close to
+//! how a renderer would lay out its off-chip feature table:
+//!
+//! ```text
+//! magic   [u8; 4] = "NEOG"
+//! version u32     = 1
+//! count   u32
+//! degree  u8        (SH degree, 0..=3, uniform across the cloud)
+//! records count × { mean f32×3, scale f32×3, rot f32×4, opacity f32,
+//!                   sh f32×(3·basis_count(degree)) }
+//! ```
+
+use crate::{Gaussian, GaussianCloud};
+use bytes::{Buf, BufMut};
+use neo_math::sh::{basis_count, ShCoefficients, MAX_COEFFS};
+use neo_math::{Quat, Vec3};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"NEOG";
+const VERSION: u32 = 1;
+
+/// Errors produced when decoding a serialized cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeCloudError {
+    /// The buffer does not start with the `NEOG` magic.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u32),
+    /// The SH degree field is out of range.
+    BadDegree(u8),
+    /// The buffer ended before all records were read.
+    Truncated,
+}
+
+impl fmt::Display for DecodeCloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeCloudError::BadMagic => write!(f, "buffer does not contain a NEOG cloud"),
+            DecodeCloudError::UnsupportedVersion(v) => {
+                write!(f, "unsupported NEOG version {v}")
+            }
+            DecodeCloudError::BadDegree(d) => write!(f, "invalid SH degree {d}"),
+            DecodeCloudError::Truncated => write!(f, "unexpected end of buffer"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeCloudError {}
+
+/// Serializes a cloud to bytes.
+///
+/// Every Gaussian is written with the degree of the *first* Gaussian; mixed
+/// degrees are homogenized by zero-padding or truncation.
+///
+/// ```
+/// use neo_scene::{io, GaussianCloud, Gaussian};
+/// use neo_math::Vec3;
+///
+/// let mut cloud = GaussianCloud::new();
+/// cloud.push(Gaussian::isotropic(Vec3::ZERO, 0.1, 0.9, Vec3::ONE));
+/// let bytes = io::encode_cloud(&cloud);
+/// let back = io::decode_cloud(&bytes)?;
+/// assert_eq!(back.len(), 1);
+/// # Ok::<(), io::DecodeCloudError>(())
+/// ```
+pub fn encode_cloud(cloud: &GaussianCloud) -> Vec<u8> {
+    let degree = cloud
+        .gaussians()
+        .first()
+        .map(|g| g.sh.degree)
+        .unwrap_or(0);
+    let n_coeffs = basis_count(degree);
+    let record = (3 + 3 + 4 + 1 + 3 * n_coeffs) * 4;
+    let mut out = Vec::with_capacity(13 + cloud.len() * record);
+
+    out.put_slice(MAGIC);
+    out.put_u32_le(VERSION);
+    out.put_u32_le(cloud.len() as u32);
+    out.put_u8(degree as u8);
+
+    for (_, g) in cloud.iter() {
+        for v in [g.mean.x, g.mean.y, g.mean.z, g.scale.x, g.scale.y, g.scale.z] {
+            out.put_f32_le(v);
+        }
+        for v in [g.rotation.w, g.rotation.x, g.rotation.y, g.rotation.z] {
+            out.put_f32_le(v);
+        }
+        out.put_f32_le(g.opacity);
+        for c in 0..3 {
+            for i in 0..n_coeffs {
+                out.put_f32_le(g.sh.coeffs[c].get(i).copied().unwrap_or(0.0));
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes a cloud previously produced by [`encode_cloud`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeCloudError`] when the header is malformed or the
+/// buffer is shorter than the declared record count requires.
+pub fn decode_cloud(mut buf: &[u8]) -> Result<GaussianCloud, DecodeCloudError> {
+    if buf.remaining() < 13 {
+        return Err(DecodeCloudError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeCloudError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeCloudError::UnsupportedVersion(version));
+    }
+    let count = buf.get_u32_le() as usize;
+    let degree = buf.get_u8();
+    if degree > 3 {
+        return Err(DecodeCloudError::BadDegree(degree));
+    }
+    let n_coeffs = basis_count(degree as usize);
+    let record = (3 + 3 + 4 + 1 + 3 * n_coeffs) * 4;
+    if buf.remaining() < count * record {
+        return Err(DecodeCloudError::Truncated);
+    }
+
+    let mut cloud = GaussianCloud::new();
+    for _ in 0..count {
+        let mean = Vec3::new(buf.get_f32_le(), buf.get_f32_le(), buf.get_f32_le());
+        let scale = Vec3::new(buf.get_f32_le(), buf.get_f32_le(), buf.get_f32_le());
+        let rotation = Quat::new(
+            buf.get_f32_le(),
+            buf.get_f32_le(),
+            buf.get_f32_le(),
+            buf.get_f32_le(),
+        );
+        let opacity = buf.get_f32_le();
+        let mut coeffs = [[0.0f32; MAX_COEFFS]; 3];
+        for coeffs_c in coeffs.iter_mut() {
+            for coeff in coeffs_c.iter_mut().take(n_coeffs) {
+                *coeff = buf.get_f32_le();
+            }
+        }
+        cloud.push(Gaussian {
+            mean,
+            scale,
+            rotation,
+            opacity,
+            sh: ShCoefficients { coeffs, degree: degree as usize },
+        });
+    }
+    Ok(cloud)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthParams;
+
+    #[test]
+    fn roundtrip_preserves_cloud() {
+        let cloud = SynthParams { gaussian_count: 200, ..Default::default() }.build();
+        let bytes = encode_cloud(&cloud);
+        let back = decode_cloud(&bytes).unwrap();
+        assert_eq!(cloud, back);
+    }
+
+    #[test]
+    fn roundtrip_empty_cloud() {
+        let cloud = GaussianCloud::new();
+        let back = decode_cloud(&encode_cloud(&cloud)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_cloud(&GaussianCloud::new());
+        bytes[0] = b'X';
+        assert_eq!(decode_cloud(&bytes), Err(DecodeCloudError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let cloud = SynthParams { gaussian_count: 10, ..Default::default() }.build();
+        let bytes = encode_cloud(&cloud);
+        let cut = &bytes[..bytes.len() - 5];
+        assert_eq!(decode_cloud(cut), Err(DecodeCloudError::Truncated));
+        assert_eq!(decode_cloud(&bytes[..4]), Err(DecodeCloudError::Truncated));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_cloud(&GaussianCloud::new());
+        bytes[4] = 9;
+        assert!(matches!(
+            decode_cloud(&bytes),
+            Err(DecodeCloudError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DecodeCloudError::UnsupportedVersion(3);
+        assert!(e.to_string().contains('3'));
+    }
+}

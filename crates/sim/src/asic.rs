@@ -1,0 +1,240 @@
+//! Area/power component model reproducing Tables 3 and 4.
+//!
+//! The paper synthesizes Neo's RTL with Synopsys Design Compiler under the
+//! ASAP7 7 nm library, measures buffers with CACTI at 22 nm, and scales to
+//! 7 nm with DeepScaleTool. We reproduce the *component model*: per-unit
+//! area/power values seeded from the paper's Table 4, composable over unit
+//! counts, plus a DeepScaleTool-style technology-scaling helper.
+
+/// One hardware component's silicon cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSpec {
+    /// Component name as listed in Table 4.
+    pub name: &'static str,
+    /// Engine the component belongs to.
+    pub engine: Engine,
+    /// Total area in mm² at 7 nm (all instances combined).
+    pub area_mm2: f64,
+    /// Total power in mW at 1 GHz (all instances combined).
+    pub power_mw: f64,
+}
+
+/// The three engines of the Neo accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Frustum culling, feature extraction, duplication.
+    Preprocessing,
+    /// Reuse-and-update sorting (BSU + MSU+ + buffers).
+    Sorting,
+    /// Subtile rasterization (SCU + ITU + buffers).
+    Rasterization,
+}
+
+impl Engine {
+    /// All engines in pipeline order.
+    pub const ALL: [Engine; 3] =
+        [Engine::Preprocessing, Engine::Sorting, Engine::Rasterization];
+
+    /// Engine name as printed in Table 4.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Preprocessing => "Preprocessing Engine",
+            Engine::Sorting => "Sorting Engine",
+            Engine::Rasterization => "Rasterization Engine",
+        }
+    }
+}
+
+/// Neo's component inventory (Table 4, 7 nm, 1 GHz).
+pub fn neo_components() -> Vec<ComponentSpec> {
+    vec![
+        ComponentSpec {
+            name: "Preprocessing Engine",
+            engine: Engine::Preprocessing,
+            area_mm2: 0.026,
+            power_mw: 194.9,
+        },
+        ComponentSpec {
+            name: "Merge Sort Unit+",
+            engine: Engine::Sorting,
+            area_mm2: 0.005,
+            power_mw: 12.4,
+        },
+        ComponentSpec {
+            name: "Bitonic Sort Unit",
+            engine: Engine::Sorting,
+            area_mm2: 0.008,
+            power_mw: 75.0,
+        },
+        ComponentSpec {
+            name: "Buffers + others (Sorting)",
+            engine: Engine::Sorting,
+            area_mm2: 0.040,
+            power_mw: 71.6,
+        },
+        ComponentSpec {
+            name: "Subtile Compute Unit",
+            engine: Engine::Rasterization,
+            area_mm2: 0.228,
+            power_mw: 375.0,
+        },
+        ComponentSpec {
+            name: "Intersection Test Unit",
+            engine: Engine::Rasterization,
+            area_mm2: 0.030,
+            power_mw: 58.7,
+        },
+        ComponentSpec {
+            name: "Buffers + others (Raster)",
+            engine: Engine::Rasterization,
+            area_mm2: 0.050,
+            power_mw: 10.2,
+        },
+    ]
+}
+
+/// Total area/power of a component list.
+pub fn totals(components: &[ComponentSpec]) -> (f64, f64) {
+    components
+        .iter()
+        .fold((0.0, 0.0), |(a, p), c| (a + c.area_mm2, p + c.power_mw))
+}
+
+/// Per-engine subtotal.
+pub fn engine_totals(components: &[ComponentSpec], engine: Engine) -> (f64, f64) {
+    components
+        .iter()
+        .filter(|c| c.engine == engine)
+        .fold((0.0, 0.0), |(a, p), c| (a + c.area_mm2, p + c.power_mw))
+}
+
+/// GSCore's evaluated totals at 7 nm / 1 GHz (Table 3, scaled from the
+/// original 28 nm synthesis with DeepScaleTool).
+pub fn gscore_totals() -> (f64, f64) {
+    (0.417, 719.9)
+}
+
+/// DeepScaleTool-style technology scaling of area between process nodes
+/// (areas scale roughly with the square of the contacted gate pitch;
+/// exponent ≈ 1.9 empirically across 28 → 7 nm).
+///
+/// # Panics
+///
+/// Panics when either node is non-positive.
+pub fn scale_area(area_mm2: f64, from_nm: f64, to_nm: f64) -> f64 {
+    assert!(from_nm > 0.0 && to_nm > 0.0, "process nodes must be positive");
+    area_mm2 * (to_nm / from_nm).powf(1.9)
+}
+
+/// Per-frame energy estimate in millijoules: each engine burns its Table 4
+/// power for the duration of its pipeline stage, plus DRAM access energy
+/// at `pj_per_byte` (LPDDR4 ≈ 20 pJ/byte including I/O).
+///
+/// `stage_seconds` are the (feature-extraction, sorting, rasterization)
+/// stage latencies; `stage_bytes` the corresponding DRAM traffic.
+pub fn frame_energy_mj(
+    stage_seconds: [f64; 3],
+    stage_bytes: [u64; 3],
+    pj_per_byte: f64,
+) -> f64 {
+    let comps = neo_components();
+    let engine_power_w = [
+        engine_totals(&comps, Engine::Preprocessing).1 / 1e3,
+        engine_totals(&comps, Engine::Sorting).1 / 1e3,
+        engine_totals(&comps, Engine::Rasterization).1 / 1e3,
+    ];
+    let compute_j: f64 = stage_seconds
+        .iter()
+        .zip(engine_power_w)
+        .map(|(s, p)| s * p)
+        .sum();
+    let dram_j: f64 =
+        stage_bytes.iter().map(|&b| b as f64 * pj_per_byte * 1e-12).sum();
+    (compute_j + dram_j) * 1e3
+}
+
+/// Default LPDDR4 DRAM access energy (pJ per byte, device + I/O).
+pub const LPDDR4_PJ_PER_BYTE: f64 = 20.0;
+
+/// Area/power of Neo's *additional* hardware relative to GSCore-style
+/// units: the MSU+ and the ITUs (the paper reports 9.04% of area and
+/// 8.91% of power).
+pub fn neo_additional_hardware() -> (f64, f64) {
+    let comps = neo_components();
+    comps
+        .iter()
+        .filter(|c| c.name == "Merge Sort Unit+" || c.name == "Intersection Test Unit")
+        .fold((0.0, 0.0), |(a, p), c| (a + c.area_mm2, p + c.power_mw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table3() {
+        let (area, power) = totals(&neo_components());
+        assert!((area - 0.387).abs() < 1e-9, "area {area}");
+        assert!((power - 797.8).abs() < 1e-6, "power {power}");
+    }
+
+    #[test]
+    fn engine_subtotals_match_table4() {
+        let comps = neo_components();
+        let (sa, sp) = engine_totals(&comps, Engine::Sorting);
+        assert!((sa - 0.053).abs() < 1e-9);
+        assert!((sp - 159.0).abs() < 1e-6);
+        let (ra, rp) = engine_totals(&comps, Engine::Rasterization);
+        assert!((ra - 0.308).abs() < 1e-9);
+        assert!((rp - 443.9).abs() < 1e-6);
+        let (pa, pp) = engine_totals(&comps, Engine::Preprocessing);
+        assert!((pa - 0.026).abs() < 1e-9);
+        assert!((pp - 194.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neo_smaller_than_gscore_slightly_more_power() {
+        let (na, np) = totals(&neo_components());
+        let (ga, gp) = gscore_totals();
+        assert!(na < ga, "Neo area {na} must be below GSCore {ga}");
+        assert!(np > gp, "Neo power {np} slightly above GSCore {gp}");
+    }
+
+    #[test]
+    fn additional_hardware_is_small() {
+        let (area, power) = neo_additional_hardware();
+        let (ta, tp) = totals(&neo_components());
+        let area_frac = area / ta * 100.0;
+        let power_frac = power / tp * 100.0;
+        // Paper: 9.04% area, 8.91% power.
+        assert!((area_frac - 9.04).abs() < 0.5, "area frac {area_frac:.2}%");
+        assert!((power_frac - 8.91).abs() < 0.5, "power frac {power_frac:.2}%");
+    }
+
+    #[test]
+    fn area_scaling_shrinks_with_node() {
+        let scaled = scale_area(1.0, 28.0, 7.0);
+        assert!(scaled < 0.1 && scaled > 0.01, "28→7 nm ≈ 14× shrink, got {scaled}");
+        // Identity scaling.
+        assert!((scale_area(2.5, 7.0, 7.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "process nodes")]
+    fn invalid_node_rejected() {
+        let _ = scale_area(1.0, 0.0, 7.0);
+    }
+
+    #[test]
+    fn frame_energy_combines_compute_and_dram() {
+        // 10 ms in each stage, no traffic: energy = 10ms × total power.
+        let compute_only = frame_energy_mj([0.01; 3], [0, 0, 0], LPDDR4_PJ_PER_BYTE);
+        let (_, total_mw) = totals(&neo_components());
+        assert!((compute_only - 0.01 * total_mw).abs() < 1e-6);
+        // Adding traffic adds energy.
+        let with_dram = frame_energy_mj([0.01; 3], [1 << 30, 0, 0], LPDDR4_PJ_PER_BYTE);
+        assert!(with_dram > compute_only);
+        // 1 GiB at 20 pJ/B ≈ 21.5 mJ.
+        assert!((with_dram - compute_only - 21.47).abs() < 0.1);
+    }
+}

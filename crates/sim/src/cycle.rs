@@ -1,0 +1,313 @@
+//! Cycle-level, event-driven model of the Sorting Engine.
+//!
+//! The analytic device models in [`crate::devices`] charge each stage
+//! `max(compute, traffic/bandwidth)`. This module checks that abstraction
+//! against a finer model: 16 Sorting Cores with double-buffered I/O
+//! contending for one DRAM channel, processing real per-tile chunk jobs.
+//! Figure 4's core finding — more cores don't help when the channel is
+//! saturated — falls out of the queueing behaviour here rather than being
+//! baked into a formula.
+//!
+//! Timing parameters follow the microarchitecture of Section 5.3: a chunk
+//! is loaded into the input buffer, cut into 16-entry sub-chunks for the
+//! BSU (a 10-stage pipelined network), merged by the MSU+ (16 entries per
+//! cycle per merge level), and written back from the output buffer while
+//! the next chunk's sort proceeds.
+
+use crate::dram::DramModel;
+use neo_sort::bitonic::network_stages;
+use neo_sort::ENTRY_BYTES;
+
+/// One chunk of sorting work (load → sort → store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkJob {
+    /// Entries in the chunk.
+    pub entries: u32,
+}
+
+impl ChunkJob {
+    /// Sort latency in core cycles: BSU fill + pipelined drain, plus one
+    /// 16-wide MSU+ pass per merge level.
+    pub fn sort_cycles(&self) -> u64 {
+        let n = self.entries as u64;
+        if n <= 1 {
+            return 1;
+        }
+        let sub_chunks = n.div_ceil(16);
+        let bsu = network_stages(16) as u64 + sub_chunks; // fill + drain
+        let merge_levels = 64 - sub_chunks.saturating_sub(1).leading_zeros() as u64;
+        let msu = (n * merge_levels).div_ceil(16);
+        bsu + msu
+    }
+
+    /// Bytes moved per direction (load or store).
+    pub fn bytes(&self) -> u64 {
+        self.entries as u64 * ENTRY_BYTES as u64
+    }
+}
+
+/// Builds the chunk-job list for a set of per-tile table lengths.
+pub fn jobs_from_tables(table_lens: &[u32], chunk_size: u32) -> Vec<ChunkJob> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let mut jobs = Vec::new();
+    for &len in table_lens {
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(chunk_size);
+            jobs.push(ChunkJob { entries: take });
+            remaining -= take;
+        }
+    }
+    jobs
+}
+
+/// A single shared DRAM channel serving requests in arrival order.
+#[derive(Debug, Clone)]
+struct Channel {
+    bytes_per_cycle: f64,
+    busy_until: u64,
+}
+
+impl Channel {
+    fn new(dram: &DramModel, clock_hz: f64) -> Self {
+        Self {
+            bytes_per_cycle: dram.effective_bandwidth() / clock_hz,
+            busy_until: 0,
+        }
+    }
+
+    /// Schedules a transfer requested at `cycle`; returns its end cycle.
+    fn transfer(&mut self, cycle: u64, bytes: u64) -> u64 {
+        let start = self.busy_until.max(cycle);
+        let duration = (bytes as f64 / self.bytes_per_cycle).ceil() as u64;
+        self.busy_until = start + duration.max(1);
+        self.busy_until
+    }
+}
+
+/// Outcome of a cycle-level Sorting Engine run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleReport {
+    /// Total cycles until the last writeback completes.
+    pub total_cycles: u64,
+    /// Sum of core compute cycles across all jobs.
+    pub compute_cycles: u64,
+    /// Total DRAM bytes moved.
+    pub bytes: u64,
+    /// Number of jobs executed.
+    pub jobs: usize,
+}
+
+impl CycleReport {
+    /// Wall-clock seconds at `clock_hz`.
+    pub fn seconds(&self, clock_hz: f64) -> f64 {
+        self.total_cycles as f64 / clock_hz
+    }
+
+    /// Mean core utilization (compute cycles / (cores × total)).
+    pub fn utilization(&self, cores: usize) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.compute_cycles as f64 / (self.total_cycles as f64 * cores as f64)
+    }
+}
+
+/// Simulates the Sorting Engine executing `jobs` on `cores` cores sharing
+/// one DRAM channel at 1 GHz-normalized cycles.
+///
+/// Each core double-buffers: the load of its next chunk may overlap the
+/// sort of the current one, and stores are issued asynchronously; the
+/// single channel is the serialization point.
+///
+/// # Panics
+///
+/// Panics when `cores` is zero.
+pub fn simulate_sorting_engine(
+    jobs: &[ChunkJob],
+    cores: usize,
+    dram: &DramModel,
+    clock_hz: f64,
+) -> CycleReport {
+    assert!(cores > 0, "core count must be positive");
+    let mut channel = Channel::new(dram, clock_hz);
+    let mut report =
+        CycleReport { total_cycles: 0, compute_cycles: 0, bytes: 0, jobs: jobs.len() };
+    if jobs.is_empty() {
+        return report;
+    }
+
+    // Round-robin static assignment (the Sorting Engine stripes tiles
+    // across cores).
+    let mut queues: Vec<Vec<ChunkJob>> = vec![Vec::new(); cores];
+    for (i, job) in jobs.iter().enumerate() {
+        queues[i % cores].push(*job);
+    }
+
+    // Per-core progress. Each job issues two memory ops in order
+    // (load, store) with precedence:
+    //   request(load_j)  = sort_start(j-1)   (input buffer frees then)
+    //   sort_start(j)    = max(done(load_j), sort_done(j-1))
+    //   request(store_j) = sort_done(j)
+    #[derive(Clone, Copy)]
+    struct CoreState {
+        job: usize,
+        // false = next op is the load of `job`, true = its store.
+        store_pending: bool,
+        sort_start_prev: u64,
+        sort_done_prev: u64,
+        // Set when the pending store's request time is known.
+        store_request: u64,
+    }
+    let mut state = vec![
+        CoreState {
+            job: 0,
+            store_pending: false,
+            sort_start_prev: 0,
+            sort_done_prev: 0,
+            store_request: 0,
+        };
+        cores
+    ];
+
+    loop {
+        // Frontier: the next memory op of each unfinished core with its
+        // request cycle; serve the earliest request first (FIFO in time).
+        let mut best: Option<(u64, usize)> = None;
+        for (c, st) in state.iter().enumerate() {
+            if st.job >= queues[c].len() {
+                continue;
+            }
+            let request = if st.store_pending {
+                st.store_request
+            } else {
+                // Load of job `st.job` may issue once the previous sort
+                // started (double buffering frees the input buffer).
+                st.sort_start_prev
+            };
+            if best.map(|(r, _)| request < r).unwrap_or(true) {
+                best = Some((request, c));
+            }
+        }
+        let Some((request, c)) = best else { break };
+        let job = queues[c][state[c].job];
+
+        if !state[c].store_pending {
+            let load_done = channel.transfer(request, job.bytes());
+            let sort_start = load_done.max(state[c].sort_done_prev);
+            let sort_done = sort_start + job.sort_cycles();
+            state[c].sort_start_prev = sort_start;
+            state[c].sort_done_prev = sort_done;
+            state[c].store_request = sort_done;
+            state[c].store_pending = true;
+            report.compute_cycles += job.sort_cycles();
+        } else {
+            let store_done = channel.transfer(request, job.bytes());
+            report.total_cycles = report.total_cycles.max(store_done);
+            report.bytes += 2 * job.bytes();
+            state[c].store_pending = false;
+            state[c].job += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_tables(tiles: usize, len: u32) -> Vec<u32> {
+        vec![len; tiles]
+    }
+
+    #[test]
+    fn jobs_split_tables_into_chunks() {
+        let jobs = jobs_from_tables(&[600, 100, 0], 256);
+        let sizes: Vec<u32> = jobs.iter().map(|j| j.entries).collect();
+        assert_eq!(sizes, vec![256, 256, 88, 100]);
+    }
+
+    #[test]
+    fn single_job_latency_is_load_sort_store() {
+        let dram = DramModel::new(64.0, 1.0, 64); // 64 B/cycle at 1 GHz
+        let job = ChunkJob { entries: 256 };
+        let r = simulate_sorting_engine(&[job], 1, &dram, 1e9);
+        let transfer = (job.bytes() as f64 / 64.0).ceil() as u64;
+        assert_eq!(r.total_cycles, 2 * transfer + job.sort_cycles());
+        assert_eq!(r.bytes, 2 * job.bytes());
+    }
+
+    #[test]
+    fn saturated_channel_caps_throughput() {
+        // Lots of work, narrow channel: runtime ≈ bytes / bandwidth
+        // regardless of core count (the Figure 4 phenomenon).
+        let dram = DramModel::lpddr4_51_2();
+        let jobs = jobs_from_tables(&uniform_tables(920, 8192), 256);
+        let r4 = simulate_sorting_engine(&jobs, 4, &dram, 1e9);
+        let r16 = simulate_sorting_engine(&jobs, 16, &dram, 1e9);
+        let ideal = (r4.bytes as f64 / (dram.effective_bandwidth() / 1e9)) as u64;
+        assert!(
+            (r16.total_cycles as f64) < ideal as f64 * 1.25,
+            "16-core run within 25% of the bandwidth bound: {} vs {ideal}",
+            r16.total_cycles
+        );
+        let core_gain = r4.total_cycles as f64 / r16.total_cycles as f64;
+        assert!(core_gain < 1.3, "cores cannot buy much under saturation: {core_gain:.2}×");
+    }
+
+    #[test]
+    fn wide_channel_scales_with_cores() {
+        // Huge bandwidth: compute-bound, so 4× cores ≈ 3×+ faster.
+        let dram = DramModel::new(4096.0, 1.0, 64);
+        let jobs = jobs_from_tables(&uniform_tables(512, 4096), 256);
+        let r1 = simulate_sorting_engine(&jobs, 1, &dram, 1e9);
+        let r4 = simulate_sorting_engine(&jobs, 4, &dram, 1e9);
+        let gain = r1.total_cycles as f64 / r4.total_cycles as f64;
+        assert!(gain > 3.0, "compute-bound core scaling {gain:.2}×");
+        assert!(r1.utilization(1) > 0.8, "single core should stay busy");
+    }
+
+    #[test]
+    fn agrees_with_analytic_sorting_stage() {
+        // The analytic Neo model charges max(compute, memory) for the DPS
+        // pass; the cycle model must land in the same regime (within 2×).
+        use crate::devices::{Device, NeoDevice};
+        use crate::WorkloadFrame;
+        let w = WorkloadFrame::synthetic_qhd(1_400_000);
+        let neo = NeoDevice::paper_default();
+        let analytic_s = neo.simulate_frame(&w).stages[1].latency_s();
+
+        let mean_table = (w.table_entries / w.occupied_tiles.max(1)) as u32;
+        let tables = uniform_tables(w.occupied_tiles as usize, mean_table);
+        let jobs = jobs_from_tables(&tables, 256);
+        let r = simulate_sorting_engine(&jobs, 16, &neo.dram, neo.clock_hz);
+        let cycle_s = r.seconds(neo.clock_hz);
+        let ratio = cycle_s / analytic_s;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "cycle model {cycle_s:.4}s vs analytic {analytic_s:.4}s (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let dram = DramModel::lpddr4_51_2();
+        let r = simulate_sorting_engine(&[], 16, &dram, 1e9);
+        assert_eq!(r.total_cycles, 0);
+        assert_eq!(r.utilization(16), 0.0);
+    }
+
+    #[test]
+    fn sort_cycles_monotone_in_size() {
+        let small = ChunkJob { entries: 16 }.sort_cycles();
+        let big = ChunkJob { entries: 256 }.sort_cycles();
+        assert!(big > small);
+        assert_eq!(ChunkJob { entries: 0 }.sort_cycles(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn zero_cores_rejected() {
+        let _ = simulate_sorting_engine(&[], 0, &DramModel::lpddr4_51_2(), 1e9);
+    }
+}

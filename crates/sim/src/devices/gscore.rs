@@ -1,0 +1,173 @@
+//! GSCore model (Lee et al., ASPLOS 2024) — the state-of-the-art 3DGS
+//! ASIC the paper compares against.
+//!
+//! GSCore sorts every frame from scratch with *hierarchical sorting*
+//! (coarse depth bucketing + fine per-bucket sorting) and rasterizes with
+//! subtile skipping. Its subtile bitmaps are produced early in the
+//! pipeline and carried through DRAM to rasterization — traffic Neo later
+//! eliminates with on-the-fly ITUs. Per the paper's methodology, the
+//! original 4-core design is scaled to 16 cores for high-resolution
+//! comparisons.
+
+use crate::devices::Device;
+use crate::dram::DramModel;
+use crate::{FrameTiming, StageTiming, WorkloadFrame};
+
+/// GSCore model parameters. Traffic constants are calibrated so the stage
+/// shares match Figure 5 (sorting ≈ 63–69% of DRAM traffic) and the
+/// FPS-vs-resolution curve matches Figure 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GsCore {
+    /// Number of sorting/rasterization core pairs (4 in the original
+    /// design, 16 in the paper's scaled comparison).
+    pub cores: u32,
+    /// DRAM channel.
+    pub dram: DramModel,
+    /// Clock frequency in Hz (1 GHz per Table 3).
+    pub clock_hz: f64,
+    /// Off-chip bytes moved per tile assignment by hierarchical sorting:
+    /// duplicate emission + coarse bucketing pass + fine sorting passes +
+    /// re-spills for buckets exceeding on-chip capacity.
+    pub sort_bytes_per_entry: f64,
+    /// Bytes of 2D features + subtile bitmap read per entry during
+    /// rasterization.
+    pub raster_bytes_per_entry: f64,
+    /// Blend operations per cycle per core (4 subtile units/core, partly
+    /// stalled on bitmap fetches).
+    pub blends_per_cycle_per_core: f64,
+    /// Entries processed per cycle per sorting core.
+    pub sort_entries_per_cycle_per_core: f64,
+    /// Gaussians projected per cycle (4 projection units).
+    pub project_per_cycle: f64,
+}
+
+impl GsCore {
+    /// Creates a GSCore model with `cores` cores and the given DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cores` is zero.
+    pub fn new(cores: u32, dram: DramModel) -> Self {
+        assert!(cores > 0, "core count must be positive");
+        Self {
+            cores,
+            dram,
+            clock_hz: 1e9,
+            sort_bytes_per_entry: 240.0,
+            raster_bytes_per_entry: 40.0,
+            blends_per_cycle_per_core: 3.2,
+            sort_entries_per_cycle_per_core: 1.0,
+            project_per_cycle: 4.0,
+        }
+    }
+
+    /// The paper's Figure 3 configuration: 4 cores, 51.2 GB/s.
+    pub fn paper_default() -> Self {
+        Self::new(4, DramModel::lpddr4_51_2())
+    }
+
+    /// The scaled 16-core configuration used against Neo (Figure 15).
+    pub fn scaled_16() -> Self {
+        Self::new(16, DramModel::lpddr4_51_2())
+    }
+}
+
+impl Device for GsCore {
+    fn name(&self) -> &str {
+        "GSCore"
+    }
+
+    fn simulate_frame(&self, w: &WorkloadFrame) -> FrameTiming {
+        let d = w.duplicates as f64;
+        let cores = self.cores as f64;
+
+        // Feature extraction: stream the feature table once; write 2D
+        // features + subtile bitmaps for every duplicate.
+        let fe_bytes = (w.n_gaussians as f64 * w.feature_bytes as f64) as u64;
+        let fe = StageTiming {
+            compute_s: w.n_projected as f64 / (self.project_per_cycle * self.clock_hz),
+            memory_s: self.dram.transfer_time(fe_bytes),
+            bytes: fe_bytes,
+        };
+
+        // Sorting from scratch: hierarchical multi-pass over all entries.
+        let sort_bytes = (d * self.sort_bytes_per_entry) as u64;
+        let sort = StageTiming {
+            compute_s: d
+                / (self.sort_entries_per_cycle_per_core * cores * self.clock_hz),
+            memory_s: self.dram.transfer_time(sort_bytes),
+            bytes: sort_bytes,
+        };
+
+        // Rasterization: subtile blending; reads 2D features + bitmaps.
+        let raster_bytes = (d * self.raster_bytes_per_entry) as u64 + w.pixels * 4;
+        let raster = StageTiming {
+            compute_s: w.blend_ops as f64
+                / (self.blends_per_cycle_per_core * cores * self.clock_hz),
+            memory_s: self.dram.transfer_time(raster_bytes),
+            bytes: raster_bytes,
+        };
+
+        FrameTiming { stages: [fe, sort, raster] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_pipeline::Stage;
+
+    #[test]
+    fn fig3_resolution_curve_shape() {
+        // 4 cores, 51.2 GB/s: real-time at HD, far below 60 FPS at QHD.
+        let g = GsCore::paper_default();
+        let n = 1_400_000;
+        let hd = g.simulate_frame(&WorkloadFrame::synthetic(n, 1280, 720)).fps();
+        let fhd = g.simulate_frame(&WorkloadFrame::synthetic(n, 1920, 1080)).fps();
+        let qhd = g.simulate_frame(&WorkloadFrame::synthetic_qhd(n)).fps();
+        assert!(hd > 55.0, "HD ≈ 60+ FPS, got {hd:.1}");
+        assert!(fhd < hd && qhd < fhd, "{hd:.1} > {fhd:.1} > {qhd:.1} required");
+        assert!(qhd < 30.0, "QHD well below SLO, got {qhd:.1}");
+        // HD:QHD ratio ≈ 4× in the paper (66.7 vs 15.8).
+        let ratio = hd / qhd;
+        assert!((2.5..=6.5).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn fig4_bandwidth_matters_more_than_cores() {
+        let w = WorkloadFrame::synthetic_qhd(1_400_000);
+        let base = GsCore::new(4, DramModel::lpddr4_51_2()).simulate_frame(&w).fps();
+        let more_cores = GsCore::new(16, DramModel::lpddr4_51_2()).simulate_frame(&w).fps();
+        let more_bw = GsCore::new(4, DramModel::lpddr5_204_8()).simulate_frame(&w).fps();
+        // Paper: 4→16 cores at 51.2 GB/s gives ~1.12×; 4× bandwidth ~2.2×+.
+        let core_gain = more_cores / base;
+        let bw_gain = more_bw / base;
+        assert!(core_gain < 1.6, "core scaling should be weak: {core_gain:.2}");
+        assert!(bw_gain > 1.8, "bandwidth scaling should be strong: {bw_gain:.2}");
+        assert!(bw_gain > core_gain);
+    }
+
+    #[test]
+    fn sorting_dominates_traffic() {
+        let g = GsCore::scaled_16();
+        let t = g.simulate_frame(&WorkloadFrame::synthetic_qhd(1_400_000));
+        let frac = t.stage(Stage::Sorting).bytes as f64 / t.total_bytes() as f64;
+        // Paper Figure 5: 63–69%.
+        assert!((0.5..=0.85).contains(&frac), "sorting share {frac:.2}");
+    }
+
+    #[test]
+    fn cores_scale_compute_only() {
+        let w = WorkloadFrame::synthetic_qhd(1_400_000);
+        let c4 = GsCore::new(4, DramModel::lpddr5_204_8()).simulate_frame(&w);
+        let c16 = GsCore::new(16, DramModel::lpddr5_204_8()).simulate_frame(&w);
+        assert!(c16.latency_s() < c4.latency_s());
+        assert_eq!(c16.total_bytes(), c4.total_bytes(), "traffic is core-independent");
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn zero_cores_rejected() {
+        let _ = GsCore::new(0, DramModel::lpddr4_51_2());
+    }
+}

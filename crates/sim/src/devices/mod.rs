@@ -1,0 +1,98 @@
+//! Device models: Orin AGX (edge GPU), GSCore (prior ASIC), and Neo.
+
+mod gpu;
+mod gscore;
+mod neo;
+
+pub use gpu::OrinAgx;
+pub use gscore::GsCore;
+pub use neo::NeoDevice;
+
+use crate::{FrameTiming, WorkloadFrame};
+
+/// A device that can execute one frame of the 3DGS pipeline.
+pub trait Device {
+    /// Human-readable device name ("Orin AGX", "GSCore", "Neo").
+    fn name(&self) -> &str;
+
+    /// Simulates one frame of `workload`, returning per-stage timing and
+    /// traffic.
+    fn simulate_frame(&self, workload: &WorkloadFrame) -> FrameTiming;
+
+    /// Simulates a frame sequence, returning per-frame timings.
+    fn simulate_frames(&self, workloads: &[WorkloadFrame]) -> Vec<FrameTiming> {
+        workloads.iter().map(|w| self.simulate_frame(w)).collect()
+    }
+
+    /// Mean FPS over a frame sequence.
+    fn mean_fps(&self, workloads: &[WorkloadFrame]) -> f64 {
+        if workloads.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = workloads
+            .iter()
+            .map(|w| self.simulate_frame(w).latency_s())
+            .sum();
+        workloads.len() as f64 / total
+    }
+
+    /// Total DRAM traffic in bytes over a frame sequence.
+    fn total_traffic(&self, workloads: &[WorkloadFrame]) -> u64 {
+        workloads
+            .iter()
+            .map(|w| self.simulate_frame(w).total_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramModel;
+
+    #[test]
+    fn paper_qhd_ordering_holds() {
+        // Figure 15's headline shape at QHD: Neo > GSCore > Orin.
+        let w = WorkloadFrame::synthetic_qhd(1_400_000);
+        let orin = OrinAgx::new();
+        let gscore = GsCore::new(16, DramModel::lpddr4_51_2());
+        let neo = NeoDevice::new(DramModel::lpddr4_51_2());
+        let f_orin = orin.simulate_frame(&w).fps();
+        let f_gscore = gscore.simulate_frame(&w).fps();
+        let f_neo = neo.simulate_frame(&w).fps();
+        assert!(f_neo > f_gscore && f_gscore > f_orin,
+            "neo {f_neo:.1} > gscore {f_gscore:.1} > orin {f_orin:.1}");
+        // Factor shapes: Neo ≈ 3–8× GSCore, ≈ 5–14× Orin at QHD.
+        let vs_gscore = f_neo / f_gscore;
+        let vs_orin = f_neo / f_orin;
+        assert!((2.5..=9.0).contains(&vs_gscore), "vs gscore {vs_gscore:.2}");
+        assert!((4.0..=16.0).contains(&vs_orin), "vs orin {vs_orin:.2}");
+    }
+
+    #[test]
+    fn traffic_ordering_holds() {
+        let w = WorkloadFrame::synthetic_qhd(1_400_000);
+        let orin = OrinAgx::new();
+        let gscore = GsCore::new(16, DramModel::lpddr4_51_2());
+        let neo = NeoDevice::new(DramModel::lpddr4_51_2());
+        let t_orin = orin.simulate_frame(&w).total_bytes();
+        let t_gscore = gscore.simulate_frame(&w).total_bytes();
+        let t_neo = neo.simulate_frame(&w).total_bytes();
+        assert!(t_neo < t_gscore && t_gscore < t_orin);
+        // Neo cuts ≥60% vs GSCore and ≥85% vs the GPU (paper: 81%/94%).
+        assert!((t_neo as f64) < t_gscore as f64 * 0.4,
+            "neo {t_neo} vs gscore {t_gscore}");
+        assert!((t_neo as f64) < t_orin as f64 * 0.15,
+            "neo {t_neo} vs orin {t_orin}");
+    }
+
+    #[test]
+    fn mean_fps_over_sequence() {
+        let w = WorkloadFrame::synthetic_qhd(500_000);
+        let neo = NeoDevice::new(DramModel::lpddr4_51_2());
+        let seq = vec![w; 5];
+        let fps = neo.mean_fps(&seq);
+        assert!((fps - neo.simulate_frame(&w).fps()).abs() / fps < 1e-9);
+        assert!(neo.total_traffic(&seq) == 5 * neo.simulate_frame(&w).total_bytes());
+    }
+}

@@ -1,0 +1,219 @@
+//! The Neo accelerator model (Section 5).
+//!
+//! Neo = Preprocessing Engine (projection/color/duplication units) +
+//! Sorting Engine (16 Sorting Cores, each a BSU + MSU+ with
+//! double-buffered I/O) + Rasterization Engine (4 cores × 4 SCU + 4 ITU,
+//! pipelined). The reuse-and-update algorithm makes sorting a *single*
+//! off-chip pass over the per-tile tables plus a small incoming-table
+//! sort; on-the-fly ITU bitmaps remove GSCore's bitmap traffic; deferred
+//! depth updates remove the separate depth-refresh pass.
+
+use crate::devices::Device;
+use crate::dram::DramModel;
+use crate::{FrameTiming, StageTiming, WorkloadFrame};
+use neo_sort::ENTRY_BYTES;
+
+/// Neo accelerator model with the Table 1 configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeoDevice {
+    /// DRAM channel.
+    pub dram: DramModel,
+    /// Clock frequency in Hz (1 GHz per Table 3).
+    pub clock_hz: f64,
+    /// Sorting cores (Table 1: 16 BSU + 16 MSU+).
+    pub sorting_cores: u32,
+    /// Rasterization cores (Table 1: 4, each with 4 SCU + 4 ITU).
+    pub raster_cores: u32,
+    /// Entries a sorting core retires per cycle (BSU network output rate).
+    pub sort_entries_per_cycle_per_core: f64,
+    /// Blend operations per cycle per rasterization core (4 SCUs; ITU
+    /// pipelining keeps them fed — Figure 14).
+    pub blends_per_cycle_per_core: f64,
+    /// Bytes of 2D features read per table entry during rasterization
+    /// (no bitmap traffic — ITUs generate bitmaps on the fly).
+    pub raster_bytes_per_entry: f64,
+    /// Gaussians projected per cycle (4 projection units).
+    pub project_per_cycle: f64,
+    /// Deferred depth update enabled (Neo's design). Disabling models the
+    /// Section 4.4 ablation: a separate random-access depth-refresh pass.
+    pub deferred_depth_update: bool,
+    /// Depth update executed by the Rasterization Engine (full Neo).
+    /// Disabling models Figure 18's "Neo-S": the Sorting Engine alone on
+    /// top of GSCore, requiring post-processing for table metadata.
+    pub raster_engine_depth_update: bool,
+}
+
+impl NeoDevice {
+    /// Creates the default (full) Neo model on the given DRAM channel.
+    pub fn new(dram: DramModel) -> Self {
+        Self {
+            dram,
+            clock_hz: 1e9,
+            sorting_cores: 16,
+            raster_cores: 4,
+            sort_entries_per_cycle_per_core: 4.0,
+            blends_per_cycle_per_core: 4.0,
+            raster_bytes_per_entry: 24.0,
+            project_per_cycle: 4.0,
+            deferred_depth_update: true,
+            raster_engine_depth_update: true,
+        }
+    }
+
+    /// The paper's default platform: 51.2 GB/s LPDDR4.
+    pub fn paper_default() -> Self {
+        Self::new(DramModel::lpddr4_51_2())
+    }
+
+    /// Figure 18's "Neo-S" ablation: Neo's Sorting Engine bolted onto
+    /// GSCore without the co-designed Rasterization Engine — depth/valid
+    /// metadata updates run as a separate post-processing pass.
+    pub fn sorting_engine_only(mut self) -> Self {
+        self.raster_engine_depth_update = false;
+        self
+    }
+
+    /// Section 4.4 ablation: disable deferred depth updates (adds a
+    /// random-access depth-refresh pass).
+    pub fn without_deferred_depth_update(mut self) -> Self {
+        self.deferred_depth_update = false;
+        self
+    }
+}
+
+impl Device for NeoDevice {
+    fn name(&self) -> &str {
+        "Neo"
+    }
+
+    fn simulate_frame(&self, w: &WorkloadFrame) -> FrameTiming {
+        let table = w.table_entries as f64;
+        let incoming = w.incoming as f64;
+        let eb = ENTRY_BYTES as f64;
+
+        // Feature extraction: stream features once; the duplication unit's
+        // verification step emits only *incoming* per-tile entries.
+        let fe_bytes =
+            (w.n_gaussians as f64 * w.feature_bytes as f64 + incoming * eb) as u64;
+        let fe = StageTiming {
+            compute_s: w.n_projected as f64 / (self.project_per_cycle * self.clock_hz),
+            memory_s: self.dram.transfer_time(fe_bytes),
+            bytes: fe_bytes,
+        };
+
+        // Sorting: Dynamic Partial Sorting reads + writes each table chunk
+        // once; the incoming tables are read, sorted on-chip, and written
+        // merged (the MSU+ fuses insertion and deletion into the same
+        // writeback).
+        let mut sort_bytes = (table * eb * 2.0 + incoming * eb * 2.0) as u64;
+        let mut sort_extra_s = 0.0;
+        if !self.deferred_depth_update {
+            // Separate depth refresh: random-access reads of the feature
+            // table plus a table rewrite (paper: +33.2% traffic).
+            let refresh = (table * eb) as u64;
+            sort_bytes += refresh;
+            sort_extra_s += self.dram.random_access_time(refresh);
+        }
+        if !self.raster_engine_depth_update {
+            // Neo-S: post-processing pass over tables for depth/valid
+            // metadata, serialized after sorting.
+            let post = (table * eb * 2.0) as u64;
+            sort_bytes += post;
+            sort_extra_s += self.dram.transfer_time(post);
+        }
+        let sort = StageTiming {
+            compute_s: table
+                / (self.sort_entries_per_cycle_per_core
+                    * self.sorting_cores as f64
+                    * self.clock_hz)
+                + sort_extra_s,
+            memory_s: self.dram.transfer_time(sort_bytes) + sort_extra_s,
+            bytes: sort_bytes,
+        };
+
+        // Rasterization: stream 2D features per table entry (no bitmap
+        // reads — ITUs regenerate them), blend in subtile groups, write
+        // pixels; depth updates piggyback on this pass for free.
+        let raster_bytes = (table * self.raster_bytes_per_entry) as u64 + w.pixels * 4;
+        let raster = StageTiming {
+            compute_s: w.blend_ops as f64
+                / (self.blends_per_cycle_per_core
+                    * self.raster_cores as f64
+                    * 4.0
+                    * self.clock_hz),
+            memory_s: self.dram.transfer_time(raster_bytes),
+            bytes: raster_bytes,
+        };
+
+        FrameTiming { stages: [fe, sort, raster] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_pipeline::Stage;
+
+    fn qhd() -> WorkloadFrame {
+        WorkloadFrame::synthetic_qhd(1_400_000)
+    }
+
+    #[test]
+    fn neo_hits_realtime_qhd() {
+        let neo = NeoDevice::paper_default();
+        let fps = neo.simulate_frame(&qhd()).fps();
+        // Paper: 99.3 FPS average at QHD; requires ≥60.
+        assert!(fps > 60.0, "Neo QHD fps {fps:.1}");
+        assert!(fps < 250.0, "sanity upper bound, got {fps:.1}");
+    }
+
+    #[test]
+    fn sorting_is_no_longer_dominant() {
+        let neo = NeoDevice::paper_default();
+        let t = neo.simulate_frame(&qhd());
+        let frac = t.stage(Stage::Sorting).bytes as f64 / t.total_bytes() as f64;
+        assert!(frac < 0.4, "Neo sorting traffic share {frac:.2}");
+    }
+
+    #[test]
+    fn non_deferred_depth_update_adds_traffic() {
+        let neo = NeoDevice::paper_default();
+        let ablated = NeoDevice::paper_default().without_deferred_depth_update();
+        let t0 = neo.simulate_frame(&qhd());
+        let t1 = ablated.simulate_frame(&qhd());
+        let overhead = t1.total_bytes() as f64 / t0.total_bytes() as f64 - 1.0;
+        // Paper: 33.2% more traffic without the optimization.
+        assert!((0.1..=0.6).contains(&overhead), "overhead {overhead:.2}");
+        assert!(t1.latency_s() > t0.latency_s());
+    }
+
+    #[test]
+    fn neo_s_is_between_gscore_and_full_neo() {
+        use crate::devices::GsCore;
+        let w = qhd();
+        let gscore = GsCore::scaled_16().simulate_frame(&w);
+        let neo_s = NeoDevice::paper_default().sorting_engine_only().simulate_frame(&w);
+        let neo = NeoDevice::paper_default().simulate_frame(&w);
+        assert!(neo.latency_s() < neo_s.latency_s(), "full Neo fastest");
+        assert!(neo_s.latency_s() < gscore.latency_s(), "Neo-S beats GSCore");
+        assert!(neo.total_bytes() < neo_s.total_bytes());
+        assert!(neo_s.total_bytes() < gscore.total_bytes());
+    }
+
+    #[test]
+    fn churn_increases_cost_but_degrades_gracefully() {
+        let neo = NeoDevice::paper_default();
+        let calm = qhd();
+        let mut rapid = calm;
+        // 16× camera speed: much higher churn (Figure 17b). Retention
+        // loss saturates sub-linearly with speed (the camera cannot leave
+        // the scene), so 16× speed ≈ 8× churn.
+        rapid.incoming = calm.incoming * 8;
+        rapid.outgoing = calm.outgoing * 8;
+        rapid.table_entries = calm.table_entries + rapid.incoming;
+        let f_calm = neo.simulate_frame(&calm).fps();
+        let f_rapid = neo.simulate_frame(&rapid).fps();
+        assert!(f_rapid < f_calm);
+        assert!(f_rapid > 60.0, "Neo must hold 60 FPS under rapid motion, got {f_rapid:.1}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Off-chip memory model (LPDDR4-class channel).
+//!
+//! The paper models DRAM with Ramulator; for latency/throughput at the
+//! granularity our frame model needs, an effective-bandwidth model with a
+//! burst-quantization and read/write-turnaround derate captures the same
+//! behaviour: streaming accesses achieve a fixed fraction of peak, and
+//! traffic is rounded up to burst granularity.
+
+/// An LPDDR4-class DRAM channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Peak bandwidth in GB/s.
+    pub peak_gbps: f64,
+    /// Fraction of peak achievable by the streaming access patterns of
+    /// the 3DGS pipeline (row-hit dominated, some turnaround): ~0.8.
+    pub efficiency: f64,
+    /// Minimum transfer granularity in bytes (LPDDR4 BL16 × 32-bit ≈ 64B).
+    pub burst_bytes: u64,
+}
+
+impl DramModel {
+    /// Creates a model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when parameters are non-positive or efficiency exceeds 1.
+    pub fn new(peak_gbps: f64, efficiency: f64, burst_bytes: u64) -> Self {
+        assert!(peak_gbps > 0.0, "bandwidth must be positive");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        assert!(burst_bytes > 0, "burst size must be positive");
+        Self { peak_gbps, efficiency, burst_bytes }
+    }
+
+    /// The paper's default on-device budget: 51.2 GB/s.
+    pub fn lpddr4_51_2() -> Self {
+        Self::new(51.2, 0.8, 64)
+    }
+
+    /// Mid bandwidth point of Figure 4: 102.4 GB/s.
+    pub fn lpddr4_102_4() -> Self {
+        Self::new(102.4, 0.8, 64)
+    }
+
+    /// High bandwidth point of Figure 4 / Orin AGX: 204.8 GB/s.
+    pub fn lpddr5_204_8() -> Self {
+        Self::new(204.8, 0.8, 64)
+    }
+
+    /// Effective streaming bandwidth in bytes/second.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.peak_gbps * 1e9 * self.efficiency
+    }
+
+    /// Time in seconds to transfer `bytes` (burst-quantized streaming).
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let bursts = bytes.div_ceil(self.burst_bytes);
+        (bursts * self.burst_bytes) as f64 / self.effective_bandwidth()
+    }
+
+    /// Time in seconds for `bytes` of *random* (row-miss heavy) access —
+    /// used for the non-deferred depth-update ablation, which scatters
+    /// single-entry reads. Models a 4× derate.
+    pub fn random_access_time(&self, bytes: u64) -> f64 {
+        self.transfer_time(bytes) * 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let d = DramModel::lpddr4_51_2();
+        let t1 = d.transfer_time(1 << 20);
+        let t2 = d.transfer_time(2 << 20);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_bandwidth_applies_efficiency() {
+        let d = DramModel::new(100.0, 0.5, 64);
+        assert_eq!(d.effective_bandwidth(), 50.0 * 1e9);
+    }
+
+    #[test]
+    fn small_transfers_round_to_burst() {
+        let d = DramModel::new(64.0, 1.0, 64);
+        // 1 byte still costs one 64-byte burst.
+        assert_eq!(d.transfer_time(1), d.transfer_time(64));
+        assert!(d.transfer_time(65) > d.transfer_time(64));
+        assert_eq!(d.transfer_time(0), 0.0);
+    }
+
+    #[test]
+    fn random_access_is_slower() {
+        let d = DramModel::lpddr4_51_2();
+        assert!(d.random_access_time(4096) > d.transfer_time(4096));
+    }
+
+    #[test]
+    fn presets_match_paper_bandwidths() {
+        assert_eq!(DramModel::lpddr4_51_2().peak_gbps, 51.2);
+        assert_eq!(DramModel::lpddr4_102_4().peak_gbps, 102.4);
+        assert_eq!(DramModel::lpddr5_204_8().peak_gbps, 204.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn invalid_efficiency_rejected() {
+        let _ = DramModel::new(51.2, 1.5, 64);
+    }
+}

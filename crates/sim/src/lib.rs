@@ -1,0 +1,46 @@
+//! Cycle-level performance model of 3DGS rendering devices.
+//!
+//! Reproduces the paper's evaluation methodology: a simulator driven by
+//! per-frame workload statistics, with timing parameters taken from the
+//! hardware configuration (Table 1) and off-chip memory modelled as an
+//! LPDDR4-class channel. Three devices are modelled:
+//!
+//! * [`devices::OrinAgx`] — the NVIDIA Jetson Orin AGX edge-GPU baseline
+//!   (roofline-style: CUB radix-sort traffic + CUDA α-blending kernel);
+//! * [`devices::GsCore`] — the GSCore ASIC (hierarchical sorting, subtile
+//!   rasterization), scalable in core count like Figure 4;
+//! * [`devices::NeoDevice`] — the Neo accelerator (reuse-and-update
+//!   sorting engine + rasterization engine with ITU/SCU pipelining), with
+//!   ablation switches for Figure 18 (Neo-S = sorting engine only).
+//!
+//! Latency per frame is the sum over pipeline stages of
+//! `max(compute time, DRAM time)` — each stage is internally overlapped
+//! (double-buffered I/O) but stages are serialized, which matches the
+//! coarse behaviour of the paper's pipeline.
+//!
+//! The area/power component model ([`asic`]) reproduces Tables 3–4.
+//!
+//! # Examples
+//!
+//! ```
+//! use neo_sim::{devices::{Device, GsCore, NeoDevice}, dram::DramModel, WorkloadFrame};
+//!
+//! let w = WorkloadFrame::synthetic_qhd(350_000);
+//! let gscore = GsCore::new(16, DramModel::lpddr4_51_2());
+//! let neo = NeoDevice::new(DramModel::lpddr4_51_2());
+//! let tg = gscore.simulate_frame(&w);
+//! let tn = neo.simulate_frame(&w);
+//! assert!(tn.fps() > tg.fps(), "Neo must outperform GSCore at QHD");
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod asic;
+pub mod devices;
+pub mod cycle;
+pub mod dram;
+mod timing;
+mod workload;
+
+pub use timing::{FrameTiming, StageTiming};
+pub use workload::{WorkloadFrame, BLEND_OVERDRAW};

@@ -1,0 +1,123 @@
+//! Frame-timing results produced by device models.
+
+use neo_pipeline::{Stage, TrafficLedger};
+
+/// Timing of one pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTiming {
+    /// Pure compute time in seconds (all units busy, no memory stalls).
+    pub compute_s: f64,
+    /// DRAM transfer time in seconds for this stage's traffic.
+    pub memory_s: f64,
+    /// DRAM bytes moved by this stage.
+    pub bytes: u64,
+}
+
+impl StageTiming {
+    /// The stage's latency: compute and memory overlap within a stage
+    /// (double-buffered I/O), so the slower one dominates.
+    pub fn latency_s(&self) -> f64 {
+        self.compute_s.max(self.memory_s)
+    }
+
+    /// True when the stage is limited by DRAM bandwidth.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_s >= self.compute_s
+    }
+}
+
+/// Timing of one full frame on a device.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FrameTiming {
+    /// Per-stage timings in pipeline order (feature extraction + culling,
+    /// sorting, rasterization).
+    pub stages: [StageTiming; 3],
+}
+
+impl FrameTiming {
+    /// Frame latency in seconds (stages serialized).
+    pub fn latency_s(&self) -> f64 {
+        self.stages.iter().map(StageTiming::latency_s).sum()
+    }
+
+    /// Frame latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_s() * 1e3
+    }
+
+    /// Frames per second this latency sustains.
+    pub fn fps(&self) -> f64 {
+        let l = self.latency_s();
+        if l <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / l
+        }
+    }
+
+    /// Total DRAM bytes for the frame.
+    pub fn total_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Stage timing by pipeline stage.
+    pub fn stage(&self, stage: Stage) -> StageTiming {
+        match stage {
+            Stage::FeatureExtraction => self.stages[0],
+            Stage::Sorting => self.stages[1],
+            Stage::Rasterization => self.stages[2],
+        }
+    }
+
+    /// Converts stage bytes into a [`TrafficLedger`] (all charged as
+    /// reads+writes combined under reads for reporting totals).
+    pub fn to_ledger(&self) -> TrafficLedger {
+        let mut l = TrafficLedger::new();
+        l.read(Stage::FeatureExtraction, self.stages[0].bytes);
+        l.read(Stage::Sorting, self.stages[1].bytes);
+        l.read(Stage::Rasterization, self.stages[2].bytes);
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> FrameTiming {
+        FrameTiming {
+            stages: [
+                StageTiming { compute_s: 0.001, memory_s: 0.002, bytes: 100 },
+                StageTiming { compute_s: 0.004, memory_s: 0.003, bytes: 200 },
+                StageTiming { compute_s: 0.005, memory_s: 0.001, bytes: 50 },
+            ],
+        }
+    }
+
+    #[test]
+    fn latency_sums_stage_maxima() {
+        let t = timing();
+        assert!((t.latency_s() - (0.002 + 0.004 + 0.005)).abs() < 1e-12);
+        assert!((t.latency_ms() - 11.0).abs() < 1e-9);
+        assert!((t.fps() - 1.0 / 0.011).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_bound_detection() {
+        let t = timing();
+        assert!(t.stage(Stage::FeatureExtraction).memory_bound());
+        assert!(!t.stage(Stage::Sorting).memory_bound());
+    }
+
+    #[test]
+    fn totals_and_ledger() {
+        let t = timing();
+        assert_eq!(t.total_bytes(), 350);
+        assert_eq!(t.to_ledger().total(), 350);
+    }
+
+    #[test]
+    fn zero_latency_gives_infinite_fps() {
+        assert!(FrameTiming::default().fps().is_infinite());
+    }
+}

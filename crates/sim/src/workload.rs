@@ -1,0 +1,134 @@
+//! Per-frame workload statistics — the input to every device model.
+
+/// Statistics describing one frame of 3DGS work. Produced by
+/// `neo-workloads` from real pipeline runs (and scalable to full scene
+/// sizes), or synthesized for quick experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadFrame {
+    /// Gaussians in the scene.
+    pub n_gaussians: u64,
+    /// Gaussians surviving frustum culling.
+    pub n_projected: u64,
+    /// Total per-tile assignments after duplication (Σ tile populations).
+    pub duplicates: u64,
+    /// Tiles with at least one Gaussian (64×64-px tiles).
+    pub occupied_tiles: u64,
+    /// Output pixels.
+    pub pixels: u64,
+    /// Newly visible Gaussians inserted this frame (reuse-and-update).
+    pub incoming: u64,
+    /// Gaussians flagged outgoing this frame (reuse-and-update).
+    pub outgoing: u64,
+    /// Total Gaussian-table entries carried across frames (≈ duplicates
+    /// plus stale entries pending deletion).
+    pub table_entries: u64,
+    /// α-blend operations (measured, or estimated from coverage).
+    pub blend_ops: u64,
+    /// Bytes per Gaussian feature record in the off-chip feature table.
+    pub feature_bytes: u64,
+}
+
+/// Mean α-blend depth per pixel before saturation (early-termination
+/// overdraw), used when blend ops must be estimated.
+pub const BLEND_OVERDRAW: f64 = 30.0;
+
+impl WorkloadFrame {
+    /// Synthesizes a plausible steady-state QHD frame for a scene of
+    /// `n_gaussians`, using the coverage ratios measured on the synthetic
+    /// benchmark scenes (≈55% visible, ≈2.5% per-frame churn).
+    pub fn synthetic_qhd(n_gaussians: u64) -> Self {
+        Self::synthetic(n_gaussians, 2560, 1440)
+    }
+
+    /// Synthesizes a steady-state frame at an arbitrary resolution.
+    ///
+    /// Tile overlap grows superlinearly with resolution: splat radii scale
+    /// with focal length, so the 64×64-tile footprint of a splat grows
+    /// roughly with pixel area — ≈3 tiles/Gaussian at HD, ≈12 at QHD.
+    /// This is what makes sorting traffic explode at high resolution
+    /// (Figures 3 and 5).
+    pub fn synthetic(n_gaussians: u64, width: u64, height: u64) -> Self {
+        let pixels = width * height;
+        let n_projected = (n_gaussians as f64 * 0.55) as u64;
+        // Tiles per projected Gaussian vs linear resolution scale.
+        let scale = (pixels as f64 / (1280.0 * 720.0)).sqrt();
+        let tiles_per = 0.7 + 2.2 * scale.powf(2.4);
+        let duplicates = (n_projected as f64 * tiles_per) as u64;
+        let tile_count = width.div_ceil(64) * height.div_ceil(64);
+        let occupied = (tile_count as f64 * 0.9) as u64;
+        let churn = (duplicates as f64 * 0.025) as u64;
+        Self {
+            n_gaussians,
+            n_projected,
+            duplicates,
+            occupied_tiles: occupied,
+            pixels,
+            incoming: churn,
+            outgoing: churn,
+            table_entries: duplicates + churn,
+            blend_ops: (pixels as f64 * BLEND_OVERDRAW) as u64,
+            feature_bytes: 56,
+        }
+    }
+
+    /// Returns the frame scaled by `factor` in Gaussian-dependent counts
+    /// (used to extrapolate reduced captures to full scene size; pixel
+    /// count is resolution-bound and unchanged).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        self.n_gaussians = s(self.n_gaussians);
+        self.n_projected = s(self.n_projected);
+        self.duplicates = s(self.duplicates);
+        self.incoming = s(self.incoming);
+        self.outgoing = s(self.outgoing);
+        self.table_entries = s(self.table_entries);
+        self.blend_ops = s(self.blend_ops);
+        // Occupied tiles saturate rather than scale; keep as-is.
+        self
+    }
+
+    /// Mean table length per occupied tile.
+    pub fn mean_tile_population(&self) -> f64 {
+        if self.occupied_tiles == 0 {
+            0.0
+        } else {
+            self.duplicates as f64 / self.occupied_tiles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_scales_with_resolution() {
+        let hd = WorkloadFrame::synthetic(300_000, 1280, 720);
+        let qhd = WorkloadFrame::synthetic_qhd(300_000);
+        assert!(qhd.duplicates > hd.duplicates);
+        assert_eq!(qhd.pixels, 2560 * 1440);
+        assert!(qhd.mean_tile_population() > hd.mean_tile_population());
+    }
+
+    #[test]
+    fn scaled_multiplies_counts() {
+        let w = WorkloadFrame::synthetic_qhd(100_000);
+        let s = w.scaled(10.0);
+        assert_eq!(s.n_gaussians, 1_000_000);
+        assert_eq!(s.pixels, w.pixels);
+        assert!(s.duplicates >= w.duplicates * 9);
+    }
+
+    #[test]
+    fn churn_is_small_fraction() {
+        let w = WorkloadFrame::synthetic_qhd(350_000);
+        assert!((w.incoming as f64) < w.duplicates as f64 * 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = WorkloadFrame::synthetic_qhd(1).scaled(0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Bitonic sorting network — the model of Neo's Bitonic Sorting Unit (BSU).
+//!
+//! Each Sorting Core's BSU sorts 16-entry sub-chunks in hardware; the
+//! MSU+ then merges them into a sorted 256-entry chunk. The functions here
+//! perform the same computation in software while counting the
+//! compare-exchange operations and network stages the hardware would
+//! execute, so the cycle model in `neo-sim` can charge accurate latencies.
+
+use crate::{SortCost, TableEntry};
+
+/// Native width of the BSU (entries sorted per invocation).
+pub const BSU_WIDTH: usize = 16;
+
+/// Sentinel entry used to pad the network to a power of two; its key
+/// compares greater than every real entry (`+inf` depth, max ID).
+fn pad_entry() -> TableEntry {
+    TableEntry { id: u32::MAX, depth: f32::INFINITY, valid: false }
+}
+
+/// Sorts `entries` in place with a bitonic network, padding physically to
+/// the next power of two like the hardware does (pad slots hold `+inf`
+/// keys and are discarded afterwards).
+///
+/// # Examples
+///
+/// ```
+/// use neo_sort::{bitonic::bitonic_sort, TableEntry};
+/// let mut v: Vec<_> = (0..10).rev().map(|i| TableEntry::new(i, i as f32)).collect();
+/// bitonic_sort(&mut v);
+/// assert!(v.windows(2).all(|w| w[0].depth <= w[1].depth));
+/// ```
+pub fn bitonic_sort(entries: &mut [TableEntry]) -> SortCost {
+    let mut cost = SortCost::new();
+    let n = entries.len();
+    if n <= 1 {
+        return cost;
+    }
+    let padded = n.next_power_of_two();
+    let mut buf: Vec<TableEntry> = Vec::with_capacity(padded);
+    buf.extend_from_slice(entries);
+    buf.resize(padded, pad_entry());
+
+    let mut k = 2;
+    while k <= padded {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..padded {
+                let l = i ^ j;
+                if l > i {
+                    cost.compares += 1;
+                    let ascending = (i & k) == 0;
+                    let out_of_order = if ascending {
+                        buf[i].key() > buf[l].key()
+                    } else {
+                        buf[i].key() < buf[l].key()
+                    };
+                    if out_of_order {
+                        buf.swap(i, l);
+                        cost.moves += 2;
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    entries.copy_from_slice(&buf[..n]);
+    cost
+}
+
+/// Sorts exactly one BSU-width (16-entry) group in place; shorter slices
+/// are allowed and padded virtually.
+///
+/// # Panics
+///
+/// Panics when given more than [`BSU_WIDTH`] entries.
+pub fn bsu_sort16(entries: &mut [TableEntry]) -> SortCost {
+    assert!(
+        entries.len() <= BSU_WIDTH,
+        "BSU sorts at most {BSU_WIDTH} entries, got {}",
+        entries.len()
+    );
+    bitonic_sort(entries)
+}
+
+/// Number of pipeline stages a bitonic network of width `n` (rounded up to
+/// a power of two) executes: `log n · (log n + 1) / 2`. The cycle model
+/// charges one cycle per stage.
+pub fn network_stages(n: usize) -> u32 {
+    if n <= 1 {
+        return 0;
+    }
+    let log = (n.next_power_of_two()).trailing_zeros();
+    log * (log + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(depths: &[f32]) -> Vec<TableEntry> {
+        depths
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| TableEntry::new(i as u32, d))
+            .collect()
+    }
+
+    fn is_sorted(v: &[TableEntry]) -> bool {
+        v.windows(2).all(|w| w[0].key() <= w[1].key())
+    }
+
+    #[test]
+    fn sorts_power_of_two() {
+        let mut v = entries(&[5.0, 1.0, 4.0, 2.0, 8.0, 7.0, 3.0, 6.0]);
+        bitonic_sort(&mut v);
+        assert!(is_sorted(&v));
+    }
+
+    #[test]
+    fn sorts_non_power_of_two() {
+        for n in [1usize, 2, 3, 5, 7, 10, 13, 15, 16, 17, 100, 255] {
+            let mut v: Vec<_> = (0..n)
+                .map(|i| TableEntry::new(i as u32, ((i * 7919) % (n + 3)) as f32))
+                .collect();
+            bitonic_sort(&mut v);
+            assert!(is_sorted(&v), "n = {n}");
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|e| e.id != u32::MAX), "pad leaked at n = {n}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_are_noops() {
+        let mut v: Vec<TableEntry> = vec![];
+        assert_eq!(bitonic_sort(&mut v).compares, 0);
+        let mut v = entries(&[1.0]);
+        assert_eq!(bitonic_sort(&mut v).compares, 0);
+    }
+
+    #[test]
+    fn bsu16_counts_network_compares() {
+        let mut v: Vec<_> = (0..16).rev().map(|i| TableEntry::new(i, i as f32)).collect();
+        let cost = bsu_sort16(&mut v);
+        assert!(is_sorted(&v));
+        // Width-16 bitonic network: 10 stages × 8 CEs = 80 compares.
+        assert_eq!(cost.compares, 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "BSU sorts at most")]
+    fn bsu_rejects_oversize() {
+        let depths = [0.0f32; 17];
+        let mut v = entries(&depths);
+        let _ = bsu_sort16(&mut v);
+    }
+
+    #[test]
+    fn stage_counts() {
+        assert_eq!(network_stages(16), 10);
+        assert_eq!(network_stages(2), 1);
+        assert_eq!(network_stages(256), 36);
+        assert_eq!(network_stages(1), 0);
+    }
+
+    #[test]
+    fn preserves_multiset() {
+        let mut v = entries(&[3.0, 3.0, 1.0, 2.0, 1.0]);
+        let mut before: Vec<u32> = v.iter().map(|e| e.id).collect();
+        bitonic_sort(&mut v);
+        let mut after: Vec<u32> = v.iter().map(|e| e.id).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn negative_depths_sort_first() {
+        let mut v = entries(&[1.0, -2.0, 0.0, -0.5]);
+        bitonic_sort(&mut v);
+        let depths: Vec<f32> = v.iter().map(|e| e.depth).collect();
+        assert_eq!(depths, vec![-2.0, -0.5, 0.0, 1.0]);
+    }
+}

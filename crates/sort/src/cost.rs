@@ -1,0 +1,70 @@
+//! Cost accounting shared by all sorting kernels and strategies.
+
+use std::ops::{Add, AddAssign};
+
+/// Operation and traffic counters for a sorting operation.
+///
+/// `bytes_read`/`bytes_written` count *off-chip* (DRAM) traffic only —
+/// on-chip buffer movement is free, matching the paper's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SortCost {
+    /// Compare(-exchange) operations executed.
+    pub compares: u64,
+    /// Element moves (writes of an 8-byte entry within buffers).
+    pub moves: u64,
+    /// Bytes read from DRAM.
+    pub bytes_read: u64,
+    /// Bytes written to DRAM.
+    pub bytes_written: u64,
+    /// Number of full passes over off-chip data.
+    pub passes: u32,
+}
+
+impl SortCost {
+    /// A zeroed cost.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total DRAM bytes (read + write).
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+impl Add for SortCost {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            compares: self.compares + rhs.compares,
+            moves: self.moves + rhs.moves,
+            bytes_read: self.bytes_read + rhs.bytes_read,
+            bytes_written: self.bytes_written + rhs.bytes_written,
+            passes: self.passes + rhs.passes,
+        }
+    }
+}
+
+impl AddAssign for SortCost {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_add() {
+        let a = SortCost { compares: 1, moves: 2, bytes_read: 3, bytes_written: 4, passes: 1 };
+        let b = SortCost { compares: 10, moves: 20, bytes_read: 30, bytes_written: 40, passes: 1 };
+        let c = a + b;
+        assert_eq!(c.compares, 11);
+        assert_eq!(c.bytes_total(), 77);
+        assert_eq!(c.passes, 2);
+        let mut d = SortCost::new();
+        d += c;
+        assert_eq!(d, c);
+    }
+}

@@ -1,0 +1,275 @@
+//! Merge kernels — the model of Neo's Merge Sorting Unit+ (MSU+).
+//!
+//! The MSU+ extends a conventional merge unit with an **invalid-bit
+//! filter** on each input stream: entries whose valid bit was cleared by
+//! the previous frame's rasterization are dropped *during* the merge, so
+//! deleting outgoing Gaussians costs no extra pass (Section 5.3). The same
+//! merge simultaneously inserts the freshly sorted incoming-Gaussian
+//! table.
+
+use crate::{SortCost, TableEntry};
+
+/// Merges two key-sorted entry slices into a sorted output, dropping
+/// invalid entries from both inputs (MSU+ behaviour).
+///
+/// # Examples
+///
+/// ```
+/// use neo_sort::{merge::merge_filtering, TableEntry};
+/// let a = vec![TableEntry::new(0, 1.0), TableEntry::new(1, 3.0)];
+/// let mut dead = TableEntry::new(2, 2.0);
+/// dead.valid = false;
+/// let b = vec![dead, TableEntry::new(3, 4.0)];
+/// let (out, _) = merge_filtering(&a, &b);
+/// let ids: Vec<u32> = out.iter().map(|e| e.id).collect();
+/// assert_eq!(ids, vec![0, 1, 3]);
+/// ```
+pub fn merge_filtering(a: &[TableEntry], b: &[TableEntry]) -> (Vec<TableEntry>, SortCost) {
+    merge_impl(a, b, true)
+}
+
+/// Merges two key-sorted entry slices *without* the invalid filter —
+/// the mode the MSU+ uses while reordering (valid bits pass through and
+/// deletion is deferred to the insertion merge).
+pub fn merge_keeping(a: &[TableEntry], b: &[TableEntry]) -> (Vec<TableEntry>, SortCost) {
+    merge_impl(a, b, false)
+}
+
+// Inputs are *expected* to be key-sorted; like the hardware MSU+, the
+// merge tolerates approximately sorted streams (e.g. a table after a
+// single Dynamic Partial Sorting pass) — output order quality then
+// follows input order quality.
+fn merge_impl(a: &[TableEntry], b: &[TableEntry], filter: bool) -> (Vec<TableEntry>, SortCost) {
+    let mut cost = SortCost::new();
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        // Invalid-bit filters sit ahead of the comparator.
+        if filter && !a[i].valid {
+            i += 1;
+            continue;
+        }
+        if filter && !b[j].valid {
+            j += 1;
+            continue;
+        }
+        cost.compares += 1;
+        if a[i].key() <= b[j].key() {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+        cost.moves += 1;
+    }
+    for e in &a[i..] {
+        if !filter || e.valid {
+            out.push(*e);
+            cost.moves += 1;
+        }
+    }
+    for e in &b[j..] {
+        if !filter || e.valid {
+            out.push(*e);
+            cost.moves += 1;
+        }
+    }
+    (out, cost)
+}
+
+/// Merges `k` key-sorted runs into one sorted vector by iterated pairwise
+/// merging (how the Sorting Core combines BSU outputs into a chunk).
+pub fn merge_runs(runs: &[&[TableEntry]]) -> (Vec<TableEntry>, SortCost) {
+    let mut cost = SortCost::new();
+    match runs.len() {
+        0 => return (Vec::new(), cost),
+        1 => {
+            let out: Vec<_> = runs[0].iter().copied().filter(|e| e.valid).collect();
+            cost.moves += out.len() as u64;
+            return (out, cost);
+        }
+        _ => {}
+    }
+    let mut current: Vec<Vec<TableEntry>> =
+        runs.iter().map(|r| r.to_vec()).collect();
+    while current.len() > 1 {
+        let mut next = Vec::with_capacity(current.len().div_ceil(2));
+        let mut iter = current.chunks(2);
+        for pair in &mut iter {
+            if pair.len() == 2 {
+                let (merged, c) = merge_filtering(&pair[0], &pair[1]);
+                cost += c;
+                next.push(merged);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        current = next;
+    }
+    (current.pop().unwrap_or_default(), cost)
+}
+
+/// Sorts a chunk the way a Sorting Core does: split into 16-entry
+/// sub-chunks, BSU-sort each, then MSU-merge the runs. Invalid entries are
+/// filtered out by the merge.
+///
+/// Functionally equivalent to a full sort + filter, but the returned
+/// [`SortCost`] reflects the hardware's operation counts.
+pub fn chunk_sort(entries: &[TableEntry]) -> (Vec<TableEntry>, SortCost) {
+    chunk_sort_impl(entries, true)
+}
+
+/// [`chunk_sort`] without invalid filtering — used by Dynamic Partial
+/// Sorting's reorder pass, where deletion is deferred to the insertion
+/// merge.
+pub fn chunk_sort_keeping(entries: &[TableEntry]) -> (Vec<TableEntry>, SortCost) {
+    chunk_sort_impl(entries, false)
+}
+
+fn chunk_sort_impl(entries: &[TableEntry], filter: bool) -> (Vec<TableEntry>, SortCost) {
+    use crate::bitonic::{bsu_sort16, BSU_WIDTH};
+    let mut cost = SortCost::new();
+    if entries.is_empty() {
+        return (Vec::new(), cost);
+    }
+    let mut runs: Vec<Vec<TableEntry>> = Vec::with_capacity(entries.len().div_ceil(BSU_WIDTH));
+    for sub in entries.chunks(BSU_WIDTH) {
+        let mut run = sub.to_vec();
+        cost += bsu_sort16(&mut run);
+        runs.push(run);
+    }
+    let mut current = runs;
+    while current.len() > 1 {
+        let mut next = Vec::with_capacity(current.len().div_ceil(2));
+        for pair in current.chunks(2) {
+            if pair.len() == 2 {
+                let (merged, c) = merge_impl(&pair[0], &pair[1], filter);
+                cost += c;
+                next.push(merged);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        current = next;
+    }
+    let mut sorted = current.pop().unwrap_or_default();
+    if filter {
+        sorted.retain(|e| e.valid);
+    }
+    (sorted, cost)
+}
+
+#[allow(dead_code)]
+fn is_key_sorted(v: &[TableEntry]) -> bool {
+    v.windows(2).all(|w| w[0].key() <= w[1].key())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(depths: &[f32]) -> Vec<TableEntry> {
+        let mut v: Vec<_> = depths
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| TableEntry::new(i as u32 * 2, d))
+            .collect();
+        v.sort_by_key(TableEntry::key);
+        v
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let a = run(&[1.0, 3.0, 5.0]);
+        let b = run(&[2.0, 4.0]);
+        let (out, cost) = merge_filtering(&a, &b);
+        let depths: Vec<f32> = out.iter().map(|e| e.depth).collect();
+        assert_eq!(depths, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(cost.compares >= 4);
+    }
+
+    #[test]
+    fn merge_drops_invalid_from_both_sides() {
+        let mut a = run(&[1.0, 3.0]);
+        a[0].valid = false;
+        let mut b = run(&[2.0, 4.0]);
+        b[1].valid = false;
+        let (out, _) = merge_filtering(&a, &b);
+        let depths: Vec<f32> = out.iter().map(|e| e.depth).collect();
+        assert_eq!(depths, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let a = run(&[1.0, 2.0]);
+        let (out, cost) = merge_filtering(&a, &[]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(cost.compares, 0);
+    }
+
+    #[test]
+    fn merge_runs_many() {
+        let r1 = run(&[1.0, 4.0, 7.0]);
+        let r2 = run(&[2.0, 5.0]);
+        let r3 = run(&[3.0, 6.0]);
+        let (out, _) = merge_runs(&[&r1, &r2, &r3]);
+        let depths: Vec<f32> = out.iter().map(|e| e.depth).collect();
+        assert_eq!(depths, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn merge_runs_single_filters_invalid() {
+        let mut r = run(&[1.0, 2.0]);
+        r[1].valid = false;
+        let (out, _) = merge_runs(&[&r]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn merge_runs_empty() {
+        let (out, cost) = merge_runs(&[]);
+        assert!(out.is_empty());
+        assert_eq!(cost.compares, 0);
+    }
+
+    #[test]
+    fn chunk_sort_sorts_256() {
+        let entries: Vec<_> = (0..256)
+            .map(|i| TableEntry::new(i as u32, ((i * 167) % 251) as f32))
+            .collect();
+        let (sorted, cost) = chunk_sort(&entries);
+        assert_eq!(sorted.len(), 256);
+        assert!(is_key_sorted(&sorted));
+        // 16 BSU invocations at 80 compares each, plus merge compares.
+        assert!(cost.compares >= 16 * 80);
+    }
+
+    #[test]
+    fn chunk_sort_filters_invalid() {
+        let mut entries: Vec<_> = (0..40)
+            .map(|i| TableEntry::new(i as u32, (40 - i) as f32))
+            .collect();
+        entries[3].valid = false;
+        entries[25].valid = false;
+        let (sorted, _) = chunk_sort(&entries);
+        assert_eq!(sorted.len(), 38);
+        assert!(is_key_sorted(&sorted));
+    }
+
+    #[test]
+    fn chunk_sort_empty() {
+        let (out, _) = chunk_sort(&[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merge_is_stable_by_key_tiebreak() {
+        // Same depth, different IDs: key() breaks ties by ID.
+        let a = vec![TableEntry::new(1, 2.0)];
+        let b = vec![TableEntry::new(0, 2.0)];
+        let (out, _) = merge_filtering(&a, &b);
+        assert_eq!(out[0].id, 0);
+        assert_eq!(out[1].id, 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Temporal-similarity statistics (the measurements behind Figures 6–7).
+//!
+//! * **Retention**: the proportion of a tile's Gaussians shared with the
+//!   previous frame (Figure 6 plots the CDF of this over tiles).
+//! * **Order difference**: how far each shared Gaussian moves within the
+//!   tile's depth ordering between consecutive frames (Figure 7 reports
+//!   the 90th/95th/99th percentiles).
+
+use std::collections::HashMap;
+
+/// Fraction of `prev` IDs that also appear in `cur` (1.0 when `prev` is
+/// empty — an empty tile retains everything vacuously).
+pub fn retention(prev: &[u32], cur: &[u32]) -> f64 {
+    if prev.is_empty() {
+        return 1.0;
+    }
+    let cur_set: std::collections::HashSet<u32> = cur.iter().copied().collect();
+    let shared = prev.iter().filter(|id| cur_set.contains(id)).count();
+    shared as f64 / prev.len() as f64
+}
+
+/// Per-Gaussian rank displacement between two orderings.
+///
+/// Both slices list Gaussian IDs in depth order. Only IDs present in both
+/// are compared; each is ranked among the *shared* IDs in each ordering
+/// (so insertions/removals do not inflate displacements), and the absolute
+/// rank difference is returned per shared ID.
+pub fn order_differences(prev: &[u32], cur: &[u32]) -> Vec<usize> {
+    let cur_ranks: HashMap<u32, usize> = cur.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    // Shared IDs in prev order with their positions in cur.
+    let shared_prev: Vec<u32> = prev
+        .iter()
+        .copied()
+        .filter(|id| cur_ranks.contains_key(id))
+        .collect();
+    let mut shared_cur: Vec<u32> = shared_prev.clone();
+    shared_cur.sort_by_key(|id| cur_ranks[id]);
+    let cur_shared_rank: HashMap<u32, usize> =
+        shared_cur.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    shared_prev
+        .iter()
+        .enumerate()
+        .map(|(rank_prev, id)| rank_prev.abs_diff(cur_shared_rank[id]))
+        .collect()
+}
+
+/// Nearest-rank percentile of a sample set (`p` in `[0, 100]`).
+///
+/// Returns 0 for empty input.
+///
+/// # Panics
+///
+/// Panics when `p` is outside `[0, 100]`.
+pub fn percentile(samples: &[usize], p: f64) -> usize {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Nearest-rank percentile for `f64` samples.
+///
+/// # Panics
+///
+/// Panics when `p` is outside `[0, 100]`.
+pub fn percentile_f64(samples: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Empirical CDF points `(value, cumulative_fraction)` for plotting
+/// (Figure 6 renders these curves).
+pub fn empirical_cdf(samples: &[f64]) -> Vec<(f64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_basic() {
+        assert_eq!(retention(&[1, 2, 3, 4], &[2, 3, 4, 5]), 0.75);
+        assert_eq!(retention(&[], &[1]), 1.0);
+        assert_eq!(retention(&[1, 2], &[]), 0.0);
+        assert_eq!(retention(&[1, 2], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn order_differences_identical_orders() {
+        let prev = [10, 20, 30, 40];
+        let diffs = order_differences(&prev, &prev);
+        assert_eq!(diffs, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn order_differences_one_swap() {
+        let prev = [1, 2, 3, 4];
+        let cur = [1, 3, 2, 4];
+        let diffs = order_differences(&prev, &cur);
+        assert_eq!(diffs, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn order_differences_ignore_membership_churn() {
+        // IDs 9/8 inserted in cur; shared IDs keep their relative order,
+        // so displacements must be zero.
+        let prev = [1, 2, 3];
+        let cur = [9, 1, 8, 2, 3];
+        let diffs = order_differences(&prev, &cur);
+        assert_eq!(diffs, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn order_differences_disjoint_is_empty() {
+        assert!(order_differences(&[1, 2], &[3, 4]).is_empty());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&v, 50.0), 5);
+        assert_eq!(percentile(&v, 90.0), 9);
+        assert_eq!(percentile(&v, 99.0), 10);
+        assert_eq!(percentile(&v, 100.0), 10);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics() {
+        let _ = percentile(&[1], 150.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let cdf = empirical_cdf(&[0.5, 0.1, 0.9, 0.1]);
+        assert_eq!(cdf.len(), 4);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(empirical_cdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn percentile_f64_works() {
+        let v = [0.1, 0.9, 0.5];
+        assert!((percentile_f64(&v, 100.0) - 0.9).abs() < 1e-12);
+        assert_eq!(percentile_f64(&[], 50.0), 0.0);
+    }
+}

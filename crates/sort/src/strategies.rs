@@ -1,0 +1,466 @@
+//! Per-tile sorting strategies: the design space of Section 4.1 and the
+//! comparison targets of Figure 19.
+//!
+//! Each strategy is a state machine fed one frame at a time with the
+//! tile's *true* `(id, depth)` entries. It returns the ordering the
+//! rasterizer should blend in — which may be stale or approximate,
+//! depending on the strategy — together with a faithful [`SortCost`].
+//!
+//! | Strategy | Order quality | Traffic profile |
+//! |---|---|---|
+//! | [`StrategyKind::FullResort`] | exact | multi-pass radix every frame |
+//! | [`StrategyKind::Hierarchical`] | exact | two passes every frame (GSCore) |
+//! | [`StrategyKind::Periodic`] | stale between refreshes | spiky |
+//! | [`StrategyKind::Background`] | lagged by `K` frames | sustained full sort |
+//! | [`StrategyKind::ReuseUpdate`] | approx. (≤1-frame depth lag) | single pass over table |
+
+use crate::dps::{dynamic_partial_sort, DpsConfig};
+use crate::hierarchical::{hierarchical_sort, HierarchicalConfig};
+use crate::merge::{chunk_sort, merge_filtering};
+use crate::radix::radix_sort;
+use crate::{GaussianTable, SortCost, TableEntry, ENTRY_BYTES};
+use std::collections::{HashSet, VecDeque};
+
+/// Number of read+write passes a GPU radix sort makes over the key array
+/// (64-bit composite keys, 8-bit digits — the CUB configuration 3DGS
+/// uses). Re-exported from [`crate::radix`].
+pub const RADIX_PASSES: u32 = crate::radix::RADIX64_PASSES;
+
+/// Number of passes GSCore's hierarchical sorting makes: one coarse
+/// bucketing pass plus one fine per-bucket pass.
+pub const HIERARCHICAL_PASSES: u32 = 2;
+
+/// Which sorting strategy a [`TileSorter`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Sort from scratch every frame with a GPU-style radix sort.
+    FullResort,
+    /// GSCore's hierarchical sorting: coarse bucketing + fine sort, still
+    /// from scratch every frame but fewer passes than radix.
+    Hierarchical,
+    /// Full sort every `interval` frames; intermediate frames reuse the
+    /// stale table unchanged (no insertions, no deletions).
+    Periodic(u32),
+    /// Full sort runs continuously in the background; the order used for
+    /// rendering is the one computed `lag` frames ago.
+    Background(u32),
+    /// Neo's reuse-and-update sorting: Dynamic Partial Sorting + incoming
+    /// insertion + valid-bit deletion + deferred depth update.
+    ReuseUpdate,
+}
+
+/// Options for [`TileSorter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SorterConfig {
+    /// Dynamic Partial Sorting parameters (ReuseUpdate only).
+    pub dps: DpsConfig,
+    /// When false, models the ablation *without* deferred depth updates:
+    /// refreshing depths costs an extra read+write pass over the table
+    /// (Section 4.4 reports +33.2% traffic without the optimization).
+    pub deferred_depth_update: bool,
+}
+
+impl Default for SorterConfig {
+    fn default() -> Self {
+        Self { dps: DpsConfig::default(), deferred_depth_update: true }
+    }
+}
+
+/// Output of one frame of sorting for one tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameOrder {
+    /// Entries in the order the rasterizer should blend. IDs may include
+    /// stale Gaussians (strategy-dependent); the rasterizer skips IDs it
+    /// has no current features for.
+    pub order: Vec<TableEntry>,
+    /// Cost of producing the order this frame.
+    pub cost: SortCost,
+    /// Newly visible Gaussians inserted this frame (ReuseUpdate only).
+    pub incoming: usize,
+    /// Gaussians flagged outgoing this frame (ReuseUpdate only).
+    pub outgoing: usize,
+}
+
+/// Per-tile sorting state machine.
+///
+/// # Examples
+///
+/// ```
+/// use neo_sort::strategies::{StrategyKind, TileSorter};
+///
+/// let mut sorter = TileSorter::new(StrategyKind::ReuseUpdate);
+/// let frame0: Vec<(u32, f32)> = (0..100).map(|i| (i, i as f32)).collect();
+/// let out = sorter.process_frame(&frame0);
+/// assert_eq!(out.order.len(), 100);
+/// assert_eq!(out.incoming, 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TileSorter {
+    kind: StrategyKind,
+    config: SorterConfig,
+    frame_index: u64,
+    /// Persisted table (ReuseUpdate, Periodic).
+    table: GaussianTable,
+    /// Membership of the previous frame (for incoming/outgoing detection).
+    prev_ids: HashSet<u32>,
+    /// Queue of sorted orders awaiting publication (Background).
+    pending: VecDeque<Vec<TableEntry>>,
+}
+
+impl TileSorter {
+    /// Creates a sorter with default configuration.
+    pub fn new(kind: StrategyKind) -> Self {
+        Self::with_config(kind, SorterConfig::default())
+    }
+
+    /// Creates a sorter with explicit configuration.
+    pub fn with_config(kind: StrategyKind, config: SorterConfig) -> Self {
+        if let StrategyKind::Periodic(n) = kind {
+            assert!(n > 0, "periodic interval must be positive");
+        }
+        Self {
+            kind,
+            config,
+            frame_index: 0,
+            table: GaussianTable::new(),
+            prev_ids: HashSet::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The strategy this sorter runs.
+    pub fn kind(&self) -> StrategyKind {
+        self.kind
+    }
+
+    /// The table carried across frames (empty for stateless strategies).
+    pub fn table(&self) -> &GaussianTable {
+        &self.table
+    }
+
+    /// Feeds one frame of true `(id, depth)` entries; returns the blend
+    /// order and its cost.
+    pub fn process_frame(&mut self, current: &[(u32, f32)]) -> FrameOrder {
+        let frame = self.frame_index;
+        self.frame_index += 1;
+        match self.kind {
+            StrategyKind::FullResort => self.full_resort(current),
+            StrategyKind::Hierarchical => self.hierarchical(current),
+            StrategyKind::Periodic(interval) => self.periodic(current, frame, interval),
+            StrategyKind::Background(lag) => self.background(current, lag),
+            StrategyKind::ReuseUpdate => self.reuse_update(current, frame),
+        }
+    }
+
+    /// Exact sort of the current entries with the GPU-style LSD radix
+    /// sort (CUB model): multi-pass, bandwidth-hungry, but exact.
+    fn full_resort(&mut self, current: &[(u32, f32)]) -> FrameOrder {
+        let entries: Vec<TableEntry> =
+            current.iter().map(|&(id, d)| TableEntry::new(id, d)).collect();
+        let (order, cost) = radix_sort(&entries);
+        FrameOrder { order, cost, incoming: 0, outgoing: 0 }
+    }
+
+    /// Exact sort with GSCore's hierarchical (coarse bucket + fine chunk)
+    /// method: fewer off-chip passes than radix, still from scratch.
+    fn hierarchical(&mut self, current: &[(u32, f32)]) -> FrameOrder {
+        let entries: Vec<TableEntry> =
+            current.iter().map(|&(id, d)| TableEntry::new(id, d)).collect();
+        let (order, cost) = hierarchical_sort(&entries, &HierarchicalConfig::default());
+        FrameOrder { order, cost, incoming: 0, outgoing: 0 }
+    }
+
+    fn periodic(&mut self, current: &[(u32, f32)], frame: u64, interval: u32) -> FrameOrder {
+        if frame.is_multiple_of(interval as u64) {
+            let out = self.full_resort(current);
+            self.table.set_entries(out.order.clone());
+            out
+        } else {
+            // Reuse the stale table: no sorting work, no updates. New
+            // Gaussians are missing and departed ones linger — the quality
+            // decay Figure 19(b) shows.
+            FrameOrder {
+                order: self.table.entries().to_vec(),
+                cost: SortCost::new(),
+                incoming: 0,
+                outgoing: 0,
+            }
+        }
+    }
+
+    fn background(&mut self, current: &[(u32, f32)], lag: u32) -> FrameOrder {
+        // The background engine sorts every frame (sustained traffic)...
+        let fresh = self.full_resort(current);
+        self.pending.push_back(fresh.order);
+        // ...but rendering consumes the sort finished `lag` frames ago.
+        while self.pending.len() > lag as usize + 1 {
+            self.pending.pop_front();
+        }
+        let order = if self.pending.len() > lag as usize {
+            self.pending.front().cloned().unwrap_or_default()
+        } else {
+            // Warm-up: use the oldest available.
+            self.pending.front().cloned().unwrap_or_default()
+        };
+        FrameOrder { order, cost: fresh.cost, incoming: 0, outgoing: 0 }
+    }
+
+    /// Neo's reuse-and-update flow (Figure 8):
+    /// ❶ reorder the inherited table with Dynamic Partial Sorting,
+    /// ❷ sort + insert incoming Gaussians, ❸ delete invalidated entries
+    /// during the same merge, then ❹ defer depth updates to rasterization
+    /// (modelled by refreshing stored depths *after* the order is taken).
+    fn reuse_update(&mut self, current: &[(u32, f32)], frame: u64) -> FrameOrder {
+        let mut cost = SortCost::new();
+
+        // ❶ Reordering: single-pass DPS over the inherited table, keyed by
+        // the (one-frame-stale) stored depths.
+        cost += dynamic_partial_sort(&mut self.table, frame, &self.config.dps);
+
+        // ❷ Insertion: collect newly visible Gaussians and chunk-sort them.
+        let valid_ids: HashSet<u32> = self
+            .table
+            .entries()
+            .iter()
+            .filter(|e| e.valid)
+            .map(|e| e.id)
+            .collect();
+        let incoming_entries: Vec<TableEntry> = current
+            .iter()
+            .filter(|(id, _)| !valid_ids.contains(id))
+            .map(|&(id, d)| TableEntry::new(id, d))
+            .collect();
+        let incoming = incoming_entries.len();
+        let (incoming_sorted, c_in) = chunk_sort(&incoming_entries);
+        cost += c_in;
+        let incoming_bytes = (incoming * ENTRY_BYTES) as u64;
+        cost.bytes_read += incoming_bytes;
+        cost.bytes_written += incoming_bytes;
+
+        // ❸ Deletion happens inside the same MSU+ merge that inserts the
+        // incoming table: invalid entries are dropped with no extra pass.
+        let before = self.table.len();
+        let (merged, c_merge) = merge_filtering(self.table.entries(), &incoming_sorted);
+        cost += c_merge;
+        let dropped = before + incoming_sorted.len() - merged.len();
+        self.table.set_entries(merged);
+
+        // The blend order for this frame is the merged table as-is.
+        let order = self.table.entries().to_vec();
+
+        // ❹ Deferred depth update + outgoing detection, performed "during
+        // rasterization": stored depths become this frame's depths, and
+        // entries that no longer intersect the tile lose their valid bit.
+        let current_map: std::collections::HashMap<u32, f32> =
+            current.iter().copied().collect();
+        let mut outgoing = 0;
+        for e in self.table.entries_mut() {
+            match current_map.get(&e.id) {
+                Some(&d) => e.depth = d,
+                None => {
+                    if e.valid {
+                        outgoing += 1;
+                    }
+                    e.valid = false;
+                }
+            }
+        }
+        if !self.config.deferred_depth_update {
+            // Ablation: a separate depth-refresh pass re-reads and
+            // re-writes the whole table.
+            let bytes = self.table.byte_size();
+            cost.bytes_read += bytes;
+            cost.bytes_written += bytes;
+            cost.passes += 1;
+        }
+
+        self.prev_ids = current.iter().map(|&(id, _)| id).collect();
+        FrameOrder { order, cost, incoming, outgoing: outgoing + dropped.saturating_sub(0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(ids: &[u32], depth_of: impl Fn(u32) -> f32) -> Vec<(u32, f32)> {
+        ids.iter().map(|&id| (id, depth_of(id))).collect()
+    }
+
+    fn ids_of(order: &[TableEntry]) -> Vec<u32> {
+        order.iter().map(|e| e.id).collect()
+    }
+
+    #[test]
+    fn full_resort_is_exact_every_frame() {
+        let mut s = TileSorter::new(StrategyKind::FullResort);
+        let f = frame(&[3, 1, 2], |id| (10 - id) as f32);
+        let out = s.process_frame(&f);
+        assert_eq!(ids_of(&out.order), vec![3, 2, 1]);
+        assert_eq!(out.cost.passes, RADIX_PASSES);
+        assert_eq!(out.cost.bytes_read, 3 * 8 * RADIX_PASSES as u64);
+    }
+
+    #[test]
+    fn hierarchical_is_exact_with_fewer_passes() {
+        let mut s = TileSorter::new(StrategyKind::Hierarchical);
+        let f = frame(&[5, 6, 7], |id| id as f32);
+        let out = s.process_frame(&f);
+        assert_eq!(ids_of(&out.order), vec![5, 6, 7]);
+        assert_eq!(out.cost.passes, HIERARCHICAL_PASSES);
+    }
+
+    #[test]
+    fn periodic_skips_between_refreshes() {
+        let mut s = TileSorter::new(StrategyKind::Periodic(3));
+        let f0 = frame(&[1, 2], |id| id as f32);
+        let out0 = s.process_frame(&f0);
+        assert!(out0.cost.bytes_total() > 0);
+        // Frame 1: membership changed, but periodic returns the stale
+        // order at zero cost.
+        let f1 = frame(&[1, 2, 3], |id| (10 - id) as f32);
+        let out1 = s.process_frame(&f1);
+        assert_eq!(ids_of(&out1.order), vec![1, 2]);
+        assert_eq!(out1.cost.bytes_total(), 0);
+        // Frame 2: still stale.
+        let out2 = s.process_frame(&f1);
+        assert_eq!(out2.cost.bytes_total(), 0);
+        // Frame 3: refresh picks up the new world.
+        let out3 = s.process_frame(&f1);
+        assert_eq!(ids_of(&out3.order), vec![3, 2, 1]);
+        assert!(out3.cost.bytes_total() > 0);
+    }
+
+    #[test]
+    fn background_lags_by_k_frames() {
+        let mut s = TileSorter::new(StrategyKind::Background(2));
+        let f0 = frame(&[1], |_| 0.0);
+        let f1 = frame(&[2], |_| 0.0);
+        let f2 = frame(&[3], |_| 0.0);
+        assert_eq!(ids_of(&s.process_frame(&f0).order), vec![1]);
+        assert_eq!(ids_of(&s.process_frame(&f1).order), vec![1]);
+        let out2 = s.process_frame(&f2);
+        assert_eq!(ids_of(&out2.order), vec![1], "lag 2: frame 2 sees frame 0");
+        // Sustained cost every frame.
+        assert!(out2.cost.bytes_total() > 0);
+        let f3 = frame(&[4], |_| 0.0);
+        assert_eq!(ids_of(&s.process_frame(&f3).order), vec![2]);
+    }
+
+    #[test]
+    fn reuse_update_first_frame_inserts_everything() {
+        let mut s = TileSorter::new(StrategyKind::ReuseUpdate);
+        let f = frame(&[4, 5, 6], |id| (10 - id) as f32);
+        let out = s.process_frame(&f);
+        assert_eq!(out.incoming, 3);
+        assert_eq!(ids_of(&out.order), vec![6, 5, 4]);
+    }
+
+    #[test]
+    fn reuse_update_tracks_membership() {
+        let mut s = TileSorter::new(StrategyKind::ReuseUpdate);
+        let f0 = frame(&[1, 2, 3], |id| id as f32);
+        s.process_frame(&f0);
+        // ID 2 leaves, ID 9 arrives.
+        let f1 = frame(&[1, 3, 9], |id| id as f32);
+        let out1 = s.process_frame(&f1);
+        assert_eq!(out1.incoming, 1);
+        assert_eq!(out1.outgoing, 1);
+        // Next frame, the departed entry is physically merged out.
+        let f2 = frame(&[1, 3, 9], |id| id as f32);
+        let out2 = s.process_frame(&f2);
+        let ids = ids_of(&out2.order);
+        assert!(!ids.contains(&2), "departed entry must be deleted, got {ids:?}");
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn reuse_update_converges_to_true_order_under_drift() {
+        // Smoothly drifting depths: reuse-and-update must track the true
+        // order with at most transient error.
+        let ids: Vec<u32> = (0..400).collect();
+        let n = ids.len() as u64;
+        let mut s = TileSorter::new(StrategyKind::ReuseUpdate);
+        let mut last_ratio = 1.0f64;
+        for f in 0..30 {
+            let t = f as f32 * 0.1;
+            // Depths drift and cross over time.
+            let fr = frame(&ids, |id| 100.0 + (id as f32 * 0.37 + t).sin() * 50.0 + id as f32 * 0.01);
+            let out = s.process_frame(&fr);
+            // Re-key the returned order with the *true* current depths and
+            // count inversions: measures real blend-order error, tolerant
+            // of the by-design one-frame depth lag.
+            let depth_of: std::collections::HashMap<u32, f32> = fr.iter().copied().collect();
+            let rekeyed = GaussianTable::from_entries(
+                out.order
+                    .iter()
+                    .filter(|e| e.valid && depth_of.contains_key(&e.id))
+                    .map(|e| TableEntry::new(e.id, depth_of[&e.id])),
+            );
+            let worst = n * (n - 1) / 2;
+            last_ratio = rekeyed.inversions() as f64 / worst as f64;
+        }
+        assert!(
+            last_ratio < 0.10,
+            "order should track truth closely, inversion ratio {last_ratio:.4}"
+        );
+    }
+
+    #[test]
+    fn reuse_update_single_pass_traffic_beats_full_resort() {
+        let ids: Vec<u32> = (0..1000).collect();
+        let fr = frame(&ids, |id| id as f32);
+        let mut reuse = TileSorter::new(StrategyKind::ReuseUpdate);
+        let mut full = TileSorter::new(StrategyKind::FullResort);
+        reuse.process_frame(&fr);
+        full.process_frame(&fr);
+        // Steady state (no churn): reuse touches the table once; full
+        // resort makes RADIX_PASSES passes.
+        let out_r = reuse.process_frame(&fr);
+        let out_f = full.process_frame(&fr);
+        assert!(
+            out_r.cost.bytes_total() * 3 < out_f.cost.bytes_total(),
+            "reuse {} vs full {}",
+            out_r.cost.bytes_total(),
+            out_f.cost.bytes_total()
+        );
+    }
+
+    #[test]
+    fn non_deferred_depth_update_costs_extra_pass() {
+        let ids: Vec<u32> = (0..500).collect();
+        let fr = frame(&ids, |id| id as f32);
+        let mut deferred = TileSorter::new(StrategyKind::ReuseUpdate);
+        let mut eager = TileSorter::with_config(
+            StrategyKind::ReuseUpdate,
+            SorterConfig { deferred_depth_update: false, ..Default::default() },
+        );
+        deferred.process_frame(&fr);
+        eager.process_frame(&fr);
+        let d = deferred.process_frame(&fr).cost.bytes_total();
+        let e = eager.process_frame(&fr).cost.bytes_total();
+        assert!(e > d, "eager {e} must exceed deferred {d}");
+        // Roughly double (extra read+write pass over the table).
+        let ratio = e as f64 / d as f64;
+        assert!(ratio > 1.5 && ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn reuse_update_depths_lag_one_frame() {
+        let mut s = TileSorter::new(StrategyKind::ReuseUpdate);
+        s.process_frame(&frame(&[1, 2], |id| id as f32));
+        // Depths change radically; the *order* this frame still reflects
+        // last frame's depths (deferred update), then catches up.
+        let f1 = frame(&[1, 2], |id| (10 - id) as f32);
+        let out1 = s.process_frame(&f1);
+        assert_eq!(ids_of(&out1.order), vec![1, 2], "stale order used for frame 1");
+        let out2 = s.process_frame(&f1);
+        assert_eq!(ids_of(&out2.order), vec![2, 1], "order catches up next frame");
+    }
+
+    #[test]
+    #[should_panic(expected = "periodic interval")]
+    fn zero_periodic_interval_rejected() {
+        let _ = TileSorter::new(StrategyKind::Periodic(0));
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-tile Gaussian tables: the data structure Neo reuses across frames.
+
+/// Bytes per table entry as stored off-chip: 4-byte Gaussian ID (with the
+/// valid bit folded into the MSB, as in Neo's design) + 4-byte depth.
+pub const ENTRY_BYTES: usize = 8;
+
+/// One row of a per-tile Gaussian table: a Gaussian ID, its (possibly
+/// one-frame-stale) depth, and a valid bit maintained by rasterization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableEntry {
+    /// Gaussian ID (index into the cloud / feature table).
+    pub id: u32,
+    /// Depth key. Updated *during rasterization* in Neo's deferred-depth
+    /// scheme, so it may lag the true depth by one frame.
+    pub depth: f32,
+    /// Cleared by the ITU when the Gaussian no longer intersects the tile;
+    /// invalid entries are physically removed at the next merge.
+    pub valid: bool,
+}
+
+impl TableEntry {
+    /// Creates a valid entry.
+    #[inline]
+    pub fn new(id: u32, depth: f32) -> Self {
+        Self { id, depth, valid: true }
+    }
+
+    /// Total-order sort key: depth first (IEEE total order), ID as the
+    /// tiebreaker so orderings are deterministic.
+    #[inline]
+    pub fn key(&self) -> (u32, u32) {
+        // Map f32 to lexicographically ordered u32 (flip sign bit tricks).
+        let bits = self.depth.to_bits();
+        let ordered = if bits & 0x8000_0000 != 0 { !bits } else { bits | 0x8000_0000 };
+        (ordered, self.id)
+    }
+}
+
+/// A per-tile Gaussian table: the sorted list of `(id, depth, valid)` rows
+/// carried from frame to frame by Neo's reuse-and-update scheme.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GaussianTable {
+    entries: Vec<TableEntry>,
+}
+
+impl GaussianTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table from entries, preserving their order.
+    pub fn from_entries<I: IntoIterator<Item = TableEntry>>(entries: I) -> Self {
+        Self { entries: entries.into_iter().collect() }
+    }
+
+    /// Number of entries (valid or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in table order.
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// Mutable entries (kernels operate in place, like the on-chip units).
+    pub fn entries_mut(&mut self) -> &mut [TableEntry] {
+        &mut self.entries
+    }
+
+    /// Replaces the backing entries.
+    pub fn set_entries(&mut self, entries: Vec<TableEntry>) {
+        self.entries = entries;
+    }
+
+    /// Consumes the table, returning its entries.
+    pub fn into_entries(self) -> Vec<TableEntry> {
+        self.entries
+    }
+
+    /// Number of valid entries.
+    pub fn valid_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Marks `id` invalid, returning whether it was present.
+    pub fn invalidate(&mut self, id: u32) -> bool {
+        let mut found = false;
+        for e in &mut self.entries {
+            if e.id == id {
+                e.valid = false;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Writes a new depth for `id` (deferred depth update), returning
+    /// whether the entry was present.
+    pub fn update_depth(&mut self, id: u32, depth: f32) -> bool {
+        let mut found = false;
+        for e in &mut self.entries {
+            if e.id == id {
+                e.depth = depth;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// True when entries are sorted by [`TableEntry::key`].
+    pub fn is_sorted(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].key() <= w[1].key())
+    }
+
+    /// Fully sorts the table (reference operation — what per-frame
+    /// re-sorting computes).
+    pub fn sort_full(&mut self) {
+        self.entries.sort_by_key(TableEntry::key);
+    }
+
+    /// Number of inversions (pairs out of order) — the Kendall-tau
+    /// distance to the fully sorted table. O(n log n) via merge counting.
+    pub fn inversions(&self) -> u64 {
+        fn count(keys: &mut [(u32, u32)], buf: &mut Vec<(u32, u32)>) -> u64 {
+            let n = keys.len();
+            if n <= 1 {
+                return 0;
+            }
+            let mid = n / 2;
+            let (left, right) = keys.split_at_mut(mid);
+            let mut inv = count(left, buf) + count(right, buf);
+            buf.clear();
+            let (mut i, mut j) = (0, 0);
+            while i < left.len() && j < right.len() {
+                if left[i] <= right[j] {
+                    buf.push(left[i]);
+                    i += 1;
+                } else {
+                    inv += (left.len() - i) as u64;
+                    buf.push(right[j]);
+                    j += 1;
+                }
+            }
+            buf.extend_from_slice(&left[i..]);
+            buf.extend_from_slice(&right[j..]);
+            keys.copy_from_slice(buf);
+            inv
+        }
+        let mut keys: Vec<_> = self.entries.iter().map(TableEntry::key).collect();
+        let mut buf = Vec::with_capacity(keys.len());
+        count(&mut keys, &mut buf)
+    }
+
+    /// Maximum displacement of any entry from its position in the fully
+    /// sorted table (the paper's "order difference", Figure 7).
+    pub fn max_displacement(&self) -> usize {
+        let mut sorted: Vec<_> = self.entries.iter().enumerate().collect();
+        sorted.sort_by_key(|(_, e)| e.key());
+        sorted
+            .iter()
+            .enumerate()
+            .map(|(target, (current, _))| target.abs_diff(*current))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Size of the table in off-chip bytes.
+    pub fn byte_size(&self) -> u64 {
+        (self.entries.len() * ENTRY_BYTES) as u64
+    }
+}
+
+impl FromIterator<TableEntry> for GaussianTable {
+    fn from_iter<T: IntoIterator<Item = TableEntry>>(iter: T) -> Self {
+        Self::from_entries(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(depths: &[f32]) -> GaussianTable {
+        GaussianTable::from_entries(
+            depths.iter().enumerate().map(|(i, &d)| TableEntry::new(i as u32, d)),
+        )
+    }
+
+    #[test]
+    fn key_orders_negative_and_positive_depths() {
+        let a = TableEntry::new(0, -1.0);
+        let b = TableEntry::new(1, 0.0);
+        let c = TableEntry::new(2, 1.5);
+        assert!(a.key() < b.key());
+        assert!(b.key() < c.key());
+    }
+
+    #[test]
+    fn key_breaks_ties_by_id() {
+        let a = TableEntry::new(3, 2.0);
+        let b = TableEntry::new(7, 2.0);
+        assert!(a.key() < b.key());
+    }
+
+    #[test]
+    fn sort_full_sorts() {
+        let mut t = table(&[3.0, 1.0, 2.0, 0.5]);
+        assert!(!t.is_sorted());
+        t.sort_full();
+        assert!(t.is_sorted());
+        let ids: Vec<_> = t.entries().iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn inversions_count() {
+        assert_eq!(table(&[1.0, 2.0, 3.0]).inversions(), 0);
+        assert_eq!(table(&[3.0, 2.0, 1.0]).inversions(), 3);
+        assert_eq!(table(&[2.0, 1.0, 3.0]).inversions(), 1);
+        assert_eq!(GaussianTable::new().inversions(), 0);
+    }
+
+    #[test]
+    fn max_displacement_matches_shift() {
+        // Element at index 0 belongs at index 3.
+        let t = table(&[9.0, 1.0, 2.0, 3.0]);
+        assert_eq!(t.max_displacement(), 3);
+        assert_eq!(table(&[1.0, 2.0]).max_displacement(), 0);
+    }
+
+    #[test]
+    fn invalidate_and_depth_update() {
+        let mut t = table(&[1.0, 2.0]);
+        assert!(t.invalidate(1));
+        assert!(!t.invalidate(9));
+        assert_eq!(t.valid_count(), 1);
+        assert!(t.update_depth(0, 5.0));
+        assert_eq!(t.entries()[0].depth, 5.0);
+        assert!(!t.update_depth(42, 0.0));
+    }
+
+    #[test]
+    fn byte_size_is_8_per_entry() {
+        assert_eq!(table(&[1.0, 2.0, 3.0]).byte_size(), 24);
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment workloads: turning the benchmark scenes into the per-frame
+//! statistics and temporal measurements the paper's figures are built on.
+//!
+//! * [`capture`] runs the *real* functional pipeline (projection, binning,
+//!   reuse-and-update sorting) on a reduced-size build of a scene and
+//!   extrapolates the counts to full scene size, yielding the
+//!   [`neo_sim::WorkloadFrame`] sequences that drive the device models.
+//! * [`temporal`] measures per-tile Gaussian retention and sort-order
+//!   displacement between consecutive frames (Figures 6 and 7).
+//! * [`experiments`] fixes the canonical parameters used by the figure
+//!   binaries (frame counts, capture scale, resolutions, speed-ups).
+//!
+//! # Examples
+//!
+//! ```
+//! use neo_workloads::capture::{capture_workload, CaptureConfig};
+//! use neo_scene::{presets::ScenePreset, Resolution};
+//!
+//! let cfg = CaptureConfig {
+//!     scene: ScenePreset::Family,
+//!     resolution: Resolution::Hd,
+//!     frames: 3,
+//!     scale: 0.002,
+//!     speed: 1.0,
+//! };
+//! let frames = capture_workload(&cfg);
+//! assert_eq!(frames.len(), 3);
+//! assert!(frames[0].duplicates > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod capture;
+pub mod experiments;
+pub mod temporal;

@@ -1,0 +1,56 @@
+//! Large-scene flythrough: run the reuse-and-update sorter over a Mill 19
+//! style aerial scene and watch per-frame churn (incoming/outgoing
+//! Gaussians) as the camera sweeps — the stress scenario of Figure 17(a).
+//!
+//! Run: `cargo run --release --example large_scene_flythrough`
+
+use neo_core::{RendererConfig, SplatRenderer};
+use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+use neo_sim::devices::{Device, NeoDevice};
+use neo_sim::WorkloadFrame;
+
+fn main() {
+    let scene = ScenePreset::Building;
+    // 0.2% of 5.4M Gaussians ≈ 10.8k — enough for stable statistics.
+    let scale = 0.002;
+    let cloud = scene.build_scaled(scale);
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Qhd);
+    let mut renderer = SplatRenderer::new_neo(RendererConfig::default().without_image());
+    let device = NeoDevice::paper_default();
+    let inv = 1.0 / scale;
+
+    println!(
+        "flythrough over '{}' ({}k Gaussians instantiated, ~{:.1}M at full scale)\n",
+        scene.name(),
+        cloud.len() / 1000,
+        cloud.len() as f64 * inv / 1e6
+    );
+    println!("frame | table entries | incoming | outgoing | est. FPS (Neo hw)");
+    println!("------+---------------+----------+----------+------------------");
+    for i in 0..24 {
+        let cam = sampler.frame(i);
+        let fr = renderer.render_frame(&cloud, &cam);
+        let s = |v: usize| (v as f64 * inv).round() as u64;
+        let w = WorkloadFrame {
+            n_gaussians: s(cloud.len()),
+            n_projected: s(fr.stats.projected),
+            duplicates: s(fr.stats.duplicates),
+            occupied_tiles: fr.stats.occupied_tiles as u64,
+            pixels: 2560 * 1440,
+            incoming: s(fr.incoming),
+            outgoing: s(fr.outgoing),
+            table_entries: (fr.total_table_entries() as f64 * inv).round() as u64,
+            blend_ops: (2560.0 * 1440.0 * neo_sim::BLEND_OVERDRAW) as u64,
+            feature_bytes: cloud.feature_record_bytes() as u64,
+        };
+        let fps = device.simulate_frame(&w).fps();
+        println!(
+            "  {i:>3} | {:>13} | {:>8} | {:>8} | {fps:>8.1}",
+            w.table_entries, w.incoming, w.outgoing
+        );
+    }
+    println!(
+        "\nEven with millions of Gaussians, per-frame churn stays a small fraction\n\
+         of the table, so reuse-and-update sorting keeps the frame rate up."
+    );
+}

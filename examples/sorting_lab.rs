@@ -1,0 +1,83 @@
+//! Sorting lab: poke at the paper's core algorithm in isolation.
+//!
+//! Builds a per-tile Gaussian table, perturbs it like a camera motion
+//! would, and shows how Dynamic Partial Sorting's interleaved chunk
+//! boundaries restore order over a few frames while a fixed-boundary
+//! partial sort gets stuck (the Figure 9 experiment).
+//!
+//! Run: `cargo run --release --example sorting_lab`
+
+use neo_sort::dps::{chunk_ranges, dynamic_partial_sort, DpsConfig};
+use neo_sort::strategies::{StrategyKind, TileSorter};
+use neo_sort::{GaussianTable, TableEntry};
+
+fn perturbed_table(n: usize, max_shift: usize) -> GaussianTable {
+    let mut depths: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    // Deterministic pseudo-random block swaps with bounded displacement.
+    let mut state = 0x9E3779B9u64;
+    for i in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let shift = (state >> 33) as usize % (max_shift + 1);
+        if i + shift < n {
+            depths.swap(i, i + shift);
+        }
+    }
+    GaussianTable::from_entries(
+        depths.into_iter().enumerate().map(|(i, d)| TableEntry::new(i as u32, d)),
+    )
+}
+
+fn main() {
+    let cfg = DpsConfig::default();
+    println!("Dynamic Partial Sorting lab (chunk = {} entries)\n", cfg.chunk_size);
+
+    // Part 1: interleaved vs fixed boundaries (Figure 9).
+    println!("table of 2048 entries, displacements ≤ 200:");
+    println!("frame | inversions (interleaved) | inversions (fixed)");
+    let mut inter = perturbed_table(2048, 200);
+    let mut fixed = inter.clone();
+    for frame in 0..6u64 {
+        println!(
+            "  {frame:>3} | {:>25} | {:>18}",
+            inter.inversions(),
+            fixed.inversions()
+        );
+        dynamic_partial_sort(&mut inter, frame, &cfg); // alternating parity
+        dynamic_partial_sort(&mut fixed, 1, &cfg); // always aligned
+    }
+    println!(
+        "  end | {:>25} | {:>18}\n",
+        inter.inversions(),
+        fixed.inversions()
+    );
+
+    // Part 2: the chunk layout itself.
+    println!("chunk boundaries for a 1000-entry table:");
+    for frame in [0u64, 1] {
+        let ranges = chunk_ranges(1000, frame, cfg.chunk_size);
+        let preview: Vec<String> = ranges.iter().take(4).map(|r| format!("{r:?}")).collect();
+        println!("  frame parity {}: {} ...", frame % 2, preview.join(" "));
+    }
+
+    // Part 3: full reuse-and-update strategy vs full resort, cost-wise.
+    println!("\nper-frame sorting cost on a drifting 4096-entry tile:");
+    let ids: Vec<u32> = (0..4096).collect();
+    let mut neo = TileSorter::new(StrategyKind::ReuseUpdate);
+    let mut full = TileSorter::new(StrategyKind::FullResort);
+    println!("frame | neo bytes | full-resort bytes");
+    for f in 0..5 {
+        let t = f as f32 * 0.05;
+        let frame: Vec<(u32, f32)> = ids
+            .iter()
+            .map(|&id| (id, (id as f32 * 0.11 + t).sin() * 100.0 + id as f32 * 0.01))
+            .collect();
+        let a = neo.process_frame(&frame);
+        let b = full.process_frame(&frame);
+        println!(
+            "  {f:>3} | {:>9} | {:>17}",
+            a.cost.bytes_total(),
+            b.cost.bytes_total()
+        );
+    }
+    println!("\nReuse-and-update touches each entry once; radix re-sort makes 8 passes.");
+}

@@ -1,0 +1,49 @@
+//! VR-headset latency budget: can each device render *two* QHD eyes
+//! within a 90 Hz (11.1 ms) budget? This is the paper's motivating
+//! scenario — per-eye high resolution at headset refresh rates.
+//!
+//! Run: `cargo run --release --example vr_headset_budget`
+
+use neo_scene::{presets::ScenePreset, Resolution};
+use neo_sim::devices::{Device, GsCore, NeoDevice, OrinAgx};
+use neo_workloads::capture::{capture_workload, steady_state_mean, CaptureConfig};
+
+fn main() {
+    let budget_ms = 1000.0 / 90.0; // one 90 Hz refresh
+    println!("VR budget check: 2× QHD eyes @ 90 Hz → {budget_ms:.1} ms per frame pair\n");
+
+    let scene = ScenePreset::Playground;
+    let w = steady_state_mean(&capture_workload(&CaptureConfig {
+        scene,
+        resolution: Resolution::Qhd,
+        frames: 20,
+        scale: 0.01,
+        speed: 1.0,
+    }));
+
+    let orin = OrinAgx::new();
+    let gscore = GsCore::scaled_16();
+    let neo = NeoDevice::paper_default();
+    println!("scene: {} | per-eye workload: {} tile assignments\n", scene.name(), w.duplicates);
+    println!("{:<10} {:>12} {:>14} {:>10}", "device", "per-eye ms", "both eyes ms", "verdict");
+    for dev in [&orin as &dyn Device, &gscore, &neo] {
+        let t = dev.simulate_frame(&w);
+        let per_eye = t.latency_ms();
+        let both = per_eye * 2.0;
+        let verdict = if both <= budget_ms {
+            "90 Hz"
+        } else if both <= 2.0 * budget_ms {
+            "45 Hz"
+        } else if both <= 3.0 * budget_ms {
+            "30 Hz"
+        } else {
+            "slideshow"
+        };
+        println!("{:<10} {:>12.2} {:>14.2} {:>10}", dev.name(), per_eye, both, verdict);
+    }
+    println!(
+        "\nNeo turns a slideshow into a playable frame rate by removing the\n\
+         sorting bottleneck (on the paper's densest scene; lighter scenes reach\n\
+         45–90 Hz) — try `cargo run -p neo-bench --bin fig15_end_to_end`."
+    );
+}

@@ -1,0 +1,69 @@
+//! Device-model integration on *captured* (not synthetic) workloads: the
+//! paper's headline orderings must hold end-to-end through scene
+//! generation → functional pipeline → workload capture → device models.
+
+use neo_scene::{presets::ScenePreset, Resolution};
+use neo_sim::devices::{Device, GsCore, NeoDevice, OrinAgx};
+use neo_workloads::capture::{capture_workload, CaptureConfig};
+
+fn captured(scene: ScenePreset, res: Resolution) -> Vec<neo_sim::WorkloadFrame> {
+    capture_workload(&CaptureConfig {
+        scene,
+        resolution: res,
+        frames: 8,
+        scale: 0.005,
+        speed: 1.0,
+    })
+}
+
+#[test]
+fn qhd_fps_ordering_on_captured_workload() {
+    // Steady-state frames only: frame 0 is the cold start (everything is
+    // "incoming"), which real sessions amortize away.
+    let frames = &captured(ScenePreset::Family, Resolution::Qhd)[2..];
+    let orin = OrinAgx::new().mean_fps(frames);
+    let gscore = GsCore::scaled_16().mean_fps(frames);
+    let neo = NeoDevice::paper_default().mean_fps(frames);
+    assert!(
+        neo > gscore && gscore > orin,
+        "ordering must hold: neo {neo:.1} > gscore {gscore:.1} > orin {orin:.1}"
+    );
+    assert!(neo / gscore > 2.0, "Neo vs GSCore factor {:.2}", neo / gscore);
+
+    // Real-time claim on a mid-weight scene (Family is the densest and
+    // sits right at the 60 FPS boundary, as in Figure 15).
+    let train = &captured(ScenePreset::Train, Resolution::Qhd)[2..];
+    let neo_train = NeoDevice::paper_default().mean_fps(train);
+    assert!(neo_train > 60.0, "Neo must be real-time at QHD, got {neo_train:.1}");
+}
+
+#[test]
+fn traffic_reduction_on_captured_workload() {
+    let frames = captured(ScenePreset::Playground, Resolution::Qhd);
+    let orin = OrinAgx::new().total_traffic(&frames) as f64;
+    let gscore = GsCore::scaled_16().total_traffic(&frames) as f64;
+    let neo = NeoDevice::paper_default().total_traffic(&frames) as f64;
+    assert!(neo < gscore * 0.4, "vs GSCore: {:.2}", neo / gscore);
+    assert!(neo < orin * 0.15, "vs Orin: {:.2}", neo / orin);
+}
+
+#[test]
+fn resolution_collapse_is_monotone() {
+    let scene = ScenePreset::Horse;
+    let gscore = GsCore::paper_default();
+    let fps: Vec<f64> = [Resolution::Hd, Resolution::Fhd, Resolution::Qhd]
+        .iter()
+        .map(|&r| gscore.mean_fps(&captured(scene, r)))
+        .collect();
+    assert!(fps[0] > fps[1] && fps[1] > fps[2], "{fps:?}");
+}
+
+#[test]
+fn first_frame_is_costlier_than_steady_state_for_neo() {
+    // Cold start sorts everything; steady state reuses.
+    let frames = captured(ScenePreset::Train, Resolution::Fhd);
+    let neo = NeoDevice::paper_default();
+    let cold = neo.simulate_frame(&frames[0]);
+    let warm = neo.simulate_frame(&frames[4]);
+    assert!(cold.stages[1].bytes >= warm.stages[1].bytes);
+}

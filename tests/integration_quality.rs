@@ -1,0 +1,72 @@
+//! End-to-end quality integration: Neo's reuse-and-update renderer must
+//! be visually indistinguishable from the per-frame-resort baseline on
+//! real scenes (the claim behind Table 2).
+
+use neo_core::{RendererConfig, SplatRenderer};
+use neo_metrics::{lpips_proxy, psnr};
+use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+
+fn run_scene(scene: ScenePreset) -> (f64, f64) {
+    let cloud = scene.build_scaled(0.002);
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(192, 108));
+    let cfg = RendererConfig::default().with_tile_size(32);
+    let mut neo = SplatRenderer::new_neo(cfg.clone());
+    let mut base = SplatRenderer::new_baseline(cfg);
+
+    let mut worst_psnr = f64::INFINITY;
+    let mut worst_lpips: f64 = 0.0;
+    for i in 0..8 {
+        let cam = sampler.frame(i);
+        let a = neo.render_frame(&cloud, &cam).image.unwrap();
+        let b = base.render_frame(&cloud, &cam).image.unwrap();
+        if i >= 2 {
+            worst_psnr = worst_psnr.min(psnr(&b, &a));
+            worst_lpips = worst_lpips.max(lpips_proxy(&b, &a));
+        }
+    }
+    (worst_psnr, worst_lpips)
+}
+
+#[test]
+fn neo_matches_baseline_on_family() {
+    let (p, l) = run_scene(ScenePreset::Family);
+    assert!(p > 33.0, "worst-case PSNR vs baseline {p:.1} dB");
+    assert!(l < 0.05, "worst-case LPIPS proxy {l:.4}");
+}
+
+#[test]
+fn neo_matches_baseline_on_train() {
+    let (p, l) = run_scene(ScenePreset::Train);
+    assert!(p > 33.0, "worst-case PSNR vs baseline {p:.1} dB");
+    assert!(l < 0.05, "worst-case LPIPS proxy {l:.4}");
+}
+
+#[test]
+fn periodic_sorting_quality_decays_between_refreshes() {
+    // Figure 19(b): stale tables degrade quality; Neo does not.
+    let scene = ScenePreset::Horse;
+    let cloud = scene.build_scaled(0.002);
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(192, 108));
+    let cfg = RendererConfig::default().with_tile_size(32);
+    let mut base = SplatRenderer::new_baseline(cfg.clone());
+    let mut neo = SplatRenderer::new_neo(cfg.clone());
+    let mut periodic = SplatRenderer::new(neo_core::StrategyKind::Periodic(60), cfg);
+
+    let mut neo_psnr = 0.0;
+    let mut periodic_psnr = 0.0;
+    let frames = 10;
+    for i in 0..frames {
+        let cam = sampler.frame(i);
+        let gt = base.render_frame(&cloud, &cam).image.unwrap();
+        let a = neo.render_frame(&cloud, &cam).image.unwrap();
+        let p = periodic.render_frame(&cloud, &cam).image.unwrap();
+        if i >= 5 {
+            neo_psnr += psnr(&gt, &a).min(60.0);
+            periodic_psnr += psnr(&gt, &p).min(60.0);
+        }
+    }
+    assert!(
+        neo_psnr > periodic_psnr + 3.0,
+        "neo {neo_psnr:.1} should beat stale periodic {periodic_psnr:.1} clearly"
+    );
+}

@@ -1,0 +1,126 @@
+//! Property-based tests on the functional pipeline: tiling, binning and
+//! projection invariants for arbitrary splats and cameras.
+
+use neo_math::{Vec2, Vec3};
+use neo_pipeline::{bin_to_tiles, subtile_bitmap, ProjectedGaussian, TileGrid};
+use neo_scene::{Camera, Gaussian, Resolution};
+use proptest::prelude::*;
+
+fn arb_splat() -> impl Strategy<Value = ProjectedGaussian> {
+    (
+        0u32..1000,
+        -200.0f32..1200.0,
+        -200.0f32..900.0,
+        0.5f32..200.0,
+        0.1f32..100.0,
+    )
+        .prop_map(|(id, x, y, radius, depth)| ProjectedGaussian {
+            id,
+            mean2d: Vec2::new(x, y),
+            depth,
+            conic: (1.0, 0.0, 1.0),
+            radius,
+            color: Vec3::ONE,
+            opacity: 0.5,
+        })
+}
+
+proptest! {
+    #[test]
+    fn binning_covers_every_overlapped_tile(mut splats in prop::collection::vec(arb_splat(), 0..60)) {
+        // IDs must be unique to attribute tile hits per splat.
+        for (i, s) in splats.iter_mut().enumerate() {
+            s.id = i as u32;
+        }
+        let grid = TileGrid::new(1024, 768, 64);
+        let binned = bin_to_tiles(&grid, &splats);
+        // Each splat appears in exactly the tiles its bounding square
+        // overlaps (conservative disc-to-rect binning).
+        for s in &splats {
+            let hits: usize = (0..grid.tile_count())
+                .map(|t| binned.tile(t).iter().filter(|(id, _)| *id == s.id).count())
+                .sum();
+            match grid.tiles_for_splat(s.mean2d, s.radius) {
+                Some((tx0, ty0, tx1, ty1)) => {
+                    let expect = ((tx1 - tx0 + 1) * (ty1 - ty0 + 1)) as usize;
+                    prop_assert_eq!(hits, expect);
+                }
+                None => prop_assert_eq!(hits, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn tile_ranges_are_within_grid(x in -500.0f32..3000.0, y in -500.0f32..2000.0, r in 0.1f32..500.0) {
+        let grid = TileGrid::new(2560, 1440, 64);
+        if let Some((tx0, ty0, tx1, ty1)) = grid.tiles_for_splat(Vec2::new(x, y), r) {
+            prop_assert!(tx0 <= tx1 && ty0 <= ty1);
+            prop_assert!(tx1 < grid.tiles_x());
+            prop_assert!(ty1 < grid.tiles_y());
+        }
+    }
+
+    #[test]
+    fn subtile_bitmap_is_subset_of_big_radius(
+        x in 0.0f32..256.0,
+        y in 0.0f32..256.0,
+        r in 0.5f32..40.0,
+    ) {
+        let grid = TileGrid::new(256, 256, 64);
+        let small = subtile_bitmap(&grid, 1, 1, Vec2::new(x, y), r);
+        let big = subtile_bitmap(&grid, 1, 1, Vec2::new(x, y), r * 2.0);
+        // Monotonicity: growing the radius can only set more bits.
+        prop_assert_eq!(small & big, small);
+    }
+
+    #[test]
+    fn projection_depth_matches_camera_distance_along_axis(
+        gx in -3.0f32..3.0,
+        gy in -2.0f32..2.0,
+        gz in -3.0f32..3.0,
+    ) {
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -8.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            1.0,
+            Resolution::Custom(640, 360),
+        );
+        let g = Gaussian::isotropic(Vec3::new(gx, gy, gz), 0.05, 0.9, Vec3::ONE);
+        if let Some(p) = neo_pipeline::project_gaussian(&cam, 0, &g) {
+            let cam_space = cam.world_to_camera(g.mean);
+            prop_assert!((p.depth - cam_space.z).abs() < 1e-3);
+            prop_assert!(p.depth >= cam.near);
+            prop_assert!(p.radius >= 1.0);
+            // Falloff is maximal at the splat center.
+            let center = p.falloff(p.mean2d);
+            let off = p.falloff(p.mean2d + Vec2::new(3.0, 3.0));
+            prop_assert!(center >= off);
+        }
+    }
+
+    #[test]
+    fn camera_projection_roundtrip_is_stable(
+        px in 10.0f32..630.0,
+        py in 10.0f32..350.0,
+        depth in 1.0f32..50.0,
+    ) {
+        // Unproject a pixel to a camera-space point, then reproject.
+        let cam = Camera::look_at(
+            Vec3::new(1.0, 2.0, -6.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            1.1,
+            Resolution::Custom(640, 360),
+        );
+        let f = cam.focal();
+        let cam_space = Vec3::new(
+            (px - 320.0) * depth / f.x,
+            (py - 180.0) * depth / f.y,
+            depth,
+        );
+        let back = cam.camera_to_pixel(cam_space).unwrap();
+        prop_assert!((back.x - px).abs() < 0.01);
+        prop_assert!((back.y - py).abs() < 0.01);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests on the sorting substrate: the invariants Neo's
+//! hardware relies on must hold for arbitrary inputs.
+
+use neo_sort::bitonic::bitonic_sort;
+use neo_sort::dps::{chunk_ranges, dynamic_partial_sort, DpsConfig};
+use neo_sort::merge::{chunk_sort, merge_filtering, merge_keeping};
+use neo_sort::strategies::{StrategyKind, TileSorter};
+use neo_sort::{GaussianTable, TableEntry};
+use proptest::prelude::*;
+
+fn arb_entries(max_len: usize) -> impl Strategy<Value = Vec<TableEntry>> {
+    prop::collection::vec((0u32..10_000, -1000.0f32..1000.0, any::<bool>()), 0..max_len)
+        .prop_map(|v| {
+            v.into_iter()
+                .map(|(id, depth, valid)| TableEntry { id, depth, valid })
+                .collect()
+        })
+}
+
+fn is_sorted(v: &[TableEntry]) -> bool {
+    v.windows(2).all(|w| w[0].key() <= w[1].key())
+}
+
+proptest! {
+    #[test]
+    fn bitonic_sorts_any_input(mut entries in arb_entries(300)) {
+        let mut expect: Vec<u32> = entries.iter().map(|e| e.id).collect();
+        bitonic_sort(&mut entries);
+        prop_assert!(is_sorted(&entries));
+        // Multiset of IDs preserved.
+        let mut got: Vec<u32> = entries.iter().map(|e| e.id).collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn merge_filtering_output_is_sorted_and_valid(
+        mut a in arb_entries(120),
+        mut b in arb_entries(120),
+    ) {
+        a.sort_by_key(TableEntry::key);
+        b.sort_by_key(TableEntry::key);
+        let (out, _) = merge_filtering(&a, &b);
+        prop_assert!(is_sorted(&out));
+        prop_assert!(out.iter().all(|e| e.valid));
+        let expected = a.iter().chain(&b).filter(|e| e.valid).count();
+        prop_assert_eq!(out.len(), expected);
+    }
+
+    #[test]
+    fn merge_keeping_preserves_everything(
+        mut a in arb_entries(120),
+        mut b in arb_entries(120),
+    ) {
+        a.sort_by_key(TableEntry::key);
+        b.sort_by_key(TableEntry::key);
+        let (out, _) = merge_keeping(&a, &b);
+        prop_assert!(is_sorted(&out));
+        prop_assert_eq!(out.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn chunk_sort_equals_full_sort_plus_filter(entries in arb_entries(300)) {
+        let (out, _) = chunk_sort(&entries);
+        let mut expect: Vec<TableEntry> =
+            entries.iter().copied().filter(|e| e.valid).collect();
+        expect.sort_by_key(TableEntry::key);
+        let got_keys: Vec<_> = out.iter().map(TableEntry::key).collect();
+        let want_keys: Vec<_> = expect.iter().map(TableEntry::key).collect();
+        prop_assert_eq!(got_keys, want_keys);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly(
+        len in 0usize..5000,
+        frame in 0u64..8,
+        chunk in 2usize..600,
+    ) {
+        let ranges = chunk_ranges(len, frame, chunk);
+        let covered: usize = ranges.iter().map(|(s, e)| e - s).sum();
+        prop_assert_eq!(covered, len);
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+        for &(s, e) in &ranges {
+            prop_assert!(e > s);
+            prop_assert!(e - s <= chunk);
+        }
+    }
+
+    #[test]
+    fn dps_never_loses_entries_and_reduces_disorder(
+        entries in arb_entries(600),
+        frames in 1u64..6,
+    ) {
+        let mut table = GaussianTable::from_entries(entries.clone());
+        let before_inversions = table.inversions();
+        let cfg = DpsConfig { chunk_size: 64, passes: 1 };
+        for f in 0..frames {
+            dynamic_partial_sort(&mut table, f, &cfg);
+        }
+        prop_assert_eq!(table.len(), entries.len());
+        prop_assert!(table.inversions() <= before_inversions,
+            "DPS must never increase disorder");
+    }
+
+    #[test]
+    fn dps_converges_for_bounded_displacement(n in 1usize..800) {
+        // Sorted table with local perturbations ≤ 16 positions: must be
+        // fully sorted after two alternating-parity passes (chunk 64).
+        let mut depths: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        for i in (0..n.saturating_sub(16)).step_by(13) {
+            depths.swap(i, i + 16);
+        }
+        let mut table = GaussianTable::from_entries(
+            depths.into_iter().enumerate().map(|(i, d)| TableEntry::new(i as u32, d)),
+        );
+        let cfg = DpsConfig { chunk_size: 64, passes: 1 };
+        dynamic_partial_sort(&mut table, 0, &cfg);
+        dynamic_partial_sort(&mut table, 1, &cfg);
+        prop_assert!(table.is_sorted());
+    }
+
+    #[test]
+    fn reuse_update_membership_matches_input(
+        ids in prop::collection::btree_set(0u32..500, 1..120),
+    ) {
+        // After two frames with the same membership, the table contains
+        // exactly the input IDs (duplicates removed, stale pruned).
+        let frame: Vec<(u32, f32)> =
+            ids.iter().map(|&id| (id, id as f32 * 0.5)).collect();
+        let mut sorter = TileSorter::new(StrategyKind::ReuseUpdate);
+        sorter.process_frame(&frame);
+        let out = sorter.process_frame(&frame);
+        let mut got: Vec<u32> =
+            out.order.iter().filter(|e| e.valid).map(|e| e.id).collect();
+        got.sort_unstable();
+        got.dedup();
+        let want: Vec<u32> = ids.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+}
