@@ -46,9 +46,7 @@ fn bench_stages(c: &mut Criterion) {
     group.bench_function("rasterize_densest_tile", |b| {
         b.iter_batched(
             || Image::new(cam.width, cam.height, neo_math::Vec3::ZERO),
-            |mut img| {
-                rasterize_tile(&mut img, &grid, tile_index, black_box(&order), &cfg)
-            },
+            |mut img| rasterize_tile(&mut img, &grid, tile_index, black_box(&order), &cfg),
             criterion::BatchSize::LargeInput,
         )
     });

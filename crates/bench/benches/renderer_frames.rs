@@ -31,9 +31,8 @@ fn bench_renderers(c: &mut Criterion) {
     }
     // Statistics-only mode (what the workload capture runs).
     group.bench_function("neo_workload_mode", |b| {
-        let mut r = SplatRenderer::new_neo(
-            RendererConfig::default().with_tile_size(32).without_image(),
-        );
+        let mut r =
+            SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32).without_image());
         let mut i = 0usize;
         r.render_frame(&cloud, &sampler.frame(0));
         b.iter(|| {
@@ -50,9 +49,15 @@ fn bench_device_models(c: &mut Criterion) {
     let orin = OrinAgx::new();
     let gscore = GsCore::scaled_16();
     let neo = NeoDevice::paper_default();
-    group.bench_function("orin_frame", |b| b.iter(|| orin.simulate_frame(black_box(&w))));
-    group.bench_function("gscore_frame", |b| b.iter(|| gscore.simulate_frame(black_box(&w))));
-    group.bench_function("neo_frame", |b| b.iter(|| neo.simulate_frame(black_box(&w))));
+    group.bench_function("orin_frame", |b| {
+        b.iter(|| orin.simulate_frame(black_box(&w)))
+    });
+    group.bench_function("gscore_frame", |b| {
+        b.iter(|| gscore.simulate_frame(black_box(&w)))
+    });
+    group.bench_function("neo_frame", |b| {
+        b.iter(|| neo.simulate_frame(black_box(&w)))
+    });
     group.finish();
 }
 

@@ -12,7 +12,9 @@ fn entries(n: usize, seed: u64) -> Vec<TableEntry> {
     let mut state = seed | 1;
     (0..n)
         .map(|i| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             TableEntry::new(i as u32, (state >> 33) as f32)
         })
         .collect()
@@ -59,8 +61,9 @@ fn bench_dps_vs_full(c: &mut Criterion) {
     let mut group = c.benchmark_group("dps_vs_full");
     for n in [1024usize, 8192] {
         // Nearly-sorted table (the reuse case).
-        let mut base: Vec<TableEntry> =
-            (0..n).map(|i| TableEntry::new(i as u32, i as f32)).collect();
+        let mut base: Vec<TableEntry> = (0..n)
+            .map(|i| TableEntry::new(i as u32, i as f32))
+            .collect();
         for i in (0..n.saturating_sub(20)).step_by(17) {
             base.swap(i, i + 20);
         }

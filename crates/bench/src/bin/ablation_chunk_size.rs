@@ -21,9 +21,15 @@ fn frames_to_converge(n: usize, shift: usize, chunk_size: usize) -> u32 {
         depths.swap(i, i + shift);
     }
     let mut table = GaussianTable::from_entries(
-        depths.into_iter().enumerate().map(|(i, d)| TableEntry::new(i as u32, d)),
+        depths
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| TableEntry::new(i as u32, d)),
     );
-    let cfg = DpsConfig { chunk_size, passes: 1 };
+    let cfg = DpsConfig {
+        chunk_size,
+        passes: 1,
+    };
     for frame in 0..64u64 {
         if table.is_sorted() {
             return frame as u32;
@@ -38,18 +44,32 @@ fn main() {
     let chunk_sizes = [32usize, 64, 128, 256, 512];
 
     // (a) Convergence on a synthetic perturbation (displacement 100).
-    let mut conv = TextTable::new(["Chunk", "frames to sort (shift 20)", "(shift 100)", "(shift 400)"]);
+    let mut conv = TextTable::new([
+        "Chunk",
+        "frames to sort (shift 20)",
+        "(shift 100)",
+        "(shift 400)",
+    ]);
     let mut record = ExperimentRecord::new("ablation_chunk_size", "DPS chunk-size sweep");
     for &c in &chunk_sizes {
         let f = [20, 100, 400].map(|s| frames_to_converge(4096, s, c));
-        let fmt = |v: u32| if v == u32::MAX { "never".to_string() } else { v.to_string() };
+        let fmt = |v: u32| {
+            if v == u32::MAX {
+                "never".to_string()
+            } else {
+                v.to_string()
+            }
+        };
         conv.row([c.to_string(), fmt(f[0]), fmt(f[1]), fmt(f[2])]);
         record.push_series(
             format!("converge-chunk-{c}"),
             f.iter().map(|&v| v as f64).collect(),
         );
     }
-    println!("(a) frames to restore a displaced 4096-entry table:\n{}", conv.render());
+    println!(
+        "(a) frames to restore a displaced 4096-entry table:\n{}",
+        conv.render()
+    );
 
     // (b) Live renderer: residual order error + traffic per frame.
     let scene = ScenePreset::Family;
@@ -57,9 +77,8 @@ fn main() {
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(640, 360));
     let mut live = TextTable::new(["Chunk", "sort KB/frame", "mean residual inversions"]);
     for &c in &chunk_sizes {
-        let mut r = SplatRenderer::new_neo(
-            RendererConfig::default().with_chunk_size(c).without_image(),
-        );
+        let mut r =
+            SplatRenderer::new_neo(RendererConfig::default().with_chunk_size(c).without_image());
         let mut bytes = 0u64;
         let mut frames = 0u64;
         for i in 0..12 {
@@ -75,9 +94,15 @@ fn main() {
             format!("{}", bytes / frames / 1024),
             "-".to_string(),
         ]);
-        record.push_series(format!("live-bytes-chunk-{c}"), vec![(bytes / frames) as f64]);
+        record.push_series(
+            format!("live-bytes-chunk-{c}"),
+            vec![(bytes / frames) as f64],
+        );
     }
-    println!("(b) live reuse-and-update run (Family, 640×360):\n{}", live.render());
+    println!(
+        "(b) live reuse-and-update run (Family, 640×360):\n{}",
+        live.render()
+    );
     println!(
         "Takeaway: traffic is chunk-size independent (single pass either way);\n\
          convergence reach is what the chunk buys — 256 entries covers the ≈1%\n\

@@ -69,7 +69,10 @@ fn main() {
         algo.row([label.to_string(), format!("{}", bytes / counted / 1024)]);
         record.push_series(format!("algo-{label}"), vec![(bytes / counted) as f64]);
     }
-    println!("(b) measured sorting traffic in the live algorithm:\n{}", algo.render());
+    println!(
+        "(b) measured sorting traffic in the live algorithm:\n{}",
+        algo.render()
+    );
     println!("Paper reference: +33.2% traffic without deferred depth updates.");
     if let Ok(p) = record.save() {
         println!("saved {}", p.display());

@@ -24,12 +24,16 @@ fn main() {
     };
 
     let mut table = TextTable::new(["Passes", "mean PSNR dB", "min PSNR dB", "sort KB/frame"]);
-    let mut record =
-        ExperimentRecord::new("ablation_dps_passes", "accuracy vs traffic across DPS passes");
+    let mut record = ExperimentRecord::new(
+        "ablation_dps_passes",
+        "accuracy vs traffic across DPS passes",
+    );
     let mut one_pass_psnr = 0.0f64;
     for passes in [1u32, 2, 3, 4] {
         let mut r = SplatRenderer::new_neo(
-            RendererConfig::default().with_tile_size(32).with_dps_passes(passes),
+            RendererConfig::default()
+                .with_tile_size(32)
+                .with_dps_passes(passes),
         );
         let (mut sum, mut min_p) = (0.0f64, f64::INFINITY);
         let mut bytes = 0u64;
@@ -56,7 +60,10 @@ fn main() {
             format!("{min_p:.2}"),
             format!("{}", bytes / counted / 1024),
         ]);
-        record.push_series(format!("passes-{passes}"), vec![mean, min_p, (bytes / counted) as f64]);
+        record.push_series(
+            format!("passes-{passes}"),
+            vec![mean, min_p, (bytes / counted) as f64],
+        );
     }
     println!("{}", table.render());
     println!(

@@ -6,7 +6,11 @@ fn main() {
     for res in [Resolution::Hd, Resolution::Qhd] {
         for scene in [ScenePreset::Family, ScenePreset::Train] {
             let w = steady_state_mean(&capture_workload(&CaptureConfig {
-                scene, resolution: res, frames: 10, scale: 0.01, speed: 1.0,
+                scene,
+                resolution: res,
+                frames: 10,
+                scale: 0.01,
+                speed: 1.0,
             }));
             println!(
                 "{:<12} {:>4}: N={:>9} proj={:>9} dup={:>10} tiles/g={:.2} occ={:>4} inc={:>8} out={:>8} table={:>10}",

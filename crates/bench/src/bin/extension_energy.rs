@@ -26,7 +26,11 @@ fn main() {
     let (_, gscore_power_mw) = gscore_totals();
 
     let mut table = TextTable::new([
-        "System", "compute mJ", "DRAM mJ", "total mJ/frame", "mJ per 60 frames",
+        "System",
+        "compute mJ",
+        "DRAM mJ",
+        "total mJ/frame",
+        "mJ per 60 frames",
     ]);
     let mut record =
         ExperimentRecord::new("extension_energy", "per-frame energy: GSCore vs Neo at QHD");

@@ -13,10 +13,7 @@ fn main() {
     println!("Figure 3 — GSCore FPS vs resolution (4 cores, 51.2 GB/s)\n");
 
     let mut table = TextTable::new(["Scene", "HD", "FHD", "QHD"]);
-    let mut record = ExperimentRecord::new(
-        "fig03",
-        "GSCore FPS at HD/FHD/QHD, 4 cores, 51.2 GB/s",
-    );
+    let mut record = ExperimentRecord::new("fig03", "GSCore FPS at HD/FHD/QHD, 4 cores, 51.2 GB/s");
     let mut means = [0.0f64; 3];
 
     for scene in ScenePreset::TANKS_AND_TEMPLES {

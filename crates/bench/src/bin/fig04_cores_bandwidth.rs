@@ -27,8 +27,7 @@ fn main() {
     let cores = [4u32, 8, 16];
 
     let mut table = TextTable::new(["Bandwidth", "4 cores", "8 cores", "16 cores"]);
-    let mut record =
-        ExperimentRecord::new("fig04", "GSCore QHD FPS vs cores and bandwidth");
+    let mut record = ExperimentRecord::new("fig04", "GSCore QHD FPS vs cores and bandwidth");
     for (label, dram) in &bandwidths {
         let fps: Vec<f64> = cores
             .iter()

@@ -34,15 +34,13 @@ fn breakdown(device: &dyn Device, label: &str, record: &mut ExperimentRecord) {
         ]);
         record.push_series(
             format!("{label}-{}", res.label()),
-            vec![
-                total as f64 / 1e9,
-                pct(0),
-                pct(1),
-                pct(2),
-            ],
+            vec![total as f64 / 1e9, pct(0), pct(1), pct(2)],
         );
     }
-    println!("({label}) traffic for 60 frames, mean of six scenes:\n{}", table.render());
+    println!(
+        "({label}) traffic for 60 frames, mean of six scenes:\n{}",
+        table.render()
+    );
 }
 
 fn main() {

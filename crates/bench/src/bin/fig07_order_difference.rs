@@ -9,13 +9,7 @@ use neo_workloads::temporal::measure_temporal;
 
 fn main() {
     println!("Figure 7 — temporal similarity of sort order per tile\n");
-    let mut table = TextTable::new([
-        "Scene",
-        "p90",
-        "p95",
-        "p99",
-        "p99 / tile-pop",
-    ]);
+    let mut table = TextTable::new(["Scene", "p90", "p95", "p99", "p99 / tile-pop"]);
     let mut record = ExperimentRecord::new(
         "fig07",
         "Order-difference percentiles (positions, scaled to full scene size)",

@@ -26,8 +26,20 @@ fn main() {
         "Orin AGX: original 3DGS vs software Neo — traffic and latency breakdown",
     );
 
-    let mut traffic = TextTable::new(["System", "FeatExt GB", "Sorting GB", "Raster GB", "Total GB"]);
-    let mut latency = TextTable::new(["System", "FeatExt ms", "Sorting ms", "Raster ms", "Total ms"]);
+    let mut traffic = TextTable::new([
+        "System",
+        "FeatExt GB",
+        "Sorting GB",
+        "Raster GB",
+        "Total GB",
+    ]);
+    let mut latency = TextTable::new([
+        "System",
+        "FeatExt ms",
+        "Sorting ms",
+        "Raster ms",
+        "Total ms",
+    ]);
     for (label, dev) in [("Original 3DGS", &orin as &dyn Device), ("Neo-SW", &neo_sw)] {
         let mut bytes = [0u64; 3];
         let mut lat = [0.0f64; 3];
@@ -57,17 +69,29 @@ fn main() {
         ]);
         record.push_series(
             format!("{label}-traffic-gb"),
-            bytes.iter().map(|&b| b as f64 / n_scenes as f64 / 1e9).collect(),
+            bytes
+                .iter()
+                .map(|&b| b as f64 / n_scenes as f64 / 1e9)
+                .collect(),
         );
         record.push_series(format!("{label}-latency-ms"), mean_lat);
     }
-    println!("(a) DRAM traffic per 60 frames (mean of six scenes):\n{}", traffic.render());
+    println!(
+        "(a) DRAM traffic per 60 frames (mean of six scenes):\n{}",
+        traffic.render()
+    );
     println!("(b) per-frame latency breakdown:\n{}", latency.render());
 
     let t0 = orin.total_traffic(&workloads) as f64;
     let t1 = neo_sw.total_traffic(&workloads) as f64;
-    let l0: f64 = workloads.iter().map(|w| orin.simulate_frame(w).latency_s()).sum();
-    let l1: f64 = workloads.iter().map(|w| neo_sw.simulate_frame(w).latency_s()).sum();
+    let l0: f64 = workloads
+        .iter()
+        .map(|w| orin.simulate_frame(w).latency_s())
+        .sum();
+    let l1: f64 = workloads
+        .iter()
+        .map(|w| neo_sw.simulate_frame(w).latency_s())
+        .sum();
     println!(
         "traffic cut: {:.1}%   end-to-end speedup: {:.2}×",
         (1.0 - t1 / t0) * 100.0,

@@ -13,7 +13,13 @@ fn main() {
     println!("Figure 15 — end-to-end throughput (FPS)\n");
     let mut record = ExperimentRecord::new("fig15", "End-to-end FPS per scene/resolution/device");
     let mut table = TextTable::new([
-        "Scene", "Res", "Orin AGX", "GSCore", "Neo", "Neo/Orin", "Neo/GSCore",
+        "Scene",
+        "Res",
+        "Orin AGX",
+        "GSCore",
+        "Neo",
+        "Neo/Orin",
+        "Neo/GSCore",
     ]);
     let mut sums = vec![[0.0f64; 3]; RESOLUTIONS.len()];
 

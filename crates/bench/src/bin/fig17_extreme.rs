@@ -49,8 +49,7 @@ fn main() {
     for speed in speeds {
         let frames = scene_workload_with(ScenePreset::Family, Resolution::Qhd, speed, 30);
         let fps = neo.mean_fps(&frames);
-        let churn =
-            frames[1..].iter().map(|w| w.incoming).sum::<u64>() / (frames.len() as u64 - 1);
+        let churn = frames[1..].iter().map(|w| w.incoming).sum::<u64>() / (frames.len() as u64 - 1);
         table_b.row([
             format!("{speed:.0}×"),
             format!("{fps:.1}"),
@@ -59,7 +58,10 @@ fn main() {
         series.push(fps);
     }
     record.push_series("neo-fps-vs-speed", series);
-    println!("(b) Neo FPS under rapid camera movement (Family, QHD):\n{}", table_b.render());
+    println!(
+        "(b) Neo FPS under rapid camera movement (Family, QHD):\n{}",
+        table_b.render()
+    );
     println!(
         "Paper reference: (a) Neo ≈ 65.2 FPS mean vs Orin < 13.6 / GSCore < 24.9;\n\
          (b) Neo stays above 60 FPS up to 16× camera speed."

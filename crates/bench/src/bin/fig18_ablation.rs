@@ -20,8 +20,10 @@ fn main() {
     let neo_s = NeoDevice::paper_default().sorting_engine_only();
     let neo = NeoDevice::paper_default();
 
-    let base_latency: f64 =
-        workloads.iter().map(|w| gscore.simulate_frame(w).latency_s()).sum();
+    let base_latency: f64 = workloads
+        .iter()
+        .map(|w| gscore.simulate_frame(w).latency_s())
+        .sum();
     let base_traffic = gscore.total_traffic(&workloads) as f64;
 
     let mut table = TextTable::new(["System", "Speedup", "Relative traffic"]);
@@ -32,7 +34,10 @@ fn main() {
         ("Neo-S", &neo_s),
         ("Neo", &neo),
     ] {
-        let lat: f64 = workloads.iter().map(|w| dev.simulate_frame(w).latency_s()).sum();
+        let lat: f64 = workloads
+            .iter()
+            .map(|w| dev.simulate_frame(w).latency_s())
+            .sum();
         let traffic = dev.total_traffic(&workloads) as f64;
         let speedup = base_latency / lat;
         let rel = traffic / base_traffic;

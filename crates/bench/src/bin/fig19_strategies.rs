@@ -44,8 +44,7 @@ fn latency_series(kind: StrategyKind) -> Vec<f64> {
     // traffic per frame.
     let cloud = scene.build_scaled(scale);
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Qhd);
-    let mut renderer =
-        SplatRenderer::new(kind, RendererConfig::default().without_image());
+    let mut renderer = SplatRenderer::new(kind, RendererConfig::default().without_image());
     let device = NeoDevice::paper_default();
     let inv = 1.0 / scale;
 
@@ -56,7 +55,10 @@ fn latency_series(kind: StrategyKind) -> Vec<f64> {
             let t = device.simulate_frame(&workloads[i]);
             let fe = t.stages[0].latency_s();
             let raster = t.stages[2].latency_s();
-            let sort = device.dram.transfer_time(sort_bytes).max(t.stages[1].compute_s);
+            let sort = device
+                .dram
+                .transfer_time(sort_bytes)
+                .max(t.stages[1].compute_s);
             (fe + sort + raster) * 1e3
         })
         .collect()
@@ -75,8 +77,7 @@ fn psnr_series(kind: StrategyKind) -> Vec<f64> {
         transmittance_eps: 1e-6,
         ..RenderConfig::default()
     };
-    let mut renderer =
-        SplatRenderer::new(kind, RendererConfig::default().with_tile_size(32));
+    let mut renderer = SplatRenderer::new(kind, RendererConfig::default().with_tile_size(32));
     (0..FRAMES)
         .map(|i| {
             let cam = sampler.frame(i);
@@ -95,7 +96,12 @@ fn main() {
     );
 
     let mut lat_table = TextTable::new([
-        "Strategy", "mean ms", "max ms", "frames > SLO", "mean PSNR dB", "min PSNR dB",
+        "Strategy",
+        "mean ms",
+        "max ms",
+        "frames > SLO",
+        "mean PSNR dB",
+        "min PSNR dB",
     ]);
     for (label, kind) in strategies() {
         let lat = latency_series(kind);

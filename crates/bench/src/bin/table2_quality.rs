@@ -36,8 +36,10 @@ fn main() {
         "ΔPSNR",
         "ΔLPIPS",
     ]);
-    let mut record =
-        ExperimentRecord::new("table2", "PSNR/LPIPS-proxy of original 3DGS and Neo per scene");
+    let mut record = ExperimentRecord::new(
+        "table2",
+        "PSNR/LPIPS-proxy of original 3DGS and Neo per scene",
+    );
 
     for scene in ScenePreset::TANKS_AND_TEMPLES {
         let cloud = scene.build_scaled(0.004);

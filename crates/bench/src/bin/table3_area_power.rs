@@ -10,7 +10,13 @@ fn main() {
     let (gs_area, gs_power) = gscore_totals();
     let (neo_area, neo_power) = totals(&neo_components());
 
-    let mut table = TextTable::new(["Device", "Technology", "Frequency", "Area (mm²)", "Power (mW)"]);
+    let mut table = TextTable::new([
+        "Device",
+        "Technology",
+        "Frequency",
+        "Area (mm²)",
+        "Power (mW)",
+    ]);
     table.row([
         "GSCore".to_string(),
         "7 nm".to_string(),

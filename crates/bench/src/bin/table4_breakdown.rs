@@ -14,7 +14,10 @@ fn main() {
     let mut record = ExperimentRecord::new("table4", "Neo per-component area/power");
 
     for engine in Engine::ALL {
-        for c in comps.iter().filter(|c| c.engine == engine && c.name != engine.name()) {
+        for c in comps
+            .iter()
+            .filter(|c| c.engine == engine && c.name != engine.name())
+        {
             table.row([
                 format!("  {}", c.name),
                 format!("{:.3}", c.area_mm2),

@@ -35,9 +35,7 @@ fn main() {
     let tables = vec![mean_table; w.occupied_tiles as usize];
     let jobs = jobs_from_tables(&tables, 256);
 
-    let mut table = TextTable::new([
-        "Bandwidth", "Cores", "cycle ms", "analytic ms", "ratio",
-    ]);
+    let mut table = TextTable::new(["Bandwidth", "Cores", "cycle ms", "analytic ms", "ratio"]);
     let mut record = ExperimentRecord::new(
         "validate_cycle_model",
         "event-driven vs analytic sorting-stage latency",

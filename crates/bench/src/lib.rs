@@ -79,7 +79,7 @@ impl TextTable {
 
 /// One experiment result record, serialized to `results/<id>.json` so the
 /// regenerated figures are machine-readable.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRecord {
     /// Experiment identifier ("fig15", "table2", ...).
     pub id: String,
@@ -89,10 +89,24 @@ pub struct ExperimentRecord {
     pub series: Vec<(String, Vec<f64>)>,
 }
 
+impl Serialize for ExperimentRecord {
+    fn write_json(&self, out: &mut String) {
+        let mut ser = serde::StructSer::new(out);
+        ser.field("id", &self.id)
+            .field("description", &self.description)
+            .field("series", &self.series);
+        ser.end();
+    }
+}
+
 impl ExperimentRecord {
     /// Creates a record.
     pub fn new(id: &str, description: &str) -> Self {
-        Self { id: id.into(), description: description.into(), series: Vec::new() }
+        Self {
+            id: id.into(),
+            description: description.into(),
+            series: Vec::new(),
+        }
     }
 
     /// Adds a named series.
@@ -115,7 +129,10 @@ impl ExperimentRecord {
             .unwrap_or_else(|| PathBuf::from("results"));
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(self).expect("serializable"),
+        )?;
         Ok(path)
     }
 }
@@ -171,17 +188,16 @@ where
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     let chunk = items.len().div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     out.into_iter().map(|r| r.expect("slot filled")).collect()
 }
 

@@ -40,7 +40,10 @@ impl FrameResult {
         if self.tile_loads.is_empty() {
             0.0
         } else {
-            self.tile_loads.iter().map(|t| t.table_len as f64).sum::<f64>()
+            self.tile_loads
+                .iter()
+                .map(|t| t.table_len as f64)
+                .sum::<f64>()
                 / self.tile_loads.len() as f64
         }
     }
@@ -64,8 +67,18 @@ mod tests {
             incoming: 0,
             outgoing: 0,
             tile_loads: vec![
-                TileLoad { tile: 0, table_len: 10, incoming: 1, outgoing: 0 },
-                TileLoad { tile: 1, table_len: 30, incoming: 0, outgoing: 2 },
+                TileLoad {
+                    tile: 0,
+                    table_len: 10,
+                    incoming: 1,
+                    outgoing: 0,
+                },
+                TileLoad {
+                    tile: 1,
+                    table_len: 30,
+                    incoming: 0,
+                    outgoing: 2,
+                },
             ],
         };
         assert_eq!(fr.mean_table_len(), 20.0);

@@ -28,7 +28,13 @@ pub struct SplatRenderer {
 impl SplatRenderer {
     /// Creates a renderer with an explicit sorting strategy.
     pub fn new(strategy: StrategyKind, config: RendererConfig) -> Self {
-        Self { strategy, config, sorters: Vec::new(), grid: None, frames_rendered: 0 }
+        Self {
+            strategy,
+            config,
+            sorters: Vec::new(),
+            grid: None,
+            frames_rendered: 0,
+        }
     }
 
     /// Creates a Neo renderer (reuse-and-update sorting).
@@ -120,10 +126,9 @@ impl SplatRenderer {
         let mut tile_loads = Vec::with_capacity(stats.occupied_tiles);
 
         for (tile_index, entries) in assignments.iter_occupied() {
-            let sorter = self.sorters[tile_index]
-                .get_or_insert_with(|| {
-                    TileSorter::with_config(self.strategy, self.config.sorter_config())
-                });
+            let sorter = self.sorters[tile_index].get_or_insert_with(|| {
+                TileSorter::with_config(self.strategy, self.config.sorter_config())
+            });
             let out = sorter.process_frame(entries);
             sort_cost += out.cost;
             incoming_total += out.incoming;
@@ -164,9 +169,10 @@ impl SplatRenderer {
                 stats.saturated_pixels += ts.saturated_pixels;
             }
         }
-        stats
-            .traffic
-            .write(Stage::Rasterization, cam.width as u64 * cam.height as u64 * 4);
+        stats.traffic.write(
+            Stage::Rasterization,
+            cam.width as u64 * cam.height as u64 * 4,
+        );
 
         self.frames_rendered += 1;
         FrameResult {
@@ -201,8 +207,7 @@ mod tests {
     fn neo_and_baseline_render_similar_images() {
         let (cloud, sampler) = small_setup();
         let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
-        let mut base =
-            SplatRenderer::new_baseline(RendererConfig::default().with_tile_size(32));
+        let mut base = SplatRenderer::new_baseline(RendererConfig::default().with_tile_size(32));
         // Warm both renderers over a few frames, then compare.
         let mut last_pair = None;
         for i in 0..5 {
@@ -220,15 +225,17 @@ mod tests {
             .map(|(p, q)| (*p - *q).length_squared())
             .sum::<f32>()
             / ia.pixels().len() as f32;
-        assert!(mse < 1e-3, "Neo must match the baseline closely, mse = {mse}");
+        assert!(
+            mse < 1e-3,
+            "Neo must match the baseline closely, mse = {mse}"
+        );
     }
 
     #[test]
     fn reuse_cuts_sorting_traffic() {
         let (cloud, sampler) = small_setup();
         let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
-        let mut base =
-            SplatRenderer::new_baseline(RendererConfig::default().with_tile_size(32));
+        let mut base = SplatRenderer::new_baseline(RendererConfig::default().with_tile_size(32));
         let mut neo_bytes = 0u64;
         let mut base_bytes = 0u64;
         for i in 0..6 {
@@ -254,7 +261,10 @@ mod tests {
         let f1 = neo.render_frame(&cloud, &sampler.frame(1));
         assert!(f0.incoming > 0);
         let churn = f1.incoming as f64 / f0.incoming.max(1) as f64;
-        assert!(churn < 0.25, "frame-1 churn should be small, got {churn:.3}");
+        assert!(
+            churn < 0.25,
+            "frame-1 churn should be small, got {churn:.3}"
+        );
         assert_eq!(neo.frames_rendered(), 2);
     }
 
@@ -263,7 +273,9 @@ mod tests {
         let (cloud, sampler) = small_setup();
         let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
         neo.render_frame(&cloud, &sampler.frame(0));
-        let cam_big = sampler.frame(1).with_resolution(Resolution::Custom(320, 192));
+        let cam_big = sampler
+            .frame(1)
+            .with_resolution(Resolution::Custom(320, 192));
         let f = neo.render_frame(&cloud, &cam_big);
         // All Gaussians are "incoming" again after the reset.
         assert_eq!(f.incoming, f.stats.duplicates);
@@ -272,9 +284,8 @@ mod tests {
     #[test]
     fn workload_mode_skips_image() {
         let (cloud, sampler) = small_setup();
-        let mut neo = SplatRenderer::new_neo(
-            RendererConfig::default().with_tile_size(32).without_image(),
-        );
+        let mut neo =
+            SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32).without_image());
         let f = neo.render_frame(&cloud, &sampler.frame(0));
         assert!(f.image.is_none());
         assert!(f.stats.blend_ops == 0);
@@ -292,7 +303,11 @@ mod tests {
         let f0 = per.render_frame(&cloud, &sampler.frame(0));
         let f1 = per.render_frame(&cloud, &sampler.frame(1));
         assert!(f0.stats.traffic.stage_total(Stage::Sorting) > 0);
-        assert_eq!(f1.stats.traffic.stage_total(Stage::Sorting), 0, "skip frame");
+        assert_eq!(
+            f1.stats.traffic.stage_total(Stage::Sorting),
+            0,
+            "skip frame"
+        );
         assert!(f1.image.is_some());
     }
 

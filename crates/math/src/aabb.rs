@@ -30,7 +30,10 @@ impl Aabb {
     /// Box centered at `center` with the given half-extent in each axis.
     #[inline]
     pub fn from_center_half_extent(center: Vec3, half: Vec3) -> Self {
-        Self { min: center - half, max: center + half }
+        Self {
+            min: center - half,
+            max: center + half,
+        }
     }
 
     /// True when the box contains no points.
@@ -54,13 +57,19 @@ impl Aabb {
     /// Grows the box to include `p`.
     #[inline]
     pub fn union_point(self, p: Vec3) -> Self {
-        Self { min: self.min.min(p), max: self.max.max(p) }
+        Self {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
     }
 
     /// Smallest box containing both boxes.
     #[inline]
     pub fn union(self, other: Self) -> Self {
-        Self { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Self {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// True when `p` lies inside or on the boundary.

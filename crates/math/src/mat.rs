@@ -35,7 +35,11 @@ impl Mat3 {
     /// Builds a matrix from three columns.
     #[inline]
     pub const fn from_cols(x_axis: Vec3, y_axis: Vec3, z_axis: Vec3) -> Self {
-        Self { x_axis, y_axis, z_axis }
+        Self {
+            x_axis,
+            y_axis,
+            z_axis,
+        }
     }
 
     /// Builds a matrix from rows (transposed `from_cols`).
@@ -174,7 +178,12 @@ impl Mat4 {
     /// Builds a matrix from four columns.
     #[inline]
     pub const fn from_cols(x_axis: Vec4, y_axis: Vec4, z_axis: Vec4, w_axis: Vec4) -> Self {
-        Self { x_axis, y_axis, z_axis, w_axis }
+        Self {
+            x_axis,
+            y_axis,
+            z_axis,
+            w_axis,
+        }
     }
 
     /// Builds an affine transform from a rotation and a translation.
@@ -249,7 +258,12 @@ impl Mul for Mat4 {
     type Output = Self;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        Self::from_cols(self * rhs.x_axis, self * rhs.y_axis, self * rhs.z_axis, self * rhs.w_axis)
+        Self::from_cols(
+            self * rhs.x_axis,
+            self * rhs.y_axis,
+            self * rhs.z_axis,
+            self * rhs.w_axis,
+        )
     }
 }
 

@@ -21,7 +21,12 @@ pub struct Quat {
 
 impl Quat {
     /// Identity rotation.
-    pub const IDENTITY: Self = Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Self = Self {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Constructs a quaternion from components (not normalized).
     #[inline]
@@ -32,7 +37,12 @@ impl Quat {
     /// Rotation of `angle` radians about the (unit) `axis`.
     pub fn from_axis_angle(axis: Vec3, angle: f32) -> Self {
         let (s, c) = (angle * 0.5).sin_cos();
-        Self { w: c, x: axis.x * s, y: axis.y * s, z: axis.z * s }
+        Self {
+            w: c,
+            x: axis.x * s,
+            y: axis.y * s,
+            z: axis.z * s,
+        }
     }
 
     /// Squared norm.
@@ -46,7 +56,12 @@ impl Quat {
     pub fn normalized(self) -> Self {
         let n = self.norm_squared().sqrt();
         if n > 0.0 && n.is_finite() {
-            Self { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+            Self {
+                w: self.w / n,
+                x: self.x / n,
+                y: self.y / n,
+                z: self.z / n,
+            }
         } else {
             Self::IDENTITY
         }
@@ -55,9 +70,13 @@ impl Quat {
     /// Conjugate (inverse for unit quaternions).
     #[inline]
     pub fn conjugate(self) -> Self {
-        Self { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Self {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
-
 
     /// Rotates a vector.
     pub fn rotate(self, v: Vec3) -> Vec3 {
@@ -85,11 +104,15 @@ impl Quat {
     /// Falls back to normalized lerp when the quaternions are nearly
     /// parallel (numerically safer and visually identical).
     pub fn slerp(self, mut other: Self, t: f32) -> Self {
-        let mut dot =
-            self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z;
+        let mut dot = self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z;
         // Take the short way around.
         if dot < 0.0 {
-            other = Self { w: -other.w, x: -other.x, y: -other.y, z: -other.z };
+            other = Self {
+                w: -other.w,
+                x: -other.x,
+                y: -other.y,
+                z: -other.z,
+            };
             dot = -dot;
         }
         if dot > 0.9995 {

@@ -24,7 +24,13 @@ pub const MAX_COEFFS: usize = basis_count(MAX_DEGREE);
 
 const SH_C0: f32 = 0.282_094_8;
 const SH_C1: f32 = 0.488_602_5;
-const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_2];
+const SH_C2: [f32; 5] = [
+    1.092_548_4,
+    -1.092_548_4,
+    0.315_391_57,
+    -1.092_548_4,
+    0.546_274_2,
+];
 const SH_C3: [f32; 7] = [
     -0.590_043_6,
     2.890_611_4,
@@ -44,7 +50,10 @@ const SH_C3: [f32; 7] = [
 ///
 /// Panics if `degree > MAX_DEGREE`.
 pub fn eval_basis(degree: usize, dir: Vec3, out: &mut [f32; MAX_COEFFS]) {
-    assert!(degree <= MAX_DEGREE, "SH degree {degree} exceeds {MAX_DEGREE}");
+    assert!(
+        degree <= MAX_DEGREE,
+        "SH degree {degree} exceeds {MAX_DEGREE}"
+    );
     out.fill(0.0);
     let (x, y, z) = (dir.x, dir.y, dir.z);
 
@@ -179,14 +188,7 @@ mod tests {
     #[test]
     fn basis_degree_orthogonality_probe() {
         // Numerical sanity: band-1 bases integrate to ~0 over directions.
-        let dirs = [
-            Vec3::X,
-            -Vec3::X,
-            Vec3::Y,
-            -Vec3::Y,
-            Vec3::Z,
-            -Vec3::Z,
-        ];
+        let dirs = [Vec3::X, -Vec3::X, Vec3::Y, -Vec3::Y, Vec3::Z, -Vec3::Z];
         let mut sums = [0.0f32; MAX_COEFFS];
         let mut basis = [0.0; MAX_COEFFS];
         for &d in &dirs {

@@ -136,8 +136,7 @@ fn downsample(img: &Image) -> Image {
             let y0 = (y * 2).min(img.height() - 1);
             let x1 = (x0 + 1).min(img.width() - 1);
             let y1 = (y0 + 1).min(img.height() - 1);
-            let c = (img.get(x0, y0) + img.get(x1, y0) + img.get(x0, y1) + img.get(x1, y1))
-                * 0.25;
+            let c = (img.get(x0, y0) + img.get(x1, y0) + img.get(x0, y1) + img.get(x1, y1)) * 0.25;
             out.set(x, y, c);
         }
     }

@@ -18,7 +18,10 @@ pub struct TileAssignments {
 impl TileAssignments {
     /// Creates empty assignments for a grid.
     pub fn new(grid: TileGrid) -> Self {
-        Self { grid, tiles: vec![Vec::new(); grid.tile_count()] }
+        Self {
+            grid,
+            tiles: vec![Vec::new(); grid.tile_count()],
+        }
     }
 
     /// The underlying grid.

@@ -107,8 +107,18 @@ mod tests {
         let c = cam();
         let mut cloud = GaussianCloud::new();
         cloud.push(Gaussian::isotropic(Vec3::ZERO, 0.1, 0.9, Vec3::ONE)); // visible
-        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, -30.0), 0.1, 0.9, Vec3::ONE)); // behind
-        cloud.push(Gaussian::isotropic(Vec3::new(50.0, 0.0, 0.0), 0.1, 0.9, Vec3::ONE)); // side
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, -30.0),
+            0.1,
+            0.9,
+            Vec3::ONE,
+        )); // behind
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(50.0, 0.0, 0.0),
+            0.1,
+            0.9,
+            Vec3::ONE,
+        )); // side
         let r = cull_cloud(&c, &cloud);
         assert_eq!(r.visible, vec![0]);
         assert_eq!(r.culled, 2);

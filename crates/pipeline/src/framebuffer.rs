@@ -69,10 +69,7 @@ impl Image {
 
     /// Mean pixel value across the image.
     pub fn mean(&self) -> Vec3 {
-        let sum = self
-            .data
-            .iter()
-            .fold(Vec3::ZERO, |acc, &p| acc + p);
+        let sum = self.data.iter().fold(Vec3::ZERO, |acc, &p| acc + p);
         sum / self.data.len() as f32
     }
 

@@ -237,7 +237,12 @@ mod tests {
 
     fn red_blob() -> GaussianCloud {
         let mut cloud = GaussianCloud::new();
-        cloud.push(Gaussian::isotropic(Vec3::ZERO, 0.3, 0.95, Vec3::new(1.0, 0.0, 0.0)));
+        cloud.push(Gaussian::isotropic(
+            Vec3::ZERO,
+            0.3,
+            0.95,
+            Vec3::new(1.0, 0.0, 0.0),
+        ));
         cloud
     }
 
@@ -255,7 +260,10 @@ mod tests {
     #[test]
     fn empty_cloud_renders_background() {
         let cam = cam(64, 64);
-        let cfg = RenderConfig { background: Vec3::new(0.0, 0.0, 1.0), ..Default::default() };
+        let cfg = RenderConfig {
+            background: Vec3::new(0.0, 0.0, 1.0),
+            ..Default::default()
+        };
         let (img, stats) = render_reference(&GaussianCloud::new(), &cam, &cfg);
         assert_eq!(img.get(30, 30), Vec3::new(0.0, 0.0, 1.0));
         assert_eq!(stats.projected, 0);
@@ -267,9 +275,19 @@ mod tests {
         let cam = cam(128, 128);
         let mut cloud = GaussianCloud::new();
         // Front (closer to camera at z=-5): red at z=-1 (depth 4).
-        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, -1.0), 0.25, 0.99, Vec3::new(1.0, 0.0, 0.0)));
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, -1.0),
+            0.25,
+            0.99,
+            Vec3::new(1.0, 0.0, 0.0),
+        ));
         // Back: green at z=+1 (depth 6).
-        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 1.0), 0.25, 0.99, Vec3::new(0.0, 1.0, 0.0)));
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, 1.0),
+            0.25,
+            0.99,
+            Vec3::new(0.0, 1.0, 0.0),
+        ));
         let (img, _) = render_reference(&cloud, &cam, &RenderConfig::default());
         let c = img.get(64, 64);
         assert!(c.x > c.y * 2.0, "front red must dominate: {c}");
@@ -288,8 +306,22 @@ mod tests {
             ));
             c
         };
-        let (a, _) = render_reference(&cloud, &cam, &RenderConfig { subtiling: true, ..Default::default() });
-        let (b, _) = render_reference(&cloud, &cam, &RenderConfig { subtiling: false, ..Default::default() });
+        let (a, _) = render_reference(
+            &cloud,
+            &cam,
+            &RenderConfig {
+                subtiling: true,
+                ..Default::default()
+            },
+        );
+        let (b, _) = render_reference(
+            &cloud,
+            &cam,
+            &RenderConfig {
+                subtiling: false,
+                ..Default::default()
+            },
+        );
         // Subtile skipping only skips pixels beyond 3σ where alpha < 1/255;
         // images should be nearly identical.
         let max_diff = a
@@ -297,8 +329,7 @@ mod tests {
             .iter()
             .zip(b.pixels())
             .map(|(p, q)| (*p - *q).abs().max_element())
-            .fold(0.0f32, f32::max)
-            ;
+            .fold(0.0f32, f32::max);
         assert!(max_diff < 0.02, "max diff {max_diff}");
     }
 

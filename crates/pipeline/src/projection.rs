@@ -40,8 +40,8 @@ impl ProjectedGaussian {
     #[inline]
     pub fn falloff(&self, p: Vec2) -> f32 {
         let d = p - self.mean2d;
-        let power = -0.5 * (self.conic.0 * d.x * d.x + self.conic.2 * d.y * d.y)
-            - self.conic.1 * d.x * d.y;
+        let power =
+            -0.5 * (self.conic.0 * d.x * d.x + self.conic.2 * d.y * d.y) - self.conic.1 * d.x * d.y;
         if power > 0.0 {
             // Numerical guard: conic must be PSD; clamp tiny violations.
             return 1.0;
@@ -194,7 +194,12 @@ mod tests {
         let far = Gaussian::isotropic(Vec3::new(0.0, 0.0, 3.0), 0.1, 0.9, Vec3::ONE);
         let pn = project_gaussian(&cam, 0, &near).unwrap();
         let pf = project_gaussian(&cam, 1, &far).unwrap();
-        assert!(pn.radius > pf.radius, "near {} vs far {}", pn.radius, pf.radius);
+        assert!(
+            pn.radius > pf.radius,
+            "near {} vs far {}",
+            pn.radius,
+            pf.radius
+        );
         assert!(pn.depth < pf.depth);
     }
 
@@ -228,8 +233,18 @@ mod tests {
         let cam = test_camera();
         let mut cloud = GaussianCloud::new();
         cloud.push(Gaussian::isotropic(Vec3::ZERO, 0.1, 0.9, Vec3::ONE));
-        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, -20.0), 0.1, 0.9, Vec3::ONE));
-        cloud.push(Gaussian::isotropic(Vec3::new(0.5, 0.0, 0.0), 0.1, 0.9, Vec3::ONE));
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, -20.0),
+            0.1,
+            0.9,
+            Vec3::ONE,
+        ));
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(0.5, 0.0, 0.0),
+            0.1,
+            0.9,
+            Vec3::ONE,
+        ));
         let out = project_cloud(&cam, &cloud);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].id, 0);

@@ -34,7 +34,10 @@ impl TileGrid {
     ///
     /// Panics when any dimension is zero.
     pub fn new(width: u32, height: u32, tile_size: u32) -> Self {
-        assert!(width > 0 && height > 0 && tile_size > 0, "dimensions must be positive");
+        assert!(
+            width > 0 && height > 0 && tile_size > 0,
+            "dimensions must be positive"
+        );
         Self {
             width,
             height,
@@ -84,24 +87,24 @@ impl TileGrid {
 
     /// Inclusive tile-coordinate ranges overlapped by a circle of `radius`
     /// pixels centered at `center`, or `None` when it misses the image.
-    pub fn tiles_for_splat(
-        &self,
-        center: Vec2,
-        radius: f32,
-    ) -> Option<(u32, u32, u32, u32)> {
+    pub fn tiles_for_splat(&self, center: Vec2, radius: f32) -> Option<(u32, u32, u32, u32)> {
         let min_x = center.x - radius;
         let min_y = center.y - radius;
         let max_x = center.x + radius;
         let max_y = center.y + radius;
-        if max_x < 0.0 || max_y < 0.0 || min_x >= self.width as f32 || min_y >= self.height as f32
-        {
+        if max_x < 0.0 || max_y < 0.0 || min_x >= self.width as f32 || min_y >= self.height as f32 {
             return None;
         }
         let tx0 = (min_x.max(0.0) as u32) / self.tile_size;
         let ty0 = (min_y.max(0.0) as u32) / self.tile_size;
         let tx1 = ((max_x.min(self.width as f32 - 1.0)) as u32) / self.tile_size;
         let ty1 = ((max_y.min(self.height as f32 - 1.0)) as u32) / self.tile_size;
-        Some((tx0, ty0, tx1.min(self.tiles_x - 1), ty1.min(self.tiles_y - 1)))
+        Some((
+            tx0,
+            ty0,
+            tx1.min(self.tiles_x - 1),
+            ty1.min(self.tiles_y - 1),
+        ))
     }
 
     /// Subtile grid dimension along one tile edge.
@@ -116,13 +119,7 @@ impl TileGrid {
 /// subtile `s` (row-major within the tile). This models the ITU's
 /// on-the-fly bitmap generation. Tiles larger than 64 subtiles clamp to the
 /// first 64 (not the case for the paper's 64×64/8×8 configuration).
-pub fn subtile_bitmap(
-    grid: &TileGrid,
-    tx: u32,
-    ty: u32,
-    center: Vec2,
-    radius: f32,
-) -> u64 {
+pub fn subtile_bitmap(grid: &TileGrid, tx: u32, ty: u32, center: Vec2, radius: f32) -> u64 {
     let (x0, y0, x1, y1) = grid.tile_rect(tx, ty);
     let per_edge = grid.subtiles_per_edge();
     let mut bitmap = 0u64;

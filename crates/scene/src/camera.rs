@@ -80,7 +80,15 @@ impl Camera {
         // hint so projected images are not vertically mirrored.
         let rotation = Quat::look_rotation(forward, -up);
         let (width, height) = res.dims();
-        Self { position, rotation, fov_y, width, height, near: 0.1, far: 1000.0 }
+        Self {
+            position,
+            rotation,
+            fov_y,
+            width,
+            height,
+            near: 0.1,
+            far: 1000.0,
+        }
     }
 
     /// Aspect ratio (width / height).

@@ -50,7 +50,10 @@ impl GaussianCloud {
 
     /// Iterates over `(id, gaussian)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &Gaussian)> {
-        self.gaussians.iter().enumerate().map(|(i, g)| (i as u32, g))
+        self.gaussians
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (i as u32, g))
     }
 
     /// Tight bounds over all means (ignores Gaussian extents).
@@ -93,7 +96,9 @@ impl GaussianCloud {
 
 impl FromIterator<Gaussian> for GaussianCloud {
     fn from_iter<T: IntoIterator<Item = Gaussian>>(iter: T) -> Self {
-        Self { gaussians: iter.into_iter().collect() }
+        Self {
+            gaussians: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn covariance_of_identity_rotation_is_diagonal() {
-        let g = Gaussian { scale: Vec3::new(1.0, 2.0, 3.0), ..Default::default() };
+        let g = Gaussian {
+            scale: Vec3::new(1.0, 2.0, 3.0),
+            ..Default::default()
+        };
         let cov = g.covariance();
         assert!((cov.get(0, 0) - 1.0).abs() < 1e-5);
         assert!((cov.get(1, 1) - 4.0).abs() < 1e-5);
@@ -116,7 +119,10 @@ mod tests {
 
     #[test]
     fn bounding_radius_covers_3_sigma() {
-        let g = Gaussian { scale: Vec3::new(0.1, 0.4, 0.2), ..Default::default() };
+        let g = Gaussian {
+            scale: Vec3::new(0.1, 0.4, 0.2),
+            ..Default::default()
+        };
         assert!((g.bounding_radius() - 1.2).abs() < 1e-6);
     }
 }

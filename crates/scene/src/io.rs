@@ -66,11 +66,7 @@ impl std::error::Error for DecodeCloudError {}
 /// # Ok::<(), io::DecodeCloudError>(())
 /// ```
 pub fn encode_cloud(cloud: &GaussianCloud) -> Vec<u8> {
-    let degree = cloud
-        .gaussians()
-        .first()
-        .map(|g| g.sh.degree)
-        .unwrap_or(0);
+    let degree = cloud.gaussians().first().map(|g| g.sh.degree).unwrap_or(0);
     let n_coeffs = basis_count(degree);
     let record = (3 + 3 + 4 + 1 + 3 * n_coeffs) * 4;
     let mut out = Vec::with_capacity(13 + cloud.len() * record);
@@ -81,7 +77,9 @@ pub fn encode_cloud(cloud: &GaussianCloud) -> Vec<u8> {
     out.put_u8(degree as u8);
 
     for (_, g) in cloud.iter() {
-        for v in [g.mean.x, g.mean.y, g.mean.z, g.scale.x, g.scale.y, g.scale.z] {
+        for v in [
+            g.mean.x, g.mean.y, g.mean.z, g.scale.x, g.scale.y, g.scale.z,
+        ] {
             out.put_f32_le(v);
         }
         for v in [g.rotation.w, g.rotation.x, g.rotation.y, g.rotation.z] {
@@ -149,7 +147,10 @@ pub fn decode_cloud(mut buf: &[u8]) -> Result<GaussianCloud, DecodeCloudError> {
             scale,
             rotation,
             opacity,
-            sh: ShCoefficients { coeffs, degree: degree as usize },
+            sh: ShCoefficients {
+                coeffs,
+                degree: degree as usize,
+            },
         });
     }
     Ok(cloud)
@@ -162,7 +163,11 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_cloud() {
-        let cloud = SynthParams { gaussian_count: 200, ..Default::default() }.build();
+        let cloud = SynthParams {
+            gaussian_count: 200,
+            ..Default::default()
+        }
+        .build();
         let bytes = encode_cloud(&cloud);
         let back = decode_cloud(&bytes).unwrap();
         assert_eq!(cloud, back);
@@ -184,7 +189,11 @@ mod tests {
 
     #[test]
     fn truncated_buffer_rejected() {
-        let cloud = SynthParams { gaussian_count: 10, ..Default::default() }.build();
+        let cloud = SynthParams {
+            gaussian_count: 10,
+            ..Default::default()
+        }
+        .build();
         let bytes = encode_cloud(&cloud);
         let cut = &bytes[..bytes.len() - 5];
         assert_eq!(decode_cloud(cut), Err(DecodeCloudError::Truncated));

@@ -167,9 +167,8 @@ pub fn generate(params: &SynthParams) -> GaussianCloud {
         };
 
         let base_scale = log_uniform(&mut rng, params.scale_range.0, params.scale_range.1);
-        let aniso = |rng: &mut ChaCha8Rng| {
-            rng.gen_range(1.0..=params.max_anisotropy.max(1.0)).sqrt()
-        };
+        let aniso =
+            |rng: &mut ChaCha8Rng| rng.gen_range(1.0..=params.max_anisotropy.max(1.0)).sqrt();
         let scale = Vec3::new(
             base_scale * aniso(&mut rng),
             base_scale,
@@ -214,7 +213,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let p = SynthParams { gaussian_count: 500, ..Default::default() };
+        let p = SynthParams {
+            gaussian_count: 500,
+            ..Default::default()
+        };
         let a = p.build();
         let b = p.build();
         assert_eq!(a, b);
@@ -222,14 +224,23 @@ mod tests {
 
     #[test]
     fn different_seed_differs() {
-        let p1 = SynthParams { gaussian_count: 200, ..Default::default() };
-        let p2 = SynthParams { seed: 99, ..p1.clone() };
+        let p1 = SynthParams {
+            gaussian_count: 200,
+            ..Default::default()
+        };
+        let p2 = SynthParams {
+            seed: 99,
+            ..p1.clone()
+        };
         assert_ne!(p1.build(), p2.build());
     }
 
     #[test]
     fn generated_gaussians_are_valid_and_bounded() {
-        let p = SynthParams { gaussian_count: 1_000, ..Default::default() };
+        let p = SynthParams {
+            gaussian_count: 1_000,
+            ..Default::default()
+        };
         let cloud = p.build();
         assert_eq!(cloud.len(), 1_000);
         for (_, g) in cloud.iter() {
@@ -243,7 +254,11 @@ mod tests {
 
     #[test]
     fn scaled_reduces_count() {
-        let p = SynthParams { gaussian_count: 10_000, ..Default::default() }.scaled(0.1);
+        let p = SynthParams {
+            gaussian_count: 10_000,
+            ..Default::default()
+        }
+        .scaled(0.1);
         assert_eq!(p.gaussian_count, 1_000);
         assert!(p.cluster_count >= 1);
     }
@@ -278,7 +293,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "sh_degree")]
     fn invalid_degree_rejected() {
-        let p = SynthParams { sh_degree: 7, ..Default::default() };
+        let p = SynthParams {
+            sh_degree: 7,
+            ..Default::default()
+        };
         let _ = p.build();
     }
 }

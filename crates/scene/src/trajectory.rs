@@ -85,11 +85,17 @@ impl CameraPath {
             } => {
                 let theta = angular_velocity * t;
                 let bob = bob_amplitude * (0.7 * theta).sin();
-                let pos = center
-                    + Vec3::new(radius * theta.cos(), height + bob, radius * theta.sin());
+                let pos =
+                    center + Vec3::new(radius * theta.cos(), height + bob, radius * theta.sin());
                 Camera::look_at(pos, center, Vec3::Y, fov_y, res)
             }
-            CameraPath::Dolly { from, to, target, duration, fov_y } => {
+            CameraPath::Dolly {
+                from,
+                to,
+                target,
+                duration,
+                fov_y,
+            } => {
                 let s = (t / duration).clamp(0.0, 1.0);
                 let pos = Vec3::new(
                     lerp(from.x, to.x, s),
@@ -98,7 +104,12 @@ impl CameraPath {
                 );
                 Camera::look_at(pos, target, Vec3::Y, fov_y, res)
             }
-            CameraPath::Spline { ref waypoints, target, duration, fov_y } => {
+            CameraPath::Spline {
+                ref waypoints,
+                target,
+                duration,
+                fov_y,
+            } => {
                 let pos = catmull_rom(waypoints, (t / duration).clamp(0.0, 1.0));
                 Camera::look_at(pos, target, Vec3::Y, fov_y, res)
             }
@@ -141,7 +152,12 @@ pub fn catmull_rom(waypoints: &[Vec3], s: f32) -> Vec3 {
         let idx = j.clamp(0, n as isize - 1) as usize;
         waypoints[idx]
     };
-    let (p0, p1, p2, p3) = (p(i as isize - 1), p(i as isize), p(i as isize + 1), p(i as isize + 2));
+    let (p0, p1, p2, p3) = (
+        p(i as isize - 1),
+        p(i as isize),
+        p(i as isize + 1),
+        p(i as isize + 2),
+    );
     let u2 = u * u;
     let u3 = u2 * u;
     (p1 * 2.0
@@ -165,7 +181,12 @@ impl FrameSampler {
     /// Samples `path` at `fps` frames per second at resolution `res`.
     pub fn new(path: CameraPath, fps: f32, res: Resolution) -> Self {
         assert!(fps > 0.0, "fps must be positive");
-        Self { path, fps, speed: 1.0, res }
+        Self {
+            path,
+            fps,
+            speed: 1.0,
+            res,
+        }
     }
 
     /// Multiplies camera speed (Figure 17(b) uses 2×, 4×, 8×, 16×).
@@ -223,8 +244,7 @@ mod tests {
         let path = orbit();
         for i in 0..10 {
             let cam = path.camera_at(i as f32 * 0.37, Resolution::Hd);
-            let horiz =
-                Vec3::new(cam.position.x, 0.0, cam.position.z).length();
+            let horiz = Vec3::new(cam.position.x, 0.0, cam.position.z).length();
             assert!((horiz - 5.0).abs() < 1e-3);
         }
     }

@@ -1,0 +1,130 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! suites use: the [`Strategy`] trait with `prop_map`, range and tuple
+//! strategies, `collection::{vec, btree_set}`, `any::<T>()`, the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros, and
+//! [`test_runner::ProptestConfig`]. Cases are generated from a
+//! deterministic per-test RNG (seeded from the test's module path), so
+//! failures reproduce exactly. Unlike real proptest there is no shrinking:
+//! the failing case index and message are reported as-is.
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs `$body` against generated inputs.
+///
+/// Supported forms:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..100, mut v in some_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let seed_name = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(seed_name, case as u64);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest '{}' failed at case {}/{}: {}",
+                        seed_name, case, config.cases, e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the enclosing property if `$cond` is false (returns `Err` so the
+/// runner can attach case information).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the enclosing property unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the enclosing property if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}

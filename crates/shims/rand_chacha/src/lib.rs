@@ -1,0 +1,152 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 keystream generator
+//! behind the `rand` shim's traits.
+//!
+//! The block function is the genuine ChaCha quarter-round construction
+//! (8 rounds), keyed from a 64-bit seed via SplitMix64 expansion, so the
+//! stream is deterministic and of cryptographic-PRNG quality. It is *not*
+//! bit-compatible with upstream `rand_chacha` (which seeds differently);
+//! determinism across platforms is the only contract the workspace needs.
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// SplitMix64 step, used to expand the 64-bit seed into a 256-bit key.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + nonce words (state words 4..=13 of the ChaCha matrix).
+    key: [u32; 8],
+    nonce: [u32; 2],
+    counter: u64,
+    buf: [u32; 16],
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut s: [u32; 16] = [
+            0x61707865,
+            0x3320646E,
+            0x79622D32,
+            0x6B206574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.nonce[0],
+            self.nonce[1],
+        ];
+        let initial = s;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (out, init) in s.iter_mut().zip(initial.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.buf = s;
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = splitmix64(&mut sm);
+            pair[0] = w as u32;
+            if pair.len() > 1 {
+                pair[1] = (w >> 32) as u32;
+            }
+        }
+        let n = splitmix64(&mut sm);
+        let mut rng = Self {
+            key,
+            nonce: [n as u32, (n >> 32) as u32],
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniformish_unit_floats() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f32>() as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+}

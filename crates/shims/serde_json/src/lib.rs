@@ -1,0 +1,134 @@
+//! Offline stand-in for `serde_json`: serialization only, against the
+//! `serde` shim's [`serde::Serialize`] trait.
+
+use std::fmt;
+
+/// Serialization error. The shim's serializers are infallible, so this is
+/// only here to keep `serde_json`-shaped signatures.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors `serde_json`'s API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to an indented JSON string.
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors `serde_json`'s API.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indents a compact JSON document (two-space indent).
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                let empty = matches!(chars.peek(), Some('}') | Some(']'));
+                if !empty {
+                    depth += 1;
+                    newline(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                // Empty containers never got the indent/newline on open,
+                // so close them on the same line without dedenting.
+                if out.ends_with('{') || out.ends_with('[') {
+                    out.push(c);
+                } else {
+                    depth = depth.saturating_sub(1);
+                    newline(&mut out, depth);
+                    out.push(c);
+                }
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip_shapes() {
+        assert_eq!(to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let pretty = to_string_pretty(&vec![1u32, 2]).unwrap();
+        assert_eq!(pretty, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn pretty_handles_empty_containers() {
+        let nested: Vec<Vec<u32>> = vec![vec![], vec![1]];
+        assert_eq!(
+            to_string_pretty(&nested).unwrap(),
+            "[\n  [],\n  [\n    1\n  ]\n]"
+        );
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+
+    #[test]
+    fn pretty_keeps_strings_intact() {
+        let pretty = to_string_pretty("a{,}:\"x\"").unwrap();
+        assert_eq!(pretty, "\"a{,}:\\\"x\\\"\"");
+    }
+}

@@ -32,8 +32,11 @@ pub enum Engine {
 
 impl Engine {
     /// All engines in pipeline order.
-    pub const ALL: [Engine; 3] =
-        [Engine::Preprocessing, Engine::Sorting, Engine::Rasterization];
+    pub const ALL: [Engine; 3] = [
+        Engine::Preprocessing,
+        Engine::Sorting,
+        Engine::Rasterization,
+    ];
 
     /// Engine name as printed in Table 4.
     pub fn name(self) -> &'static str {
@@ -122,7 +125,10 @@ pub fn gscore_totals() -> (f64, f64) {
 ///
 /// Panics when either node is non-positive.
 pub fn scale_area(area_mm2: f64, from_nm: f64, to_nm: f64) -> f64 {
-    assert!(from_nm > 0.0 && to_nm > 0.0, "process nodes must be positive");
+    assert!(
+        from_nm > 0.0 && to_nm > 0.0,
+        "process nodes must be positive"
+    );
     area_mm2 * (to_nm / from_nm).powf(1.9)
 }
 
@@ -132,11 +138,7 @@ pub fn scale_area(area_mm2: f64, from_nm: f64, to_nm: f64) -> f64 {
 ///
 /// `stage_seconds` are the (feature-extraction, sorting, rasterization)
 /// stage latencies; `stage_bytes` the corresponding DRAM traffic.
-pub fn frame_energy_mj(
-    stage_seconds: [f64; 3],
-    stage_bytes: [u64; 3],
-    pj_per_byte: f64,
-) -> f64 {
+pub fn frame_energy_mj(stage_seconds: [f64; 3], stage_bytes: [u64; 3], pj_per_byte: f64) -> f64 {
     let comps = neo_components();
     let engine_power_w = [
         engine_totals(&comps, Engine::Preprocessing).1 / 1e3,
@@ -148,8 +150,10 @@ pub fn frame_energy_mj(
         .zip(engine_power_w)
         .map(|(s, p)| s * p)
         .sum();
-    let dram_j: f64 =
-        stage_bytes.iter().map(|&b| b as f64 * pj_per_byte * 1e-12).sum();
+    let dram_j: f64 = stage_bytes
+        .iter()
+        .map(|&b| b as f64 * pj_per_byte * 1e-12)
+        .sum();
     (compute_j + dram_j) * 1e3
 }
 
@@ -208,13 +212,19 @@ mod tests {
         let power_frac = power / tp * 100.0;
         // Paper: 9.04% area, 8.91% power.
         assert!((area_frac - 9.04).abs() < 0.5, "area frac {area_frac:.2}%");
-        assert!((power_frac - 8.91).abs() < 0.5, "power frac {power_frac:.2}%");
+        assert!(
+            (power_frac - 8.91).abs() < 0.5,
+            "power frac {power_frac:.2}%"
+        );
     }
 
     #[test]
     fn area_scaling_shrinks_with_node() {
         let scaled = scale_area(1.0, 28.0, 7.0);
-        assert!(scaled < 0.1 && scaled > 0.01, "28→7 nm ≈ 14× shrink, got {scaled}");
+        assert!(
+            scaled < 0.1 && scaled > 0.01,
+            "28→7 nm ≈ 14× shrink, got {scaled}"
+        );
         // Identity scaling.
         assert!((scale_area(2.5, 7.0, 7.0) - 2.5).abs() < 1e-12);
     }

@@ -131,8 +131,12 @@ pub fn simulate_sorting_engine(
 ) -> CycleReport {
     assert!(cores > 0, "core count must be positive");
     let mut channel = Channel::new(dram, clock_hz);
-    let mut report =
-        CycleReport { total_cycles: 0, compute_cycles: 0, bytes: 0, jobs: jobs.len() };
+    let mut report = CycleReport {
+        total_cycles: 0,
+        compute_cycles: 0,
+        bytes: 0,
+        jobs: jobs.len(),
+    };
     if jobs.is_empty() {
         return report;
     }
@@ -252,7 +256,10 @@ mod tests {
             r16.total_cycles
         );
         let core_gain = r4.total_cycles as f64 / r16.total_cycles as f64;
-        assert!(core_gain < 1.3, "cores cannot buy much under saturation: {core_gain:.2}×");
+        assert!(
+            core_gain < 1.3,
+            "cores cannot buy much under saturation: {core_gain:.2}×"
+        );
     }
 
     #[test]

@@ -84,8 +84,7 @@ impl Device for OrinAgx {
 
         // Sorting: duplicate-key emission + multi-pass radix over the
         // full (key, value) array. Bandwidth-bound.
-        let sort_bytes =
-            (d_gpu * self.sort_record_bytes * (1.0 + 2.0 * self.radix_passes)) as u64;
+        let sort_bytes = (d_gpu * self.sort_record_bytes * (1.0 + 2.0 * self.radix_passes)) as u64;
         let sort = StageTiming {
             // Key scatter/gather ~ 2 ops per record per pass.
             compute_s: d_gpu * self.radix_passes * 2.0 / 40.0e9,
@@ -102,7 +101,9 @@ impl Device for OrinAgx {
             bytes: raster_bytes,
         };
 
-        FrameTiming { stages: [fe, sort, raster] }
+        FrameTiming {
+            stages: [fe, sort, raster],
+        }
     }
 }
 
@@ -125,9 +126,8 @@ impl Device for NeoSwOrin {
         // incoming merge — the 82.8% sorting-traffic cut of Figure 10(a).
         let table_gpu = w.table_entries as f64 * base.dup_factor;
         let inc_gpu = w.incoming as f64 * base.dup_factor;
-        let sort_bytes =
-            (table_gpu * base.sort_record_bytes * 2.0 + inc_gpu * base.sort_record_bytes * 4.0)
-                as u64;
+        let sort_bytes = (table_gpu * base.sort_record_bytes * 2.0
+            + inc_gpu * base.sort_record_bytes * 4.0) as u64;
         // Irregular access + poor SIMD utilization: effective compute rate
         // is a fraction of the radix kernel's, so latency improves only
         // ~1.5× despite the traffic cut (paper: 1.54×).

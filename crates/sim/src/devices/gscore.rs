@@ -93,8 +93,7 @@ impl Device for GsCore {
         // Sorting from scratch: hierarchical multi-pass over all entries.
         let sort_bytes = (d * self.sort_bytes_per_entry) as u64;
         let sort = StageTiming {
-            compute_s: d
-                / (self.sort_entries_per_cycle_per_core * cores * self.clock_hz),
+            compute_s: d / (self.sort_entries_per_cycle_per_core * cores * self.clock_hz),
             memory_s: self.dram.transfer_time(sort_bytes),
             bytes: sort_bytes,
         };
@@ -108,7 +107,9 @@ impl Device for GsCore {
             bytes: raster_bytes,
         };
 
-        FrameTiming { stages: [fe, sort, raster] }
+        FrameTiming {
+            stages: [fe, sort, raster],
+        }
     }
 }
 
@@ -122,11 +123,18 @@ mod tests {
         // 4 cores, 51.2 GB/s: real-time at HD, far below 60 FPS at QHD.
         let g = GsCore::paper_default();
         let n = 1_400_000;
-        let hd = g.simulate_frame(&WorkloadFrame::synthetic(n, 1280, 720)).fps();
-        let fhd = g.simulate_frame(&WorkloadFrame::synthetic(n, 1920, 1080)).fps();
+        let hd = g
+            .simulate_frame(&WorkloadFrame::synthetic(n, 1280, 720))
+            .fps();
+        let fhd = g
+            .simulate_frame(&WorkloadFrame::synthetic(n, 1920, 1080))
+            .fps();
         let qhd = g.simulate_frame(&WorkloadFrame::synthetic_qhd(n)).fps();
         assert!(hd > 55.0, "HD ≈ 60+ FPS, got {hd:.1}");
-        assert!(fhd < hd && qhd < fhd, "{hd:.1} > {fhd:.1} > {qhd:.1} required");
+        assert!(
+            fhd < hd && qhd < fhd,
+            "{hd:.1} > {fhd:.1} > {qhd:.1} required"
+        );
         assert!(qhd < 30.0, "QHD well below SLO, got {qhd:.1}");
         // HD:QHD ratio ≈ 4× in the paper (66.7 vs 15.8).
         let ratio = hd / qhd;
@@ -136,14 +144,26 @@ mod tests {
     #[test]
     fn fig4_bandwidth_matters_more_than_cores() {
         let w = WorkloadFrame::synthetic_qhd(1_400_000);
-        let base = GsCore::new(4, DramModel::lpddr4_51_2()).simulate_frame(&w).fps();
-        let more_cores = GsCore::new(16, DramModel::lpddr4_51_2()).simulate_frame(&w).fps();
-        let more_bw = GsCore::new(4, DramModel::lpddr5_204_8()).simulate_frame(&w).fps();
+        let base = GsCore::new(4, DramModel::lpddr4_51_2())
+            .simulate_frame(&w)
+            .fps();
+        let more_cores = GsCore::new(16, DramModel::lpddr4_51_2())
+            .simulate_frame(&w)
+            .fps();
+        let more_bw = GsCore::new(4, DramModel::lpddr5_204_8())
+            .simulate_frame(&w)
+            .fps();
         // Paper: 4→16 cores at 51.2 GB/s gives ~1.12×; 4× bandwidth ~2.2×+.
         let core_gain = more_cores / base;
         let bw_gain = more_bw / base;
-        assert!(core_gain < 1.6, "core scaling should be weak: {core_gain:.2}");
-        assert!(bw_gain > 1.8, "bandwidth scaling should be strong: {bw_gain:.2}");
+        assert!(
+            core_gain < 1.6,
+            "core scaling should be weak: {core_gain:.2}"
+        );
+        assert!(
+            bw_gain > 1.8,
+            "bandwidth scaling should be strong: {bw_gain:.2}"
+        );
         assert!(bw_gain > core_gain);
     }
 
@@ -162,7 +182,11 @@ mod tests {
         let c4 = GsCore::new(4, DramModel::lpddr5_204_8()).simulate_frame(&w);
         let c16 = GsCore::new(16, DramModel::lpddr5_204_8()).simulate_frame(&w);
         assert!(c16.latency_s() < c4.latency_s());
-        assert_eq!(c16.total_bytes(), c4.total_bytes(), "traffic is core-independent");
+        assert_eq!(
+            c16.total_bytes(),
+            c4.total_bytes(),
+            "traffic is core-independent"
+        );
     }
 
     #[test]

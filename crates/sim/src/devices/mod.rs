@@ -60,8 +60,10 @@ mod tests {
         let f_orin = orin.simulate_frame(&w).fps();
         let f_gscore = gscore.simulate_frame(&w).fps();
         let f_neo = neo.simulate_frame(&w).fps();
-        assert!(f_neo > f_gscore && f_gscore > f_orin,
-            "neo {f_neo:.1} > gscore {f_gscore:.1} > orin {f_orin:.1}");
+        assert!(
+            f_neo > f_gscore && f_gscore > f_orin,
+            "neo {f_neo:.1} > gscore {f_gscore:.1} > orin {f_orin:.1}"
+        );
         // Factor shapes: Neo ≈ 3–8× GSCore, ≈ 5–14× Orin at QHD.
         let vs_gscore = f_neo / f_gscore;
         let vs_orin = f_neo / f_orin;
@@ -80,10 +82,14 @@ mod tests {
         let t_neo = neo.simulate_frame(&w).total_bytes();
         assert!(t_neo < t_gscore && t_gscore < t_orin);
         // Neo cuts ≥60% vs GSCore and ≥85% vs the GPU (paper: 81%/94%).
-        assert!((t_neo as f64) < t_gscore as f64 * 0.4,
-            "neo {t_neo} vs gscore {t_gscore}");
-        assert!((t_neo as f64) < t_orin as f64 * 0.15,
-            "neo {t_neo} vs orin {t_orin}");
+        assert!(
+            (t_neo as f64) < t_gscore as f64 * 0.4,
+            "neo {t_neo} vs gscore {t_gscore}"
+        );
+        assert!(
+            (t_neo as f64) < t_orin as f64 * 0.15,
+            "neo {t_neo} vs orin {t_orin}"
+        );
     }
 
     #[test]

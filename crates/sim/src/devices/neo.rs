@@ -93,8 +93,7 @@ impl Device for NeoDevice {
 
         // Feature extraction: stream features once; the duplication unit's
         // verification step emits only *incoming* per-tile entries.
-        let fe_bytes =
-            (w.n_gaussians as f64 * w.feature_bytes as f64 + incoming * eb) as u64;
+        let fe_bytes = (w.n_gaussians as f64 * w.feature_bytes as f64 + incoming * eb) as u64;
         let fe = StageTiming {
             compute_s: w.n_projected as f64 / (self.project_per_cycle * self.clock_hz),
             memory_s: self.dram.transfer_time(fe_bytes),
@@ -137,15 +136,14 @@ impl Device for NeoDevice {
         let raster_bytes = (table * self.raster_bytes_per_entry) as u64 + w.pixels * 4;
         let raster = StageTiming {
             compute_s: w.blend_ops as f64
-                / (self.blends_per_cycle_per_core
-                    * self.raster_cores as f64
-                    * 4.0
-                    * self.clock_hz),
+                / (self.blends_per_cycle_per_core * self.raster_cores as f64 * 4.0 * self.clock_hz),
             memory_s: self.dram.transfer_time(raster_bytes),
             bytes: raster_bytes,
         };
 
-        FrameTiming { stages: [fe, sort, raster] }
+        FrameTiming {
+            stages: [fe, sort, raster],
+        }
     }
 }
 
@@ -192,7 +190,9 @@ mod tests {
         use crate::devices::GsCore;
         let w = qhd();
         let gscore = GsCore::scaled_16().simulate_frame(&w);
-        let neo_s = NeoDevice::paper_default().sorting_engine_only().simulate_frame(&w);
+        let neo_s = NeoDevice::paper_default()
+            .sorting_engine_only()
+            .simulate_frame(&w);
         let neo = NeoDevice::paper_default().simulate_frame(&w);
         assert!(neo.latency_s() < neo_s.latency_s(), "full Neo fastest");
         assert!(neo_s.latency_s() < gscore.latency_s(), "Neo-S beats GSCore");
@@ -214,6 +214,9 @@ mod tests {
         let f_calm = neo.simulate_frame(&calm).fps();
         let f_rapid = neo.simulate_frame(&rapid).fps();
         assert!(f_rapid < f_calm);
-        assert!(f_rapid > 60.0, "Neo must hold 60 FPS under rapid motion, got {f_rapid:.1}");
+        assert!(
+            f_rapid > 60.0,
+            "Neo must hold 60 FPS under rapid motion, got {f_rapid:.1}"
+        );
     }
 }

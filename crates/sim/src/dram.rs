@@ -31,7 +31,11 @@ impl DramModel {
             "efficiency must be in (0, 1]"
         );
         assert!(burst_bytes > 0, "burst size must be positive");
-        Self { peak_gbps, efficiency, burst_bytes }
+        Self {
+            peak_gbps,
+            efficiency,
+            burst_bytes,
+        }
     }
 
     /// The paper's default on-device budget: 51.2 GB/s.

@@ -36,8 +36,8 @@
 #![deny(missing_docs)]
 
 pub mod asic;
-pub mod devices;
 pub mod cycle;
+pub mod devices;
 pub mod dram;
 mod timing;
 mod workload;

@@ -87,9 +87,21 @@ mod tests {
     fn timing() -> FrameTiming {
         FrameTiming {
             stages: [
-                StageTiming { compute_s: 0.001, memory_s: 0.002, bytes: 100 },
-                StageTiming { compute_s: 0.004, memory_s: 0.003, bytes: 200 },
-                StageTiming { compute_s: 0.005, memory_s: 0.001, bytes: 50 },
+                StageTiming {
+                    compute_s: 0.001,
+                    memory_s: 0.002,
+                    bytes: 100,
+                },
+                StageTiming {
+                    compute_s: 0.004,
+                    memory_s: 0.003,
+                    bytes: 200,
+                },
+                StageTiming {
+                    compute_s: 0.005,
+                    memory_s: 0.001,
+                    bytes: 50,
+                },
             ],
         }
     }

@@ -14,7 +14,11 @@ pub const BSU_WIDTH: usize = 16;
 /// Sentinel entry used to pad the network to a power of two; its key
 /// compares greater than every real entry (`+inf` depth, max ID).
 fn pad_entry() -> TableEntry {
-    TableEntry { id: u32::MAX, depth: f32::INFINITY, valid: false }
+    TableEntry {
+        id: u32::MAX,
+        depth: f32::INFINITY,
+        valid: false,
+    }
 }
 
 /// Sorts `entries` in place with a bitonic network, padding physically to
@@ -140,7 +144,10 @@ mod tests {
 
     #[test]
     fn bsu16_counts_network_compares() {
-        let mut v: Vec<_> = (0..16).rev().map(|i| TableEntry::new(i, i as f32)).collect();
+        let mut v: Vec<_> = (0..16)
+            .rev()
+            .map(|i| TableEntry::new(i, i as f32))
+            .collect();
         let cost = bsu_sort16(&mut v);
         assert!(is_sorted(&v));
         // Width-16 bitonic network: 10 stages × 8 CEs = 80 compares.

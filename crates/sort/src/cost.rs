@@ -57,8 +57,20 @@ mod tests {
 
     #[test]
     fn costs_add() {
-        let a = SortCost { compares: 1, moves: 2, bytes_read: 3, bytes_written: 4, passes: 1 };
-        let b = SortCost { compares: 10, moves: 20, bytes_read: 30, bytes_written: 40, passes: 1 };
+        let a = SortCost {
+            compares: 1,
+            moves: 2,
+            bytes_read: 3,
+            bytes_written: 4,
+            passes: 1,
+        };
+        let b = SortCost {
+            compares: 10,
+            moves: 20,
+            bytes_read: 30,
+            bytes_written: 40,
+            passes: 1,
+        };
         let c = a + b;
         assert_eq!(c.compares, 11);
         assert_eq!(c.bytes_total(), 77);

@@ -31,7 +31,10 @@ pub struct DpsConfig {
 
 impl Default for DpsConfig {
     fn default() -> Self {
-        Self { chunk_size: 256, passes: 1 }
+        Self {
+            chunk_size: 256,
+            passes: 1,
+        }
     }
 }
 
@@ -196,15 +199,23 @@ mod tests {
     #[test]
     fn multi_pass_charges_linearly() {
         let mut t = table_from((0..1000).rev().map(|i| i as f32).collect());
-        let cost = dynamic_partial_sort(&mut t, 0, &DpsConfig { chunk_size: 256, passes: 3 });
+        let cost = dynamic_partial_sort(
+            &mut t,
+            0,
+            &DpsConfig {
+                chunk_size: 256,
+                passes: 3,
+            },
+        );
         assert_eq!(cost.bytes_read, 24000);
         assert_eq!(cost.passes, 3);
     }
 
     #[test]
     fn preserves_invalid_entries() {
-        let mut entries: Vec<TableEntry> =
-            (0..100).map(|i| TableEntry::new(i, (100 - i) as f32)).collect();
+        let mut entries: Vec<TableEntry> = (0..100)
+            .map(|i| TableEntry::new(i, (100 - i) as f32))
+            .collect();
         entries[5].valid = false;
         let mut t = GaussianTable::from_entries(entries);
         dynamic_partial_sort(&mut t, 1, &DpsConfig::default());

@@ -24,7 +24,10 @@ pub struct HierarchicalConfig {
 
 impl Default for HierarchicalConfig {
     fn default() -> Self {
-        Self { bucket_bits: 6, chunk_size: 256 }
+        Self {
+            bucket_bits: 6,
+            chunk_size: 256,
+        }
     }
 }
 
@@ -78,7 +81,9 @@ pub fn hierarchical_sort(
             continue;
         }
         if bucket.len() > config.chunk_size {
-            let overflow = (bucket.len() as f64 / config.chunk_size as f64).log2().ceil();
+            let overflow = (bucket.len() as f64 / config.chunk_size as f64)
+                .log2()
+                .ceil();
             extra_pass_bytes += (bucket.len() * ENTRY_BYTES) as u64 * overflow as u64;
         }
         let (sorted, c) = chunk_sort_keeping(&bucket);
@@ -142,7 +147,10 @@ mod tests {
         // One bucket (bucket_bits 0) of 4096 entries with a 256 chunk:
         // overflow factor log2(16) = 4 extra passes.
         let input = entries(4096, 3);
-        let cfg = HierarchicalConfig { bucket_bits: 0, chunk_size: 256 };
+        let cfg = HierarchicalConfig {
+            bucket_bits: 0,
+            chunk_size: 256,
+        };
         let (_, cost) = hierarchical_sort(&input, &cfg);
         let base = 2 * 4096 * ENTRY_BYTES as u64;
         assert!(cost.bytes_read > base, "{} > {base}", cost.bytes_read);
@@ -151,8 +159,14 @@ mod tests {
     #[test]
     fn more_buckets_reduce_fine_cost() {
         let input = entries(8192, 11);
-        let coarse = HierarchicalConfig { bucket_bits: 2, chunk_size: 256 };
-        let fine = HierarchicalConfig { bucket_bits: 8, chunk_size: 256 };
+        let coarse = HierarchicalConfig {
+            bucket_bits: 2,
+            chunk_size: 256,
+        };
+        let fine = HierarchicalConfig {
+            bucket_bits: 8,
+            chunk_size: 256,
+        };
         let (_, c_coarse) = hierarchical_sort(&input, &coarse);
         let (_, c_fine) = hierarchical_sort(&input, &fine);
         assert!(
@@ -175,6 +189,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "bucket_bits")]
     fn oversized_bucket_bits_rejected() {
-        let _ = hierarchical_sort(&[], &HierarchicalConfig { bucket_bits: 20, chunk_size: 256 });
+        let _ = hierarchical_sort(
+            &[],
+            &HierarchicalConfig {
+                bucket_bits: 20,
+                chunk_size: 256,
+            },
+        );
     }
 }

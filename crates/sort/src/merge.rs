@@ -91,8 +91,7 @@ pub fn merge_runs(runs: &[&[TableEntry]]) -> (Vec<TableEntry>, SortCost) {
         }
         _ => {}
     }
-    let mut current: Vec<Vec<TableEntry>> =
-        runs.iter().map(|r| r.to_vec()).collect();
+    let mut current: Vec<Vec<TableEntry>> = runs.iter().map(|r| r.to_vec()).collect();
     while current.len() > 1 {
         let mut next = Vec::with_capacity(current.len().div_ceil(2));
         let mut iter = current.chunks(2);

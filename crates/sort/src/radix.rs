@@ -144,7 +144,10 @@ mod tests {
         let mut table = GaussianTable::from_entries(input);
         let dps_cost = dynamic_partial_sort(&mut table, 0, &DpsConfig::default());
         let ratio = radix_cost.bytes_total() as f64 / dps_cost.bytes_total() as f64;
-        assert!((7.0..=9.0).contains(&ratio), "expected ~8× traffic, got {ratio:.2}");
+        assert!(
+            (7.0..=9.0).contains(&ratio),
+            "expected ~8× traffic, got {ratio:.2}"
+        );
     }
 
     #[test]

@@ -35,8 +35,11 @@ pub fn order_differences(prev: &[u32], cur: &[u32]) -> Vec<usize> {
         .collect();
     let mut shared_cur: Vec<u32> = shared_prev.clone();
     shared_cur.sort_by_key(|id| cur_ranks[id]);
-    let cur_shared_rank: HashMap<u32, usize> =
-        shared_cur.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let cur_shared_rank: HashMap<u32, usize> = shared_cur
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
     shared_prev
         .iter()
         .enumerate()

@@ -62,7 +62,10 @@ pub struct SorterConfig {
 
 impl Default for SorterConfig {
     fn default() -> Self {
-        Self { dps: DpsConfig::default(), deferred_depth_update: true }
+        Self {
+            dps: DpsConfig::default(),
+            deferred_depth_update: true,
+        }
     }
 }
 
@@ -155,19 +158,33 @@ impl TileSorter {
     /// Exact sort of the current entries with the GPU-style LSD radix
     /// sort (CUB model): multi-pass, bandwidth-hungry, but exact.
     fn full_resort(&mut self, current: &[(u32, f32)]) -> FrameOrder {
-        let entries: Vec<TableEntry> =
-            current.iter().map(|&(id, d)| TableEntry::new(id, d)).collect();
+        let entries: Vec<TableEntry> = current
+            .iter()
+            .map(|&(id, d)| TableEntry::new(id, d))
+            .collect();
         let (order, cost) = radix_sort(&entries);
-        FrameOrder { order, cost, incoming: 0, outgoing: 0 }
+        FrameOrder {
+            order,
+            cost,
+            incoming: 0,
+            outgoing: 0,
+        }
     }
 
     /// Exact sort with GSCore's hierarchical (coarse bucket + fine chunk)
     /// method: fewer off-chip passes than radix, still from scratch.
     fn hierarchical(&mut self, current: &[(u32, f32)]) -> FrameOrder {
-        let entries: Vec<TableEntry> =
-            current.iter().map(|&(id, d)| TableEntry::new(id, d)).collect();
+        let entries: Vec<TableEntry> = current
+            .iter()
+            .map(|&(id, d)| TableEntry::new(id, d))
+            .collect();
         let (order, cost) = hierarchical_sort(&entries, &HierarchicalConfig::default());
-        FrameOrder { order, cost, incoming: 0, outgoing: 0 }
+        FrameOrder {
+            order,
+            cost,
+            incoming: 0,
+            outgoing: 0,
+        }
     }
 
     fn periodic(&mut self, current: &[(u32, f32)], frame: u64, interval: u32) -> FrameOrder {
@@ -202,7 +219,12 @@ impl TileSorter {
             // Warm-up: use the oldest available.
             self.pending.front().cloned().unwrap_or_default()
         };
-        FrameOrder { order, cost: fresh.cost, incoming: 0, outgoing: 0 }
+        FrameOrder {
+            order,
+            cost: fresh.cost,
+            incoming: 0,
+            outgoing: 0,
+        }
     }
 
     /// Neo's reuse-and-update flow (Figure 8):
@@ -251,8 +273,7 @@ impl TileSorter {
         // ❹ Deferred depth update + outgoing detection, performed "during
         // rasterization": stored depths become this frame's depths, and
         // entries that no longer intersect the tile lose their valid bit.
-        let current_map: std::collections::HashMap<u32, f32> =
-            current.iter().copied().collect();
+        let current_map: std::collections::HashMap<u32, f32> = current.iter().copied().collect();
         let mut outgoing = 0;
         for e in self.table.entries_mut() {
             match current_map.get(&e.id) {
@@ -275,7 +296,12 @@ impl TileSorter {
         }
 
         self.prev_ids = current.iter().map(|&(id, _)| id).collect();
-        FrameOrder { order, cost, incoming, outgoing: outgoing + dropped.saturating_sub(0) }
+        FrameOrder {
+            order,
+            cost,
+            incoming,
+            outgoing: outgoing + dropped,
+        }
     }
 }
 
@@ -370,7 +396,10 @@ mod tests {
         let f2 = frame(&[1, 3, 9], |id| id as f32);
         let out2 = s.process_frame(&f2);
         let ids = ids_of(&out2.order);
-        assert!(!ids.contains(&2), "departed entry must be deleted, got {ids:?}");
+        assert!(
+            !ids.contains(&2),
+            "departed entry must be deleted, got {ids:?}"
+        );
         assert_eq!(ids.len(), 3);
     }
 
@@ -385,7 +414,9 @@ mod tests {
         for f in 0..30 {
             let t = f as f32 * 0.1;
             // Depths drift and cross over time.
-            let fr = frame(&ids, |id| 100.0 + (id as f32 * 0.37 + t).sin() * 50.0 + id as f32 * 0.01);
+            let fr = frame(&ids, |id| {
+                100.0 + (id as f32 * 0.37 + t).sin() * 50.0 + id as f32 * 0.01
+            });
             let out = s.process_frame(&fr);
             // Re-key the returned order with the *true* current depths and
             // count inversions: measures real blend-order error, tolerant
@@ -433,7 +464,10 @@ mod tests {
         let mut deferred = TileSorter::new(StrategyKind::ReuseUpdate);
         let mut eager = TileSorter::with_config(
             StrategyKind::ReuseUpdate,
-            SorterConfig { deferred_depth_update: false, ..Default::default() },
+            SorterConfig {
+                deferred_depth_update: false,
+                ..Default::default()
+            },
         );
         deferred.process_frame(&fr);
         eager.process_frame(&fr);
@@ -453,9 +487,17 @@ mod tests {
         // last frame's depths (deferred update), then catches up.
         let f1 = frame(&[1, 2], |id| (10 - id) as f32);
         let out1 = s.process_frame(&f1);
-        assert_eq!(ids_of(&out1.order), vec![1, 2], "stale order used for frame 1");
+        assert_eq!(
+            ids_of(&out1.order),
+            vec![1, 2],
+            "stale order used for frame 1"
+        );
         let out2 = s.process_frame(&f1);
-        assert_eq!(ids_of(&out2.order), vec![2, 1], "order catches up next frame");
+        assert_eq!(
+            ids_of(&out2.order),
+            vec![2, 1],
+            "order catches up next frame"
+        );
     }
 
     #[test]

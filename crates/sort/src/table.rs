@@ -22,7 +22,11 @@ impl TableEntry {
     /// Creates a valid entry.
     #[inline]
     pub fn new(id: u32, depth: f32) -> Self {
-        Self { id, depth, valid: true }
+        Self {
+            id,
+            depth,
+            valid: true,
+        }
     }
 
     /// Total-order sort key: depth first (IEEE total order), ID as the
@@ -31,7 +35,11 @@ impl TableEntry {
     pub fn key(&self) -> (u32, u32) {
         // Map f32 to lexicographically ordered u32 (flip sign bit tricks).
         let bits = self.depth.to_bits();
-        let ordered = if bits & 0x8000_0000 != 0 { !bits } else { bits | 0x8000_0000 };
+        let ordered = if bits & 0x8000_0000 != 0 {
+            !bits
+        } else {
+            bits | 0x8000_0000
+        };
         (ordered, self.id)
     }
 }
@@ -51,7 +59,9 @@ impl GaussianTable {
 
     /// Builds a table from entries, preserving their order.
     pub fn from_entries<I: IntoIterator<Item = TableEntry>>(entries: I) -> Self {
-        Self { entries: entries.into_iter().collect() }
+        Self {
+            entries: entries.into_iter().collect(),
+        }
     }
 
     /// Number of entries (valid or not).
@@ -189,7 +199,10 @@ mod tests {
 
     fn table(depths: &[f32]) -> GaussianTable {
         GaussianTable::from_entries(
-            depths.iter().enumerate().map(|(i, &d)| TableEntry::new(i as u32, d)),
+            depths
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| TableEntry::new(i as u32, d)),
         )
     }
 

@@ -51,8 +51,8 @@ pub fn capture_workload(cfg: &CaptureConfig) -> Vec<WorkloadFrame> {
     assert!(cfg.frames > 0, "frame count must be positive");
 
     let cloud = cfg.scene.build_scaled(cfg.scale);
-    let sampler = FrameSampler::new(cfg.scene.trajectory(), 30.0, cfg.resolution)
-        .with_speed(cfg.speed);
+    let sampler =
+        FrameSampler::new(cfg.scene.trajectory(), 30.0, cfg.resolution).with_speed(cfg.speed);
     let mut renderer = SplatRenderer::new_neo(RendererConfig::default().without_image());
     let inv = 1.0 / cfg.scale;
     let (w, h) = cfg.resolution.dims();
@@ -83,11 +83,14 @@ pub fn capture_workload(cfg: &CaptureConfig) -> Vec<WorkloadFrame> {
 /// excluded — it has no table to reuse, so everything is "incoming").
 pub fn steady_state_mean(frames: &[WorkloadFrame]) -> WorkloadFrame {
     assert!(!frames.is_empty(), "need at least one frame");
-    let body = if frames.len() > 1 { &frames[1..] } else { frames };
-    let n = body.len() as f64;
-    let avg = |f: fn(&WorkloadFrame) -> u64| {
-        (body.iter().map(f).sum::<u64>() as f64 / n).round() as u64
+    let body = if frames.len() > 1 {
+        &frames[1..]
+    } else {
+        frames
     };
+    let n = body.len() as f64;
+    let avg =
+        |f: fn(&WorkloadFrame) -> u64| (body.iter().map(f).sum::<u64>() as f64 / n).round() as u64;
     WorkloadFrame {
         n_gaussians: avg(|w| w.n_gaussians),
         n_projected: avg(|w| w.n_projected),
@@ -147,7 +150,10 @@ mod tests {
     #[test]
     fn speedup_increases_churn() {
         let slow = capture_workload(&quick_cfg());
-        let fast = capture_workload(&CaptureConfig { speed: 8.0, ..quick_cfg() });
+        let fast = capture_workload(&CaptureConfig {
+            speed: 8.0,
+            ..quick_cfg()
+        });
         let slow_churn = steady_state_mean(&slow).incoming;
         let fast_churn = steady_state_mean(&fast).incoming;
         assert!(
@@ -159,6 +165,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "capture scale")]
     fn zero_scale_rejected() {
-        let _ = capture_workload(&CaptureConfig { scale: 0.0, ..quick_cfg() });
+        let _ = capture_workload(&CaptureConfig {
+            scale: 0.0,
+            ..quick_cfg()
+        });
     }
 }

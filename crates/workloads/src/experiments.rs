@@ -15,8 +15,7 @@ pub const FRAMES: usize = 60;
 pub const CAPTURE_SCALE: f64 = 0.01;
 
 /// The resolutions evaluated in Figures 3, 5 and 15.
-pub const RESOLUTIONS: [Resolution; 3] =
-    [Resolution::Hd, Resolution::Fhd, Resolution::Qhd];
+pub const RESOLUTIONS: [Resolution; 3] = [Resolution::Hd, Resolution::Fhd, Resolution::Qhd];
 
 /// Camera speed-ups of Figure 17(b).
 pub const SPEEDUPS: [f32; 4] = [2.0, 4.0, 8.0, 16.0];

@@ -110,7 +110,11 @@ pub fn measure_temporal(
         scene,
         retention_samples,
         order_diff_samples,
-        mean_tile_population: if pop_count == 0 { 0.0 } else { pop_sum / pop_count as f64 },
+        mean_tile_population: if pop_count == 0 {
+            0.0
+        } else {
+            pop_sum / pop_count as f64
+        },
     }
 }
 
@@ -163,7 +167,10 @@ mod tests {
             slow.retention_samples.iter().sum::<f64>() / slow.retention_samples.len() as f64;
         let fast_mean: f64 =
             fast.retention_samples.iter().sum::<f64>() / fast.retention_samples.len() as f64;
-        assert!(fast_mean < slow_mean, "fast {fast_mean:.3} vs slow {slow_mean:.3}");
+        assert!(
+            fast_mean < slow_mean,
+            "fast {fast_mean:.3} vs slow {slow_mean:.3}"
+        );
     }
 
     #[test]

@@ -29,8 +29,7 @@ fn main() {
         let cam = sampler.frame(i);
         let fn_ = neo.render_frame(&cloud, &cam);
         let fb = baseline.render_frame(&cloud, &cam);
-        let kb =
-            |r: &neo_core::FrameResult| r.stats.traffic.stage_total(Stage::Sorting) / 1024;
+        let kb = |r: &neo_core::FrameResult| r.stats.traffic.stage_total(Stage::Sorting) / 1024;
         let p = psnr(
             fb.image.as_ref().expect("image"),
             fn_.image.as_ref().expect("image"),

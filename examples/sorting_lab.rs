@@ -23,13 +23,19 @@ fn perturbed_table(n: usize, max_shift: usize) -> GaussianTable {
         }
     }
     GaussianTable::from_entries(
-        depths.into_iter().enumerate().map(|(i, d)| TableEntry::new(i as u32, d)),
+        depths
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| TableEntry::new(i as u32, d)),
     )
 }
 
 fn main() {
     let cfg = DpsConfig::default();
-    println!("Dynamic Partial Sorting lab (chunk = {} entries)\n", cfg.chunk_size);
+    println!(
+        "Dynamic Partial Sorting lab (chunk = {} entries)\n",
+        cfg.chunk_size
+    );
 
     // Part 1: interleaved vs fixed boundaries (Figure 9).
     println!("table of 2048 entries, displacements ≤ 200:");

@@ -24,8 +24,15 @@ fn main() {
     let orin = OrinAgx::new();
     let gscore = GsCore::scaled_16();
     let neo = NeoDevice::paper_default();
-    println!("scene: {} | per-eye workload: {} tile assignments\n", scene.name(), w.duplicates);
-    println!("{:<10} {:>12} {:>14} {:>10}", "device", "per-eye ms", "both eyes ms", "verdict");
+    println!(
+        "scene: {} | per-eye workload: {} tile assignments\n",
+        scene.name(),
+        w.duplicates
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>10}",
+        "device", "per-eye ms", "both eyes ms", "verdict"
+    );
     for dev in [&orin as &dyn Device, &gscore, &neo] {
         let t = dev.simulate_frame(&w);
         let per_eye = t.latency_ms();
@@ -39,7 +46,13 @@ fn main() {
         } else {
             "slideshow"
         };
-        println!("{:<10} {:>12.2} {:>14.2} {:>10}", dev.name(), per_eye, both, verdict);
+        println!(
+            "{:<10} {:>12.2} {:>14.2} {:>10}",
+            dev.name(),
+            per_eye,
+            both,
+            verdict
+        );
     }
     println!(
         "\nNeo turns a slideshow into a playable frame rate by removing the\n\

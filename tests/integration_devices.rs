@@ -28,13 +28,20 @@ fn qhd_fps_ordering_on_captured_workload() {
         neo > gscore && gscore > orin,
         "ordering must hold: neo {neo:.1} > gscore {gscore:.1} > orin {orin:.1}"
     );
-    assert!(neo / gscore > 2.0, "Neo vs GSCore factor {:.2}", neo / gscore);
+    assert!(
+        neo / gscore > 2.0,
+        "Neo vs GSCore factor {:.2}",
+        neo / gscore
+    );
 
     // Real-time claim on a mid-weight scene (Family is the densest and
     // sits right at the 60 FPS boundary, as in Figure 15).
     let train = &captured(ScenePreset::Train, Resolution::Qhd)[2..];
     let neo_train = NeoDevice::paper_default().mean_fps(train);
-    assert!(neo_train > 60.0, "Neo must be real-time at QHD, got {neo_train:.1}");
+    assert!(
+        neo_train > 60.0,
+        "Neo must be real-time at QHD, got {neo_train:.1}"
+    );
 }
 
 #[test]

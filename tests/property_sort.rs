@@ -9,12 +9,15 @@ use neo_sort::{GaussianTable, TableEntry};
 use proptest::prelude::*;
 
 fn arb_entries(max_len: usize) -> impl Strategy<Value = Vec<TableEntry>> {
-    prop::collection::vec((0u32..10_000, -1000.0f32..1000.0, any::<bool>()), 0..max_len)
-        .prop_map(|v| {
-            v.into_iter()
-                .map(|(id, depth, valid)| TableEntry { id, depth, valid })
-                .collect()
-        })
+    prop::collection::vec(
+        (0u32..10_000, -1000.0f32..1000.0, any::<bool>()),
+        0..max_len,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(id, depth, valid)| TableEntry { id, depth, valid })
+            .collect()
+    })
 }
 
 fn is_sorted(v: &[TableEntry]) -> bool {

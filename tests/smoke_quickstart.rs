@@ -1,0 +1,61 @@
+//! Smoke test mirroring `examples/quickstart.rs`: build a small synthetic
+//! scene, render one frame with Neo's reuse-and-update renderer and the
+//! full-resort baseline, and check the image agrees with the reference
+//! pipeline at finite, sane PSNR.
+
+use neo_core::{RendererConfig, SplatRenderer};
+use neo_metrics::psnr;
+use neo_pipeline::{render_reference, RenderConfig};
+use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+
+#[test]
+fn quickstart_one_frame_matches_reference() {
+    let scene = ScenePreset::Family;
+    let cloud = scene.build_scaled(0.002);
+    assert!(!cloud.is_empty());
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(160, 90));
+    let cam = sampler.frame(0);
+
+    let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
+    let result = neo.render_frame(&cloud, &cam);
+    let image = result.image.as_ref().expect("image requested by default");
+    assert_eq!(image.width(), 160);
+    assert_eq!(image.height(), 90);
+    for px in image.pixels() {
+        assert!(px.x.is_finite() && px.y.is_finite() && px.z.is_finite());
+    }
+
+    let (reference, ref_stats) = render_reference(&cloud, &cam, &RenderConfig::default());
+    assert!(ref_stats.projected > 0, "scene must be visible in frame 0");
+
+    // The strategies sort the same splats to the same order on frame 0, so
+    // quality should be near-identical: PSNR is either infinite (bitwise
+    // equal) or comfortably high, and never NaN.
+    let p = psnr(&reference, image);
+    assert!(!p.is_nan());
+    assert!(p > 30.0, "one-frame PSNR vs reference too low: {p} dB");
+}
+
+#[test]
+fn quickstart_reuse_matches_baseline_over_frames() {
+    // The heart of the quickstart demo: after the warm-up frame, Neo's
+    // reuse-and-update path keeps image quality at baseline levels.
+    let scene = ScenePreset::Family;
+    let cloud = scene.build_scaled(0.002);
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(160, 90));
+
+    let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
+    let mut baseline = SplatRenderer::new_baseline(RendererConfig::default().with_tile_size(32));
+
+    for i in 0..4 {
+        let cam = sampler.frame(i);
+        let fn_ = neo.render_frame(&cloud, &cam);
+        let fb = baseline.render_frame(&cloud, &cam);
+        let p = psnr(
+            fb.image.as_ref().expect("baseline image"),
+            fn_.image.as_ref().expect("neo image"),
+        );
+        assert!(!p.is_nan());
+        assert!(p > 30.0, "frame {i}: neo vs baseline PSNR {p} dB");
+    }
+}
