@@ -2,13 +2,14 @@
 //! renderer vs the per-frame-resort baseline, plus the device models.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use neo_core::{RendererConfig, SplatRenderer, StrategyKind};
+use neo_core::{RenderEngine, RendererConfig, StrategyKind};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 use neo_sim::devices::{Device, GsCore, NeoDevice, OrinAgx};
 use neo_sim::WorkloadFrame;
+use std::sync::Arc;
 
 fn bench_renderers(c: &mut Criterion) {
-    let cloud = ScenePreset::Horse.build_scaled(0.003);
+    let cloud = Arc::new(ScenePreset::Horse.build_scaled(0.003));
     let sampler = FrameSampler::new(
         ScenePreset::Horse.trajectory(),
         30.0,
@@ -20,24 +21,38 @@ fn bench_renderers(c: &mut Criterion) {
         ("baseline_full_resort", StrategyKind::FullResort),
     ] {
         group.bench_function(label, |b| {
-            let mut r = SplatRenderer::new(kind, RendererConfig::default().with_tile_size(32));
+            let engine = RenderEngine::builder()
+                .scene(Arc::clone(&cloud))
+                .config(RendererConfig::default().with_tile_size(32))
+                .strategy(kind)
+                .build()
+                .expect("bench config is valid");
+            let mut session = engine.session();
             let mut i = 0usize;
-            r.render_frame(&cloud, &sampler.frame(0)); // warm tables
+            session.render_frame(&sampler.frame(0)).unwrap(); // warm tables
             b.iter(|| {
                 i += 1;
-                r.render_frame(black_box(&cloud), &sampler.frame(i % 60))
+                session
+                    .render_frame(black_box(&sampler.frame(i % 60)))
+                    .unwrap()
             })
         });
     }
     // Statistics-only mode (what the workload capture runs).
     group.bench_function("neo_workload_mode", |b| {
-        let mut r =
-            SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32).without_image());
+        let engine = RenderEngine::builder()
+            .scene(Arc::clone(&cloud))
+            .config(RendererConfig::default().with_tile_size(32).without_image())
+            .build()
+            .expect("bench config is valid");
+        let mut session = engine.session();
         let mut i = 0usize;
-        r.render_frame(&cloud, &sampler.frame(0));
+        session.render_frame(&sampler.frame(0)).unwrap();
         b.iter(|| {
             i += 1;
-            r.render_frame(black_box(&cloud), &sampler.frame(i % 60))
+            session
+                .render_frame(black_box(&sampler.frame(i % 60)))
+                .unwrap()
         })
     });
     group.finish();

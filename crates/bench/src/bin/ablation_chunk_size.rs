@@ -8,7 +8,7 @@
 //! Run: `cargo run --release -p neo-bench --bin ablation_chunk_size`
 
 use neo_bench::{ExperimentRecord, TextTable};
-use neo_core::{RendererConfig, SplatRenderer};
+use neo_core::{RenderEngine, RendererConfig};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 use neo_sort::dps::{dynamic_partial_sort, DpsConfig};
 use neo_sort::{GaussianTable, TableEntry};
@@ -73,16 +73,22 @@ fn main() {
 
     // (b) Live renderer: residual order error + traffic per frame.
     let scene = ScenePreset::Family;
-    let cloud = scene.build_scaled(0.004);
+    let cloud = std::sync::Arc::new(scene.build_scaled(0.004));
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(640, 360));
     let mut live = TextTable::new(["Chunk", "sort KB/frame", "mean residual inversions"]);
     for &c in &chunk_sizes {
-        let mut r =
-            SplatRenderer::new_neo(RendererConfig::default().with_chunk_size(c).without_image());
+        let engine = RenderEngine::builder()
+            .scene(std::sync::Arc::clone(&cloud))
+            .config(RendererConfig::default().with_chunk_size(c).without_image())
+            .build()
+            .expect("swept chunk sizes are all valid");
+        let mut session = engine.session();
         let mut bytes = 0u64;
         let mut frames = 0u64;
         for i in 0..12 {
-            let fr = r.render_frame(&cloud, &sampler.frame(i));
+            let fr = session
+                .render_frame(&sampler.frame(i))
+                .expect("trajectory camera");
             if i >= 2 {
                 bytes += fr.sort_cost.bytes_total();
                 frames += 1;

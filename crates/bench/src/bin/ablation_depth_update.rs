@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p neo-bench --bin ablation_depth_update`
 
 use neo_bench::{ExperimentRecord, TextTable};
-use neo_core::{RendererConfig, SplatRenderer};
+use neo_core::{RenderEngine, RendererConfig};
 use neo_scene::{presets::ScenePreset, Resolution};
 use neo_sim::devices::{Device, NeoDevice};
 use neo_workloads::experiments::scene_workload;
@@ -44,7 +44,7 @@ fn main() {
     println!("(a) hardware model (QHD, six-scene mean):\n{}", hw.render());
 
     // Algorithm view: measured sorting bytes from the live sorters.
-    let cloud = ScenePreset::Family.build_scaled(0.005);
+    let cloud = std::sync::Arc::new(ScenePreset::Family.build_scaled(0.005));
     let sampler = neo_scene::FrameSampler::new(
         ScenePreset::Family.trajectory(),
         30.0,
@@ -56,11 +56,18 @@ fn main() {
         if !deferred {
             cfg = cfg.without_deferred_depth_update();
         }
-        let mut r = SplatRenderer::new_neo(cfg);
+        let engine = RenderEngine::builder()
+            .scene(std::sync::Arc::clone(&cloud))
+            .config(cfg)
+            .build()
+            .expect("ablation configuration is valid");
+        let mut session = engine.session();
         let mut bytes = 0u64;
         let mut counted = 0u64;
         for i in 0..10 {
-            let fr = r.render_frame(&cloud, &sampler.frame(i));
+            let fr = session
+                .render_frame(&sampler.frame(i))
+                .expect("trajectory camera");
             if i >= 2 {
                 bytes += fr.sort_cost.bytes_total();
                 counted += 1;

@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p neo-bench --bin ablation_dps_passes`
 
 use neo_bench::{ExperimentRecord, TextTable};
-use neo_core::{RendererConfig, SplatRenderer};
+use neo_core::{RenderEngine, RendererConfig};
 use neo_metrics::psnr;
 use neo_pipeline::{render_reference, RenderConfig};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
@@ -14,7 +14,7 @@ fn main() {
     println!("Ablation — DPS passes per frame (Neo uses 1)\n");
     let scene = ScenePreset::Horse;
     let res = Resolution::Custom(256, 144);
-    let cloud = scene.build_scaled(0.004);
+    let cloud = std::sync::Arc::new(scene.build_scaled(0.004));
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, res);
     let gt_cfg = RenderConfig {
         tile_size: 32,
@@ -30,18 +30,23 @@ fn main() {
     );
     let mut one_pass_psnr = 0.0f64;
     for passes in [1u32, 2, 3, 4] {
-        let mut r = SplatRenderer::new_neo(
-            RendererConfig::default()
-                .with_tile_size(32)
-                .with_dps_passes(passes),
-        );
+        let engine = RenderEngine::builder()
+            .scene(std::sync::Arc::clone(&cloud))
+            .config(
+                RendererConfig::default()
+                    .with_tile_size(32)
+                    .with_dps_passes(passes),
+            )
+            .build()
+            .expect("swept pass counts are all valid");
+        let mut session = engine.session();
         let (mut sum, mut min_p) = (0.0f64, f64::INFINITY);
         let mut bytes = 0u64;
         let mut counted = 0u64;
         for i in 0..14 {
             let cam = sampler.frame(i);
             let (gt, _) = render_reference(&cloud, &cam, &gt_cfg);
-            let fr = r.render_frame(&cloud, &cam);
+            let fr = session.render_frame(&cam).expect("trajectory camera");
             if i >= 4 {
                 let p = psnr(&gt, &fr.image.expect("image")).min(60.0);
                 sum += p;

@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p neo-bench --bin fig19_strategies`
 
 use neo_bench::{ExperimentRecord, TextTable};
-use neo_core::{RendererConfig, SplatRenderer, StrategyKind};
+use neo_core::{RenderEngine, RendererConfig, StrategyKind};
 use neo_metrics::psnr;
 use neo_pipeline::{render_reference, RenderConfig};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
@@ -42,15 +42,22 @@ fn latency_series(kind: StrategyKind) -> Vec<f64> {
     });
     // Re-run the per-tile sorters with this strategy to get its sorting
     // traffic per frame.
-    let cloud = scene.build_scaled(scale);
+    let engine = RenderEngine::builder()
+        .scene(scene.build_scaled(scale))
+        .config(RendererConfig::default().without_image())
+        .strategy(kind)
+        .build()
+        .expect("figure configuration is valid");
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Qhd);
-    let mut renderer = SplatRenderer::new(kind, RendererConfig::default().without_image());
+    let mut session = engine.session();
     let device = NeoDevice::paper_default();
     let inv = 1.0 / scale;
 
     (0..FRAMES)
         .map(|i| {
-            let fr = renderer.render_frame(&cloud, &sampler.frame(i));
+            let fr = session
+                .render_frame(&sampler.frame(i))
+                .expect("trajectory camera");
             let sort_bytes = (fr.sort_cost.bytes_total() as f64 * inv) as u64;
             let t = device.simulate_frame(&workloads[i]);
             let fe = t.stages[0].latency_s();
@@ -77,12 +84,19 @@ fn psnr_series(kind: StrategyKind) -> Vec<f64> {
         transmittance_eps: 1e-6,
         ..RenderConfig::default()
     };
-    let mut renderer = SplatRenderer::new(kind, RendererConfig::default().with_tile_size(32));
+    let engine = RenderEngine::builder()
+        .scene(cloud)
+        .config(RendererConfig::default().with_tile_size(32))
+        .strategy(kind)
+        .build()
+        .expect("figure configuration is valid");
+    let cloud = std::sync::Arc::clone(engine.scene());
+    let mut session = engine.session();
     (0..FRAMES)
         .map(|i| {
             let cam = sampler.frame(i);
             let (gt, _) = render_reference(&cloud, &cam, &gt_cfg);
-            let fr = renderer.render_frame(&cloud, &cam);
+            let fr = session.render_frame(&cam).expect("trajectory camera");
             psnr(&gt, &fr.image.expect("image enabled")).min(60.0)
         })
         .collect()

@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p neo-bench --bin table2_quality`
 
 use neo_bench::{ExperimentRecord, TextTable};
-use neo_core::{RendererConfig, SplatRenderer};
+use neo_core::{RenderEngine, RendererConfig, StrategyKind};
 use neo_metrics::{lpips_proxy, psnr};
 use neo_pipeline::{render_reference, RenderConfig};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
@@ -42,18 +42,39 @@ fn main() {
     );
 
     for scene in ScenePreset::TANKS_AND_TEMPLES {
-        let cloud = scene.build_scaled(0.004);
         let sampler = FrameSampler::new(scene.trajectory(), 30.0, res);
-        let mut base = SplatRenderer::new_baseline(RendererConfig::default().with_tile_size(32));
-        let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
+        let config = RendererConfig::default().with_tile_size(32);
+        let base_engine = RenderEngine::builder()
+            .scene(scene.build_scaled(0.004))
+            .config(config.clone())
+            .strategy(StrategyKind::FullResort)
+            .build()
+            .expect("table configuration is valid");
+        let cloud = std::sync::Arc::clone(base_engine.scene());
+        let neo_engine = RenderEngine::builder()
+            .scene(std::sync::Arc::clone(&cloud))
+            .config(config)
+            .strategy(StrategyKind::ReuseUpdate)
+            .build()
+            .expect("table configuration is valid");
+        let mut base = base_engine.session();
+        let mut neo = neo_engine.session();
 
         let (mut p_base, mut p_neo, mut l_base, mut l_neo) = (0.0, 0.0, 0.0, 0.0);
         let mut counted = 0.0;
         for i in 0..FRAMES {
             let cam = sampler.frame(i);
             let (gt, _) = render_reference(&cloud, &cam, &gt_cfg);
-            let fb = base.render_frame(&cloud, &cam).image.expect("image");
-            let fnimg = neo.render_frame(&cloud, &cam).image.expect("image");
+            let fb = base
+                .render_frame(&cam)
+                .expect("trajectory camera")
+                .image
+                .expect("image");
+            let fnimg = neo
+                .render_frame(&cam)
+                .expect("trajectory camera")
+                .image
+                .expect("image");
             if i < WARMUP {
                 continue;
             }

@@ -1,5 +1,6 @@
 //! Renderer configuration.
 
+use crate::{NeoError, NeoResult};
 use neo_math::Vec3;
 use neo_sort::dps::DpsConfig;
 use neo_sort::strategies::SorterConfig;
@@ -47,43 +48,69 @@ impl Default for RendererConfig {
 
 impl RendererConfig {
     /// Sets the tile size in pixels.
+    ///
+    /// Out-of-range values are reported by [`RendererConfig::validate`]
+    /// (which [`crate::RenderEngine`] runs at build time) rather than
+    /// panicking here.
+    #[must_use]
     pub fn with_tile_size(mut self, tile_size: u32) -> Self {
-        assert!(tile_size > 0, "tile size must be positive");
         self.tile_size = tile_size;
         self
     }
 
     /// Sets the background color.
+    #[must_use]
     pub fn with_background(mut self, background: Vec3) -> Self {
         self.background = background;
         self
     }
 
     /// Disables image output (workload-statistics mode).
+    #[must_use]
     pub fn without_image(mut self) -> Self {
         self.render_image = false;
         self
     }
 
     /// Sets the DPS chunk size in entries.
+    ///
+    /// Out-of-range values are reported by [`RendererConfig::validate`]
+    /// (which [`crate::RenderEngine`] runs at build time) rather than
+    /// panicking here.
+    #[must_use]
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.dps.chunk_size = chunk_size;
         self
     }
 
     /// Sets the number of DPS passes per frame.
+    #[must_use]
     pub fn with_dps_passes(mut self, passes: u32) -> Self {
         self.dps.passes = passes;
         self
     }
 
     /// Disables the deferred depth update (ablation mode).
+    #[must_use]
     pub fn without_deferred_depth_update(mut self) -> Self {
         self.deferred_depth_update = false;
         self
     }
 
+    /// Checks every parameter, reporting the first problem as
+    /// [`NeoError::InvalidConfig`]. [`crate::RenderEngine`] calls this at
+    /// build time so misconfiguration surfaces as a value, not a panic
+    /// mid-render.
+    pub fn validate(&self) -> NeoResult<()> {
+        if self.tile_size == 0 {
+            return Err(NeoError::invalid_config("tile size must be positive"));
+        }
+        self.dps.validate().map_err(NeoError::invalid_config)?;
+        Ok(())
+    }
+
     /// The per-tile sorter configuration implied by this renderer config.
+    #[must_use]
     pub fn sorter_config(&self) -> SorterConfig {
         SorterConfig {
             dps: self.dps,
@@ -123,8 +150,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "tile size")]
-    fn zero_tile_size_rejected() {
-        let _ = RendererConfig::default().with_tile_size(0);
+    fn zero_tile_size_rejected_by_validate() {
+        let cfg = RendererConfig::default().with_tile_size(0);
+        assert!(matches!(cfg.validate(), Err(NeoError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn tiny_chunk_size_rejected_by_validate() {
+        let cfg = RendererConfig::default().with_chunk_size(1);
+        assert!(matches!(cfg.validate(), Err(NeoError::InvalidConfig(_))));
+        assert!(RendererConfig::default().validate().is_ok());
     }
 }

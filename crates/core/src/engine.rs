@@ -1,0 +1,765 @@
+//! The engine/session front door: validated construction, shared scenes,
+//! and concurrent per-session rendering state.
+//!
+//! A [`RenderEngine`] owns an immutable scene behind an
+//! [`Arc<GaussianCloud>`] plus a validated configuration and a sorting
+//! strategy factory. It is cheap to share (`&RenderEngine` is all a
+//! thread needs) and never mutates after [`RenderEngineBuilder::build`].
+//!
+//! Each [`RenderEngine::session`] call mints an independent
+//! [`RenderSession`] carrying its own per-tile sorting tables, so many
+//! sessions — one per user, camera stream, or rollout — render the same
+//! scene concurrently from `std::thread::scope` without locks:
+//!
+//! ```
+//! use neo_core::{RenderEngine, RendererConfig, StrategyKind};
+//! use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+//!
+//! let engine = RenderEngine::builder()
+//!     .scene(ScenePreset::Family.build_scaled(0.002))
+//!     .config(RendererConfig::default().with_tile_size(32))
+//!     .strategy(StrategyKind::ReuseUpdate)
+//!     .build()
+//!     .expect("valid configuration");
+//!
+//! let sampler = FrameSampler::new(
+//!     ScenePreset::Family.trajectory(), 30.0, Resolution::Custom(128, 72));
+//! let frames: Vec<_> = std::thread::scope(|scope| {
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let mut session = engine.session();
+//!             let sampler = &sampler;
+//!             scope.spawn(move || session.render_frame(&sampler.frame(0)))
+//!         })
+//!         .collect();
+//!     handles.into_iter().map(|h| h.join().unwrap()).collect()
+//! });
+//! assert!(frames.iter().all(|f| f.is_ok()));
+//! ```
+
+use crate::{FrameResult, NeoError, NeoResult, RendererConfig, SequenceStats, TileLoad};
+use neo_pipeline::{
+    bin_to_tiles, project_cloud, rasterize_tile, FrameStats, Image, ProjectedGaussian,
+    RenderConfig, Stage, TileGrid,
+};
+use neo_scene::{Camera, FrameSampler, GaussianCloud};
+use neo_sort::strategies::{SorterConfig, StrategyKind};
+use neo_sort::{SortCost, SortingStrategy};
+use std::sync::Arc;
+
+/// Shared, clonable constructor of per-tile [`SortingStrategy`] objects.
+///
+/// Every tile of every session gets its own strategy instance; the
+/// factory is the one piece of strategy knowledge the engine keeps.
+#[derive(Clone)]
+pub(crate) struct StrategyFactory {
+    name: Arc<str>,
+    make: Arc<dyn Fn() -> Box<dyn SortingStrategy> + Send + Sync>,
+}
+
+impl StrategyFactory {
+    pub(crate) fn new(
+        name: impl Into<Arc<str>>,
+        make: impl Fn() -> Box<dyn SortingStrategy> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            make: Arc::new(make),
+        }
+    }
+
+    pub(crate) fn from_kind(kind: StrategyKind, config: SorterConfig) -> Self {
+        Self::new(kind.name(), move || kind.build(config))
+    }
+
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn create(&self) -> Box<dyn SortingStrategy> {
+        (self.make)()
+    }
+}
+
+impl std::fmt::Debug for StrategyFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StrategyFactory")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One tile's sorting strategy plus its tile-local frame counter.
+///
+/// Counters are per tile (not per session) because tiles become occupied
+/// at different times; a tile first touched on session frame 7 starts its
+/// strategy at frame 0, exactly like the original per-tile sorters.
+#[derive(Debug)]
+struct TileStrategy {
+    strategy: Box<dyn SortingStrategy>,
+    next_frame: u64,
+}
+
+/// Per-session mutable rendering state: the tile grid and one strategy
+/// per occupied tile. Shared by [`RenderSession`] and the deprecated
+/// `SplatRenderer` wrapper so both drive the exact same code path.
+#[derive(Debug, Default)]
+pub(crate) struct TileState {
+    grid: Option<TileGrid>,
+    sorters: Vec<Option<TileStrategy>>,
+    frames_rendered: u64,
+}
+
+impl TileState {
+    pub(crate) fn reset(&mut self) {
+        self.grid = None;
+        self.sorters.clear();
+        self.frames_rendered = 0;
+    }
+
+    pub(crate) fn frames_rendered(&self) -> u64 {
+        self.frames_rendered
+    }
+
+    fn ensure_grid(&mut self, cam: &Camera, tile_size: u32) -> TileGrid {
+        let want = TileGrid::new(cam.width, cam.height, tile_size);
+        match self.grid {
+            Some(g) if g == want => g,
+            _ => {
+                self.sorters.clear();
+                self.sorters.resize_with(want.tile_count(), || None);
+                self.grid = Some(want);
+                want
+            }
+        }
+    }
+}
+
+/// Renders one frame, advancing all per-tile sorting state. The single
+/// rendering implementation behind both `RenderSession::render_frame`
+/// and the deprecated `SplatRenderer` — input validation happens in the
+/// callers, never here.
+pub(crate) fn render_frame_core(
+    state: &mut TileState,
+    factory: &StrategyFactory,
+    config: &RendererConfig,
+    cloud: &GaussianCloud,
+    cam: &Camera,
+) -> FrameResult {
+    let grid = state.ensure_grid(cam, config.tile_size);
+    let projected = project_cloud(cam, cloud);
+    let assignments = bin_to_tiles(&grid, &projected);
+
+    // ID → projected-splat lookup for rasterization.
+    let mut by_id: Vec<Option<usize>> = vec![None; cloud.len()];
+    for (i, p) in projected.iter().enumerate() {
+        by_id[p.id as usize] = Some(i);
+    }
+
+    let mut stats = FrameStats {
+        input: cloud.len(),
+        projected: projected.len(),
+        duplicates: assignments.total_assignments(),
+        occupied_tiles: assignments.occupied_tiles(),
+        ..Default::default()
+    };
+    let feature_bytes = cloud.feature_record_bytes() as u64;
+    stats
+        .traffic
+        .read(Stage::FeatureExtraction, cloud.len() as u64 * feature_bytes);
+
+    let mut image = config
+        .render_image
+        .then(|| Image::new(cam.width, cam.height, config.background));
+    let raster_cfg = RenderConfig {
+        tile_size: config.tile_size,
+        background: config.background,
+        subtiling: config.subtiling,
+        ..RenderConfig::default()
+    };
+
+    let mut sort_cost = SortCost::new();
+    let mut incoming_total = 0usize;
+    let mut outgoing_total = 0usize;
+    let mut tile_loads = Vec::with_capacity(stats.occupied_tiles);
+
+    for (tile_index, entries) in assignments.iter_occupied() {
+        let slot = state.sorters[tile_index].get_or_insert_with(|| TileStrategy {
+            strategy: factory.create(),
+            next_frame: 0,
+        });
+        let frame = slot.next_frame;
+        slot.next_frame += 1;
+        slot.strategy.begin_frame(frame);
+        let out = slot.strategy.order(entries);
+        sort_cost += out.cost;
+        incoming_total += out.incoming;
+        outgoing_total += out.outgoing;
+        stats.traffic.read(Stage::Sorting, out.cost.bytes_read);
+        stats.traffic.write(Stage::Sorting, out.cost.bytes_written);
+        tile_loads.push(TileLoad {
+            tile: tile_index as u32,
+            table_len: out.order.len() as u32,
+            incoming: out.incoming as u32,
+            outgoing: out.outgoing as u32,
+        });
+
+        // Rasterization fetches features for every entry in the blend
+        // order (stale entries included — they are fetched, found
+        // non-intersecting by the ITU, and skipped).
+        stats
+            .traffic
+            .read(Stage::Rasterization, out.order.len() as u64 * feature_bytes);
+
+        if let Some(img) = image.as_mut() {
+            // Blend in the strategy's order; IDs without current
+            // features (stale entries) are skipped.
+            let order: Vec<&ProjectedGaussian> = out
+                .order
+                .iter()
+                .filter(|e| e.valid)
+                .filter_map(|e| {
+                    by_id
+                        .get(e.id as usize)
+                        .copied()
+                        .flatten()
+                        .map(|i| &projected[i])
+                })
+                .collect();
+            let ts = rasterize_tile(img, &grid, tile_index, &order, &raster_cfg);
+            stats.blend_ops += ts.blend_ops;
+            stats.saturated_pixels += ts.saturated_pixels;
+        }
+    }
+    stats.traffic.write(
+        Stage::Rasterization,
+        cam.width as u64 * cam.height as u64 * 4,
+    );
+
+    state.frames_rendered += 1;
+    FrameResult {
+        image,
+        stats,
+        sort_cost,
+        incoming: incoming_total,
+        outgoing: outgoing_total,
+        tile_loads,
+    }
+}
+
+/// Rejects cameras that cannot produce a well-defined projection.
+fn validate_camera(cam: &Camera) -> NeoResult<()> {
+    if cam.width == 0 || cam.height == 0 {
+        return Err(NeoError::DegenerateCamera(format!(
+            "resolution must be non-zero, got {}x{}",
+            cam.width, cam.height
+        )));
+    }
+    if !cam.position.is_finite() {
+        return Err(NeoError::DegenerateCamera(
+            "position must be finite".to_string(),
+        ));
+    }
+    let q = cam.rotation;
+    if ![q.w, q.x, q.y, q.z].iter().all(|c| c.is_finite()) {
+        return Err(NeoError::DegenerateCamera(
+            "rotation must be finite".to_string(),
+        ));
+    }
+    if !cam.fov_y.is_finite() || cam.fov_y <= 0.0 {
+        return Err(NeoError::DegenerateCamera(format!(
+            "vertical field of view must be positive and finite, got {}",
+            cam.fov_y
+        )));
+    }
+    if !cam.near.is_finite() || !cam.far.is_finite() || cam.near <= 0.0 || cam.far <= cam.near {
+        return Err(NeoError::DegenerateCamera(format!(
+            "clip planes must satisfy 0 < near < far, got near {} far {}",
+            cam.near, cam.far
+        )));
+    }
+    Ok(())
+}
+
+/// Builder for [`RenderEngine`]: collects a scene, a configuration, and a
+/// sorting strategy, then validates everything in one fallible
+/// [`RenderEngineBuilder::build`] call.
+#[derive(Debug)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct RenderEngineBuilder {
+    scene: Option<Arc<GaussianCloud>>,
+    config: RendererConfig,
+    strategy: StrategySpec,
+}
+
+#[derive(Debug)]
+enum StrategySpec {
+    Kind(StrategyKind),
+    Custom(StrategyFactory),
+}
+
+impl Default for RenderEngineBuilder {
+    fn default() -> Self {
+        Self {
+            scene: None,
+            config: RendererConfig::default(),
+            strategy: StrategySpec::Kind(StrategyKind::ReuseUpdate),
+        }
+    }
+}
+
+impl RenderEngineBuilder {
+    /// Sets the scene to render. Accepts an owned cloud or an existing
+    /// `Arc` (to share one scene across several engines).
+    pub fn scene(mut self, scene: impl Into<Arc<GaussianCloud>>) -> Self {
+        self.scene = Some(scene.into());
+        self
+    }
+
+    /// Sets the renderer configuration (validated at build time).
+    pub fn config(mut self, config: RendererConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects one of the built-in sorting strategies. Defaults to
+    /// [`StrategyKind::ReuseUpdate`] (the paper's algorithm).
+    pub fn strategy(mut self, kind: StrategyKind) -> Self {
+        self.strategy = StrategySpec::Kind(kind);
+        self
+    }
+
+    /// Registers a user-defined sorting strategy: `make` is called once
+    /// per occupied tile per session to mint an independent
+    /// [`SortingStrategy`] state machine. This is the open extension
+    /// point — the factory may live in any crate.
+    pub fn strategy_factory(
+        mut self,
+        name: impl Into<Arc<str>>,
+        make: impl Fn() -> Box<dyn SortingStrategy> + Send + Sync + 'static,
+    ) -> Self {
+        self.strategy = StrategySpec::Custom(StrategyFactory::new(name, make));
+        self
+    }
+
+    /// Validates the assembled configuration and produces the engine.
+    ///
+    /// # Errors
+    ///
+    /// * [`NeoError::EmptyCloud`] — no scene was provided, or the scene
+    ///   contains no Gaussians.
+    /// * [`NeoError::InvalidConfig`] — the configuration fails
+    ///   [`RendererConfig::validate`] (zero tile size, DPS chunk size
+    ///   below 2) or the strategy kind is invalid (zero periodic
+    ///   interval).
+    pub fn build(self) -> NeoResult<RenderEngine> {
+        let scene = self.scene.ok_or(NeoError::EmptyCloud)?;
+        if scene.is_empty() {
+            return Err(NeoError::EmptyCloud);
+        }
+        self.config.validate()?;
+        let factory = match self.strategy {
+            StrategySpec::Kind(kind) => {
+                kind.validate().map_err(NeoError::invalid_config)?;
+                StrategyFactory::from_kind(kind, self.config.sorter_config())
+            }
+            StrategySpec::Custom(factory) => factory,
+        };
+        Ok(RenderEngine {
+            scene,
+            config: self.config,
+            factory,
+        })
+    }
+}
+
+/// The validated, immutable rendering front door.
+///
+/// An engine owns the scene (shared behind an [`Arc`]), the validated
+/// [`RendererConfig`], and the sorting-strategy factory. All mutable
+/// state lives in the [`RenderSession`]s it mints, so one engine can
+/// serve any number of concurrent sessions — see the module docs for a
+/// `std::thread::scope` example.
+#[derive(Debug)]
+pub struct RenderEngine {
+    scene: Arc<GaussianCloud>,
+    config: RendererConfig,
+    factory: StrategyFactory,
+}
+
+impl RenderEngine {
+    /// Starts building an engine.
+    pub fn builder() -> RenderEngineBuilder {
+        RenderEngineBuilder::default()
+    }
+
+    /// Creates an independent rendering session over this engine's scene.
+    ///
+    /// Each session carries its own per-tile sorting tables; sessions
+    /// never observe each other and may run on different threads.
+    #[must_use]
+    pub fn session(&self) -> RenderSession {
+        RenderSession {
+            scene: Arc::clone(&self.scene),
+            config: self.config.clone(),
+            factory: self.factory.clone(),
+            state: TileState::default(),
+        }
+    }
+
+    /// The shared scene.
+    pub fn scene(&self) -> &Arc<GaussianCloud> {
+        &self.scene
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &RendererConfig {
+        &self.config
+    }
+
+    /// The sorting strategy's diagnostic name.
+    pub fn strategy_name(&self) -> &str {
+        self.factory.name()
+    }
+}
+
+/// An independent frame-to-frame rendering stream over an engine's scene.
+///
+/// The session owns one [`SortingStrategy`] per occupied tile; tables
+/// persist across [`RenderSession::render_frame`] calls, which is what
+/// enables Neo's reuse-and-update sorting. Changing the camera
+/// resolution or tile size resets the state (tables are layout-specific).
+///
+/// Sessions are [`Send`]: move them into scoped threads to render many
+/// camera streams of the same scene concurrently.
+#[derive(Debug)]
+pub struct RenderSession {
+    scene: Arc<GaussianCloud>,
+    config: RendererConfig,
+    factory: StrategyFactory,
+    state: TileState,
+}
+
+impl RenderSession {
+    /// Renders one frame, advancing all per-tile sorting state.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::DegenerateCamera`] when the camera has zero
+    /// resolution, a non-finite pose, a non-positive field of view, or
+    /// inverted clip planes. Valid cameras never fail.
+    pub fn render_frame(&mut self, cam: &Camera) -> NeoResult<FrameResult> {
+        validate_camera(cam)?;
+        Ok(render_frame_core(
+            &mut self.state,
+            &self.factory,
+            &self.config,
+            &self.scene,
+            cam,
+        ))
+    }
+
+    /// Renders every camera in `cameras`, returning the per-frame results
+    /// and the aggregate statistics. Stops at the first camera error.
+    pub fn render_sequence(
+        &mut self,
+        cameras: &[Camera],
+    ) -> NeoResult<(Vec<FrameResult>, SequenceStats)> {
+        let mut stats = SequenceStats::default();
+        let mut frames = Vec::with_capacity(cameras.len());
+        for cam in cameras {
+            let fr = self.render_frame(cam)?;
+            stats.push(&fr);
+            frames.push(fr);
+        }
+        Ok((frames, stats))
+    }
+
+    /// Iterates rendered frames along a [`FrameSampler`] trajectory:
+    /// frame `i` of the stream is the render of `sampler.frame(i)`.
+    ///
+    /// ```
+    /// use neo_core::{RenderEngine, RendererConfig, StrategyKind};
+    /// use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+    ///
+    /// let engine = RenderEngine::builder()
+    ///     .scene(ScenePreset::Family.build_scaled(0.002))
+    ///     .config(RendererConfig::default().with_tile_size(32).without_image())
+    ///     .build()
+    ///     .unwrap();
+    /// let sampler = FrameSampler::new(
+    ///     ScenePreset::Family.trajectory(), 30.0, Resolution::Custom(128, 72));
+    /// let mut session = engine.session();
+    /// let frames: Result<Vec<_>, _> = session.stream(&sampler, 3).collect();
+    /// assert_eq!(frames.unwrap().len(), 3);
+    /// ```
+    pub fn stream<'s>(&'s mut self, sampler: &'s FrameSampler, frames: usize) -> FrameStream<'s> {
+        FrameStream {
+            session: self,
+            sampler,
+            next: 0,
+            end: frames,
+        }
+    }
+
+    /// Drops all per-tile state (tables, strategy queues).
+    pub fn reset(&mut self) {
+        self.state.reset();
+    }
+
+    /// Frames rendered since construction (or the last reset).
+    pub fn frames_rendered(&self) -> u64 {
+        self.state.frames_rendered()
+    }
+
+    /// The shared scene this session renders.
+    pub fn scene(&self) -> &Arc<GaussianCloud> {
+        &self.scene
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &RendererConfig {
+        &self.config
+    }
+
+    /// The sorting strategy's diagnostic name.
+    pub fn strategy_name(&self) -> &str {
+        self.factory.name()
+    }
+}
+
+/// Iterator of rendered frames along a trajectory — see
+/// [`RenderSession::stream`].
+#[derive(Debug)]
+#[must_use = "iterators are lazy; nothing renders until the stream is consumed"]
+pub struct FrameStream<'s> {
+    session: &'s mut RenderSession,
+    sampler: &'s FrameSampler,
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for FrameStream<'_> {
+    type Item = NeoResult<FrameResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.end {
+            return None;
+        }
+        let cam = self.sampler.frame(self.next);
+        self.next += 1;
+        Some(self.session.render_frame(&cam))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.end - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for FrameStream<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_math::Vec3;
+    use neo_scene::{presets::ScenePreset, Resolution};
+
+    fn small_engine() -> RenderEngine {
+        RenderEngine::builder()
+            .scene(ScenePreset::Family.build_scaled(0.002))
+            .config(RendererConfig::default().with_tile_size(32))
+            .build()
+            .expect("valid")
+    }
+
+    fn small_sampler() -> FrameSampler {
+        FrameSampler::new(
+            ScenePreset::Family.trajectory(),
+            30.0,
+            Resolution::Custom(160, 96),
+        )
+    }
+
+    #[test]
+    fn builder_requires_a_scene() {
+        let err = RenderEngine::builder().build().unwrap_err();
+        assert_eq!(err, NeoError::EmptyCloud);
+    }
+
+    #[test]
+    fn builder_rejects_empty_cloud() {
+        let err = RenderEngine::builder()
+            .scene(GaussianCloud::new())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, NeoError::EmptyCloud);
+    }
+
+    #[test]
+    fn builder_rejects_zero_tile_size() {
+        let err = RenderEngine::builder()
+            .scene(ScenePreset::Family.build_scaled(0.002))
+            .config(RendererConfig::default().with_tile_size(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NeoError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn builder_rejects_tiny_dps_chunk() {
+        let err = RenderEngine::builder()
+            .scene(ScenePreset::Family.build_scaled(0.002))
+            .config(RendererConfig::default().with_chunk_size(1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NeoError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_periodic_interval() {
+        let err = RenderEngine::builder()
+            .scene(ScenePreset::Family.build_scaled(0.002))
+            .strategy(StrategyKind::Periodic(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NeoError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn session_renders_and_counts_frames() {
+        let engine = small_engine();
+        let sampler = small_sampler();
+        let mut session = engine.session();
+        let f0 = session.render_frame(&sampler.frame(0)).unwrap();
+        let f1 = session.render_frame(&sampler.frame(1)).unwrap();
+        // Frame 1 reuses frame 0's tables: most Gaussians are retained.
+        assert!(f1.incoming < f0.incoming);
+        assert_eq!(session.frames_rendered(), 2);
+        session.reset();
+        assert_eq!(session.frames_rendered(), 0);
+    }
+
+    #[test]
+    fn degenerate_cameras_error_not_panic() {
+        let engine = small_engine();
+        let mut session = engine.session();
+        let good = Camera::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            1.0,
+            Resolution::Custom(64, 64),
+        );
+
+        let mut zero_res = good;
+        zero_res.width = 0;
+        assert!(matches!(
+            session.render_frame(&zero_res),
+            Err(NeoError::DegenerateCamera(_))
+        ));
+
+        let mut bad_fov = good;
+        bad_fov.fov_y = 0.0;
+        assert!(matches!(
+            session.render_frame(&bad_fov),
+            Err(NeoError::DegenerateCamera(_))
+        ));
+
+        let mut nan_pos = good;
+        nan_pos.position = Vec3::new(f32::NAN, 0.0, 0.0);
+        assert!(matches!(
+            session.render_frame(&nan_pos),
+            Err(NeoError::DegenerateCamera(_))
+        ));
+
+        let mut inverted_clip = good;
+        inverted_clip.far = inverted_clip.near;
+        assert!(matches!(
+            session.render_frame(&inverted_clip),
+            Err(NeoError::DegenerateCamera(_))
+        ));
+
+        // The session stays usable after errors.
+        assert!(session.render_frame(&good).is_ok());
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let engine = small_engine();
+        let sampler = small_sampler();
+        let mut a = engine.session();
+        let mut b = engine.session();
+        // Session A warms up; session B starts cold. Their frame-0 results
+        // must not be affected by each other.
+        for i in 0..3 {
+            a.render_frame(&sampler.frame(i)).unwrap();
+        }
+        let fa = a.render_frame(&sampler.frame(3)).unwrap();
+        let fb = b.render_frame(&sampler.frame(3)).unwrap();
+        // Cold session re-inserts everything; warm one reuses its tables.
+        assert!(fb.incoming > fa.incoming);
+        assert_eq!(Arc::as_ptr(a.scene()), Arc::as_ptr(b.scene()));
+    }
+
+    #[test]
+    fn stream_renders_the_trajectory() {
+        let engine = small_engine();
+        let sampler = small_sampler();
+        let mut session = engine.session();
+        let stream = session.stream(&sampler, 4);
+        assert_eq!(stream.len(), 4);
+        let frames: NeoResult<Vec<_>> = stream.collect();
+        let frames = frames.unwrap();
+        assert_eq!(frames.len(), 4);
+        assert_eq!(session.frames_rendered(), 4);
+        // Reuse kicks in after the first frame of the stream.
+        assert!(frames[1].incoming < frames[0].incoming);
+    }
+
+    #[test]
+    fn custom_strategy_factory_runs() {
+        // A do-nothing strategy defined against the public trait only.
+        #[derive(Debug)]
+        struct Passthrough;
+        impl SortingStrategy for Passthrough {
+            fn name(&self) -> &str {
+                "passthrough"
+            }
+            fn begin_frame(&mut self, _frame: u64) {}
+            fn order(&mut self, current: &[(u32, f32)]) -> neo_sort::strategies::FrameOrder {
+                neo_sort::strategies::FrameOrder {
+                    order: current
+                        .iter()
+                        .map(|&(id, d)| neo_sort::TableEntry::new(id, d))
+                        .collect(),
+                    cost: SortCost::new(),
+                    incoming: 0,
+                    outgoing: 0,
+                }
+            }
+            fn cost(&self) -> SortCost {
+                SortCost::new()
+            }
+        }
+
+        let engine = RenderEngine::builder()
+            .scene(ScenePreset::Family.build_scaled(0.002))
+            .config(RendererConfig::default().with_tile_size(32))
+            .strategy_factory("passthrough", || Box::new(Passthrough))
+            .build()
+            .unwrap();
+        assert_eq!(engine.strategy_name(), "passthrough");
+        let mut session = engine.session();
+        let fr = session.render_frame(&small_sampler().frame(0)).unwrap();
+        assert_eq!(fr.sort_cost.bytes_total(), 0, "passthrough is free");
+        assert!(fr.image.is_some());
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<RenderSession>();
+        assert_send::<RenderEngine>();
+    }
+}

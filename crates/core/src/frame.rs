@@ -36,6 +36,7 @@ pub struct FrameResult {
 
 impl FrameResult {
     /// Mean per-tile table length this frame.
+    #[must_use]
     pub fn mean_table_len(&self) -> f64 {
         if self.tile_loads.is_empty() {
             0.0
@@ -49,6 +50,7 @@ impl FrameResult {
     }
 
     /// Total table entries across tiles.
+    #[must_use]
     pub fn total_table_entries(&self) -> u64 {
         self.tile_loads.iter().map(|t| t.table_len as u64).sum()
     }

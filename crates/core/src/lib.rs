@@ -1,9 +1,12 @@
 //! Neo's reuse-and-update 3DGS renderer — the paper's core contribution as
 //! a reusable library.
 //!
-//! A [`SplatRenderer`] renders a sequence of frames while carrying per-tile
-//! Gaussian tables across frames. With [`StrategyKind::ReuseUpdate`] it
-//! implements the full Neo algorithm of Figure 8:
+//! The front door is the [`RenderEngine`]: it validates configuration
+//! fallibly (no asserts, no panics — see [`NeoError`]), owns an immutable
+//! shared scene behind an `Arc`, and mints any number of independent
+//! [`RenderSession`]s. Each session carries its own per-tile Gaussian
+//! tables across frames; with [`StrategyKind::ReuseUpdate`] it implements
+//! the full Neo algorithm of Figure 8:
 //!
 //! 1. **Reordering** — Dynamic Partial Sorting of each inherited table
 //!    (single off-chip pass, interleaved chunk boundaries);
@@ -16,33 +19,49 @@
 //! Any other [`StrategyKind`] gives a baseline renderer over the same
 //! functional pipeline: per-frame full sorting ("original 3DGS"),
 //! GSCore-style hierarchical sorting, periodic sorting, or background
-//! sorting — the comparison set of Figure 19.
+//! sorting — the comparison set of Figure 19. Beyond the built-ins, any
+//! [`neo_sort::SortingStrategy`] implementation — including one defined
+//! outside this workspace — plugs in through
+//! [`RenderEngineBuilder::strategy_factory`].
 //!
 //! # Examples
 //!
 //! ```
-//! use neo_core::{RendererConfig, SplatRenderer};
+//! use neo_core::{RenderEngine, RendererConfig};
 //! use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 //!
-//! let cloud = ScenePreset::Family.build_scaled(0.002);
+//! let engine = RenderEngine::builder()
+//!     .scene(ScenePreset::Family.build_scaled(0.002))
+//!     .config(RendererConfig::default())
+//!     .build()
+//!     .expect("valid config and non-empty scene");
 //! let sampler = FrameSampler::new(
 //!     ScenePreset::Family.trajectory(), 30.0, Resolution::Custom(128, 72));
-//! let mut renderer = SplatRenderer::new_neo(RendererConfig::default());
-//! let f0 = renderer.render_frame(&cloud, &sampler.frame(0));
-//! let f1 = renderer.render_frame(&cloud, &sampler.frame(1));
+//! let mut session = engine.session();
+//! let f0 = session.render_frame(&sampler.frame(0)).unwrap();
+//! let f1 = session.render_frame(&sampler.frame(1)).unwrap();
 //! // Frame 1 reuses frame 0's tables: most Gaussians are retained.
 //! assert!(f1.incoming < f0.incoming);
 //! ```
+//!
+//! The deprecated [`SplatRenderer`] remains as a thin wrapper over the
+//! same render core for older call sites.
 
 #![deny(missing_docs)]
 
 mod config;
+mod engine;
+mod error;
 mod frame;
 mod renderer;
 mod sequence;
 
 pub use config::RendererConfig;
+pub use engine::{FrameStream, RenderEngine, RenderEngineBuilder, RenderSession};
+pub use error::{NeoError, NeoResult};
 pub use frame::{FrameResult, TileLoad};
 pub use neo_sort::strategies::StrategyKind;
+pub use neo_sort::SortingStrategy;
+#[allow(deprecated)]
 pub use renderer::SplatRenderer;
 pub use sequence::SequenceStats;

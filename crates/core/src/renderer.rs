@@ -1,39 +1,65 @@
-//! The strategy-parameterized splat renderer.
+//! The legacy strategy-parameterized splat renderer, kept as a thin
+//! compatibility wrapper over the engine/session render core.
 
-use crate::{FrameResult, RendererConfig, TileLoad};
-use neo_pipeline::{
-    bin_to_tiles, project_cloud, rasterize_tile, FrameStats, Image, ProjectedGaussian,
-    RenderConfig, Stage, TileGrid,
-};
+use crate::engine::{render_frame_core, StrategyFactory, TileState};
+use crate::{FrameResult, RendererConfig};
 use neo_scene::{Camera, GaussianCloud};
-use neo_sort::strategies::{StrategyKind, TileSorter};
-use neo_sort::SortCost;
+use neo_sort::strategies::StrategyKind;
 
 /// A frame-to-frame stateful 3DGS renderer parameterized by sorting
 /// strategy.
 ///
-/// The renderer owns one [`TileSorter`] per tile; tables persist across
-/// [`SplatRenderer::render_frame`] calls, which is what enables Neo's
-/// reuse-and-update sorting. Changing the camera resolution or tile size
-/// resets the state (tables are layout-specific).
+/// Deprecated: this is now a thin wrapper over a single
+/// [`crate::RenderSession`] driving the exact same render path. Prefer
+/// [`crate::RenderEngine`], which validates configuration fallibly,
+/// shares one scene across concurrent sessions, and accepts user-defined
+/// [`neo_sort::SortingStrategy`] implementations.
+///
+/// Unlike the engine, this wrapper cannot report errors, so invalid
+/// configurations are clamped to the nearest valid value at construction
+/// (zero tile size → 1, DPS chunk below 2 → 2, zero periodic
+/// interval → 1) instead of panicking.
+#[deprecated(
+    since = "0.2.0",
+    note = "use RenderEngine::builder()…build()?.session() instead"
+)]
 #[derive(Debug)]
 pub struct SplatRenderer {
     strategy: StrategyKind,
     config: RendererConfig,
-    sorters: Vec<Option<TileSorter>>,
-    grid: Option<TileGrid>,
-    frames_rendered: u64,
+    factory: StrategyFactory,
+    state: TileState,
 }
 
+/// Clamps a legacy configuration/strategy pair to validity, preserving
+/// the no-panic guarantee of the deprecated infallible API.
+fn sanitize(strategy: StrategyKind, mut config: RendererConfig) -> (StrategyKind, RendererConfig) {
+    config.tile_size = config.tile_size.max(1);
+    config.dps.chunk_size = config.dps.chunk_size.max(2);
+    let strategy = match strategy {
+        StrategyKind::Periodic(0) => StrategyKind::Periodic(1),
+        other => other,
+    };
+    // The clamp set must cover every rule the fallible path checks, or
+    // the strategy factory's validate assert fires mid-render.
+    debug_assert!(
+        config.validate().is_ok() && strategy.validate().is_ok(),
+        "sanitize() drifted from the validate() rules"
+    );
+    (strategy, config)
+}
+
+#[allow(deprecated)]
 impl SplatRenderer {
     /// Creates a renderer with an explicit sorting strategy.
     pub fn new(strategy: StrategyKind, config: RendererConfig) -> Self {
+        let (strategy, config) = sanitize(strategy, config);
+        let factory = StrategyFactory::from_kind(strategy, config.sorter_config());
         Self {
             strategy,
             config,
-            sorters: Vec::new(),
-            grid: None,
-            frames_rendered: 0,
+            factory,
+            state: TileState::default(),
         }
     }
 
@@ -59,27 +85,12 @@ impl SplatRenderer {
 
     /// Frames rendered since construction (or the last reset).
     pub fn frames_rendered(&self) -> u64 {
-        self.frames_rendered
+        self.state.frames_rendered()
     }
 
     /// Drops all per-tile state (tables, strategy queues).
     pub fn reset(&mut self) {
-        self.sorters.clear();
-        self.grid = None;
-        self.frames_rendered = 0;
-    }
-
-    fn ensure_grid(&mut self, cam: &Camera) -> TileGrid {
-        let want = TileGrid::new(cam.width, cam.height, self.config.tile_size);
-        match self.grid {
-            Some(g) if g == want => g,
-            _ => {
-                self.sorters.clear();
-                self.sorters.resize_with(want.tile_count(), || None);
-                self.grid = Some(want);
-                want
-            }
-        }
+        self.state.reset();
     }
 
     /// Renders one frame, advancing all per-tile sorting state.
@@ -87,109 +98,16 @@ impl SplatRenderer {
     /// Gaussian IDs must be stable across frames (the same cloud, or at
     /// least stable indices) — reuse is keyed on IDs.
     pub fn render_frame(&mut self, cloud: &GaussianCloud, cam: &Camera) -> FrameResult {
-        let grid = self.ensure_grid(cam);
-        let projected = project_cloud(cam, cloud);
-        let assignments = bin_to_tiles(&grid, &projected);
-
-        // ID → projected-splat lookup for rasterization.
-        let mut by_id: Vec<Option<usize>> = vec![None; cloud.len()];
-        for (i, p) in projected.iter().enumerate() {
-            by_id[p.id as usize] = Some(i);
-        }
-
-        let mut stats = FrameStats {
-            input: cloud.len(),
-            projected: projected.len(),
-            duplicates: assignments.total_assignments(),
-            occupied_tiles: assignments.occupied_tiles(),
-            ..Default::default()
-        };
-        let feature_bytes = cloud.feature_record_bytes() as u64;
-        stats
-            .traffic
-            .read(Stage::FeatureExtraction, cloud.len() as u64 * feature_bytes);
-
-        let mut image = self
-            .config
-            .render_image
-            .then(|| Image::new(cam.width, cam.height, self.config.background));
-        let raster_cfg = RenderConfig {
-            tile_size: self.config.tile_size,
-            background: self.config.background,
-            subtiling: self.config.subtiling,
-            ..RenderConfig::default()
-        };
-
-        let mut sort_cost = SortCost::new();
-        let mut incoming_total = 0usize;
-        let mut outgoing_total = 0usize;
-        let mut tile_loads = Vec::with_capacity(stats.occupied_tiles);
-
-        for (tile_index, entries) in assignments.iter_occupied() {
-            let sorter = self.sorters[tile_index].get_or_insert_with(|| {
-                TileSorter::with_config(self.strategy, self.config.sorter_config())
-            });
-            let out = sorter.process_frame(entries);
-            sort_cost += out.cost;
-            incoming_total += out.incoming;
-            outgoing_total += out.outgoing;
-            stats.traffic.read(Stage::Sorting, out.cost.bytes_read);
-            stats.traffic.write(Stage::Sorting, out.cost.bytes_written);
-            tile_loads.push(TileLoad {
-                tile: tile_index as u32,
-                table_len: out.order.len() as u32,
-                incoming: out.incoming as u32,
-                outgoing: out.outgoing as u32,
-            });
-
-            // Rasterization fetches features for every entry in the blend
-            // order (stale entries included — they are fetched, found
-            // non-intersecting by the ITU, and skipped).
-            stats
-                .traffic
-                .read(Stage::Rasterization, out.order.len() as u64 * feature_bytes);
-
-            if let Some(img) = image.as_mut() {
-                // Blend in the strategy's order; IDs without current
-                // features (stale entries) are skipped.
-                let order: Vec<&ProjectedGaussian> = out
-                    .order
-                    .iter()
-                    .filter(|e| e.valid)
-                    .filter_map(|e| {
-                        by_id
-                            .get(e.id as usize)
-                            .copied()
-                            .flatten()
-                            .map(|i| &projected[i])
-                    })
-                    .collect();
-                let ts = rasterize_tile(img, &grid, tile_index, &order, &raster_cfg);
-                stats.blend_ops += ts.blend_ops;
-                stats.saturated_pixels += ts.saturated_pixels;
-            }
-        }
-        stats.traffic.write(
-            Stage::Rasterization,
-            cam.width as u64 * cam.height as u64 * 4,
-        );
-
-        self.frames_rendered += 1;
-        FrameResult {
-            image,
-            stats,
-            sort_cost,
-            incoming: incoming_total,
-            outgoing: outgoing_total,
-            tile_loads,
-        }
+        render_frame_core(&mut self.state, &self.factory, &self.config, cloud, cam)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use neo_math::Vec3;
+    use neo_pipeline::Stage;
     use neo_scene::presets::ScenePreset;
     use neo_scene::{FrameSampler, Resolution};
 
@@ -326,5 +244,23 @@ mod tests {
         );
         let f = r.render_frame(&cloud, &cam);
         assert_eq!(f.image.unwrap().get(10, 10), Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn invalid_legacy_configs_are_clamped_not_panicking() {
+        let (cloud, sampler) = small_setup();
+        // Zero tile size, tiny chunk, zero periodic interval: the legacy
+        // API cannot error, so it clamps and still renders.
+        let mut r = SplatRenderer::new(
+            StrategyKind::Periodic(0),
+            RendererConfig::default()
+                .with_tile_size(0)
+                .with_chunk_size(0),
+        );
+        assert_eq!(r.config().tile_size, 1);
+        assert_eq!(r.config().dps.chunk_size, 2);
+        assert_eq!(r.strategy(), StrategyKind::Periodic(1));
+        let f = r.render_frame(&cloud, &sampler.frame(0));
+        assert!(f.stats.projected > 0);
     }
 }

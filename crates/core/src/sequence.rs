@@ -1,6 +1,8 @@
 //! Sequence-level rendering helpers and aggregate statistics.
 
-use crate::{FrameResult, SplatRenderer};
+use crate::FrameResult;
+#[allow(deprecated)]
+use crate::SplatRenderer;
 use neo_pipeline::{Stage, TrafficLedger};
 use neo_scene::{Camera, GaussianCloud};
 use neo_sort::SortCost;
@@ -34,6 +36,7 @@ impl SequenceStats {
     }
 
     /// Mean sorting-stage bytes per frame.
+    #[must_use]
     pub fn mean_sort_bytes(&self) -> f64 {
         if self.frames == 0 {
             0.0
@@ -43,6 +46,7 @@ impl SequenceStats {
     }
 
     /// Mean per-frame churn (incoming Gaussians).
+    #[must_use]
     pub fn mean_incoming(&self) -> f64 {
         if self.frames == 0 {
             0.0
@@ -52,22 +56,28 @@ impl SequenceStats {
     }
 }
 
+#[allow(deprecated)]
 impl SplatRenderer {
     /// Renders every camera in `cameras`, returning the per-frame results
     /// and the aggregate statistics.
     ///
-    /// A convenience for experiment loops:
+    /// Deprecated alongside [`SplatRenderer`]; new code should use
+    /// [`crate::RenderSession::render_sequence`] (same aggregation, but
+    /// fallible and over the engine's shared scene):
     ///
     /// ```
-    /// use neo_core::{RendererConfig, SplatRenderer};
+    /// use neo_core::{RenderEngine, RendererConfig};
     /// use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
     ///
-    /// let cloud = ScenePreset::Train.build_scaled(0.002);
+    /// let engine = RenderEngine::builder()
+    ///     .scene(ScenePreset::Train.build_scaled(0.002))
+    ///     .config(RendererConfig::default().without_image())
+    ///     .build()
+    ///     .unwrap();
     /// let sampler = FrameSampler::new(
     ///     ScenePreset::Train.trajectory(), 30.0, Resolution::Custom(96, 54));
-    /// let mut r = SplatRenderer::new_neo(RendererConfig::default().without_image());
     /// let cams: Vec<_> = sampler.frames(4).collect();
-    /// let (frames, stats) = r.render_sequence(&cloud, &cams);
+    /// let (frames, stats) = engine.session().render_sequence(&cams).unwrap();
     /// assert_eq!(frames.len(), 4);
     /// assert_eq!(stats.frames, 4);
     /// ```
@@ -90,20 +100,23 @@ impl SplatRenderer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::RendererConfig;
+    use crate::{RenderEngine, RendererConfig};
     use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 
     #[test]
     fn sequence_aggregates_match_frames() {
-        let cloud = ScenePreset::Horse.build_scaled(0.002);
         let sampler = FrameSampler::new(
             ScenePreset::Horse.trajectory(),
             30.0,
             Resolution::Custom(128, 72),
         );
         let cams: Vec<_> = sampler.frames(5).collect();
-        let mut r = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
-        let (frames, stats) = r.render_sequence(&cloud, &cams);
+        let engine = RenderEngine::builder()
+            .scene(ScenePreset::Horse.build_scaled(0.002))
+            .config(RendererConfig::default().with_tile_size(32))
+            .build()
+            .unwrap();
+        let (frames, stats) = engine.session().render_sequence(&cams).unwrap();
         assert_eq!(frames.len(), 5);
         assert_eq!(stats.frames, 5);
         let manual_incoming: u64 = frames.iter().map(|f| f.incoming as u64).sum();
@@ -119,12 +132,30 @@ mod tests {
 
     #[test]
     fn empty_sequence_is_zeroed() {
-        let cloud = GaussianCloud::new();
-        let mut r = SplatRenderer::new_neo(RendererConfig::default());
-        let (frames, stats) = r.render_sequence(&cloud, &[]);
+        let engine = RenderEngine::builder()
+            .scene(ScenePreset::Horse.build_scaled(0.002))
+            .build()
+            .unwrap();
+        let (frames, stats) = engine.session().render_sequence(&[]).unwrap();
         assert!(frames.is_empty());
         assert_eq!(stats.frames, 0);
         assert_eq!(stats.mean_sort_bytes(), 0.0);
         assert_eq!(stats.mean_incoming(), 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_render_sequence_still_aggregates() {
+        let cloud = ScenePreset::Horse.build_scaled(0.002);
+        let sampler = FrameSampler::new(
+            ScenePreset::Horse.trajectory(),
+            30.0,
+            Resolution::Custom(128, 72),
+        );
+        let cams: Vec<_> = sampler.frames(3).collect();
+        let mut r = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
+        let (frames, stats) = r.render_sequence(&cloud, &cams);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(stats.frames, 3);
     }
 }

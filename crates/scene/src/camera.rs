@@ -151,6 +151,7 @@ impl Camera {
     }
 
     /// Returns the same camera with a different target resolution.
+    #[must_use]
     pub fn with_resolution(mut self, res: Resolution) -> Self {
         let (w, h) = res.dims();
         self.width = w;

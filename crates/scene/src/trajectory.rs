@@ -190,6 +190,7 @@ impl FrameSampler {
     }
 
     /// Multiplies camera speed (Figure 17(b) uses 2×, 4×, 8×, 16×).
+    #[must_use]
     pub fn with_speed(mut self, speed: f32) -> Self {
         assert!(speed > 0.0, "speed must be positive");
         self.speed = speed;
@@ -197,6 +198,7 @@ impl FrameSampler {
     }
 
     /// Changes the target resolution.
+    #[must_use]
     pub fn with_resolution(mut self, res: Resolution) -> Self {
         self.res = res;
         self

@@ -75,6 +75,7 @@ impl NeoDevice {
 
     /// Section 4.4 ablation: disable deferred depth updates (adds a
     /// random-access depth-refresh pass).
+    #[must_use]
     pub fn without_deferred_depth_update(mut self) -> Self {
         self.deferred_depth_update = false;
         self

@@ -38,13 +38,33 @@ impl Default for DpsConfig {
     }
 }
 
+impl DpsConfig {
+    /// Checks the parameters, returning a description of the first
+    /// problem found. `neo-core`'s engine builder surfaces this as an
+    /// `InvalidConfig` error at build time instead of panicking deep in
+    /// the sorting substrate.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chunk_size < 2 {
+            return Err(format!(
+                "DPS chunk_size must be at least 2, got {}",
+                self.chunk_size
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Chunk boundaries for a table of `len` entries at frame `frame_index`.
 ///
 /// Odd frames use aligned chunks `[0, C), [C, 2C), …`; even frames shift
 /// boundaries by half a chunk (`[0, C/2), [C/2, 3C/2), …`) so entries can
 /// cross the other parity's boundaries.
+///
+/// A `chunk_size` below 2 cannot interleave (and 0 would never advance),
+/// so it is clamped to 2; reject such configurations up front with
+/// [`DpsConfig::validate`].
 pub fn chunk_ranges(len: usize, frame_index: u64, chunk_size: usize) -> Vec<(usize, usize)> {
-    assert!(chunk_size >= 2, "chunk_size must be at least 2");
+    let chunk_size = chunk_size.max(2);
     if len == 0 {
         return Vec::new();
     }
@@ -228,5 +248,26 @@ mod tests {
         let mut t = GaussianTable::new();
         let cost = dynamic_partial_sort(&mut t, 0, &DpsConfig::default());
         assert_eq!(cost.bytes_total(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_tiny_chunks() {
+        assert!(DpsConfig {
+            chunk_size: 1,
+            passes: 1
+        }
+        .validate()
+        .is_err());
+        assert!(DpsConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn tiny_chunk_size_is_clamped_not_panicking() {
+        // chunk_size 0/1 clamps to 2: ranges still partition the table.
+        for chunk in [0usize, 1] {
+            let ranges = chunk_ranges(10, 1, chunk);
+            let covered: usize = ranges.iter().map(|(s, e)| e - s).sum();
+            assert_eq!(covered, 10);
+        }
     }
 }

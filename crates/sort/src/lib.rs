@@ -9,10 +9,13 @@
 //! * **Dynamic Partial Sorting** ([`dps`]) — Algorithm 1: chunk-local
 //!   sorting with boundaries interleaved by half a chunk on alternating
 //!   frames, so entries can migrate across chunk boundaries over time.
-//! * **Per-tile sorting strategies** ([`strategies`]) — sort-from-scratch,
-//!   GSCore-style hierarchical sorting, periodic sorting, background
-//!   sorting, and Neo's reuse-and-update sorting, each with faithful cost
-//!   accounting (compares, element moves, DRAM bytes).
+//! * **Per-tile sorting strategies** ([`strategies`]) — the open
+//!   [`SortingStrategy`] trait plus five built-in implementors:
+//!   sort-from-scratch, GSCore-style hierarchical sorting, periodic
+//!   sorting, background sorting, and Neo's reuse-and-update sorting,
+//!   each with faithful cost accounting (compares, element moves, DRAM
+//!   bytes). User-defined strategies implement the same trait and run
+//!   through `neo-core`'s `RenderEngine` unchanged.
 //! * **Temporal statistics** ([`stats`]) — Gaussian retention and
 //!   order-difference percentiles (Figures 6 and 7).
 //!
@@ -45,4 +48,5 @@ mod cost;
 mod table;
 
 pub use cost::SortCost;
+pub use strategies::{SortingStrategy, StrategyKind};
 pub use table::{GaussianTable, TableEntry, ENTRY_BYTES};

@@ -6,6 +6,12 @@
 //! rasterizer should blend in — which may be stale or approximate,
 //! depending on the strategy — together with a faithful [`SortCost`].
 //!
+//! The open [`SortingStrategy`] trait is the extension point: the five
+//! built-in strategies below implement it, and out-of-crate code can
+//! implement it too and run through `neo-core`'s `RenderEngine` without
+//! touching this crate. [`StrategyKind`] survives as a closed convenience
+//! constructor over the built-ins.
+//!
 //! | Strategy | Order quality | Traffic profile |
 //! |---|---|---|
 //! | [`StrategyKind::FullResort`] | exact | multi-pass radix every frame |
@@ -19,7 +25,7 @@ use crate::hierarchical::{hierarchical_sort, HierarchicalConfig};
 use crate::merge::{chunk_sort, merge_filtering};
 use crate::radix::radix_sort;
 use crate::{GaussianTable, SortCost, TableEntry, ENTRY_BYTES};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Number of read+write passes a GPU radix sort makes over the key array
 /// (64-bit composite keys, 8-bit digits — the CUB configuration 3DGS
@@ -30,7 +36,60 @@ pub const RADIX_PASSES: u32 = crate::radix::RADIX64_PASSES;
 /// bucketing pass plus one fine per-bucket pass.
 pub const HIERARCHICAL_PASSES: u32 = 2;
 
-/// Which sorting strategy a [`TileSorter`] runs.
+/// A per-tile sorting strategy: the open extension point of the sorting
+/// subsystem.
+///
+/// A strategy is a state machine owning whatever per-tile state it needs
+/// (persisted tables, pending queues). Each frame the driver calls
+/// [`SortingStrategy::begin_frame`] with the tile's frame index, then
+/// [`SortingStrategy::order`] with the tile's true `(id, depth)` entries;
+/// the strategy returns the blend order plus the traffic it cost.
+///
+/// The trait is object-safe: `neo-core`'s `RenderEngine` drives boxed
+/// strategies created by a per-tile factory, so implementations outside
+/// this crate plug in without any enum edits. Implementors must be
+/// [`Send`] so render sessions can move across threads.
+///
+/// # Examples
+///
+/// ```
+/// use neo_sort::strategies::{SortingStrategy, StrategyKind};
+///
+/// let mut s = StrategyKind::FullResort.build(Default::default());
+/// s.begin_frame(0);
+/// let out = s.order(&[(2, 5.0), (7, 1.0)]);
+/// assert_eq!(out.order[0].id, 7);
+/// assert_eq!(s.cost().bytes_total(), out.cost.bytes_total());
+/// ```
+pub trait SortingStrategy: std::fmt::Debug + Send {
+    /// Short human-readable name for diagnostics and experiment labels.
+    fn name(&self) -> &str;
+
+    /// Announces the tile-local frame index about to be ordered. Called
+    /// exactly once before each [`SortingStrategy::order`] call; indices
+    /// start at 0 and increase by 1 (they drive parity-sensitive logic
+    /// such as DPS boundary interleaving and periodic refresh phase).
+    fn begin_frame(&mut self, frame_index: u64);
+
+    /// Produces the blend order for the tile's true `(id, depth)` entries
+    /// this frame, advancing all internal state.
+    fn order(&mut self, current: &[(u32, f32)]) -> FrameOrder;
+
+    /// Cumulative sorting cost across every frame ordered so far.
+    fn cost(&self) -> SortCost;
+
+    /// The table carried across frames, when the strategy persists one.
+    fn table(&self) -> Option<&GaussianTable> {
+        None
+    }
+}
+
+/// Which built-in sorting strategy a [`TileSorter`] runs.
+///
+/// This enum is a *convenience constructor* over the open
+/// [`SortingStrategy`] trait — see [`StrategyKind::build`]. New
+/// strategies do not need a variant here; they implement the trait
+/// directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StrategyKind {
     /// Sort from scratch every frame with a GPU-style radix sort.
@@ -49,7 +108,52 @@ pub enum StrategyKind {
     ReuseUpdate,
 }
 
-/// Options for [`TileSorter`].
+impl StrategyKind {
+    /// Checks the variant's parameters, returning a description of the
+    /// first problem found. `neo-core`'s engine builder surfaces this as
+    /// an `InvalidConfig` error instead of panicking.
+    pub fn validate(self) -> Result<(), String> {
+        match self {
+            StrategyKind::Periodic(0) => {
+                Err("periodic sorting interval must be positive".to_string())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Builds a boxed [`SortingStrategy`] for this kind — the convenience
+    /// constructor over the open trait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`StrategyKind::validate`] fails (e.g. a zero periodic
+    /// interval); validate first when the parameters are untrusted.
+    #[must_use]
+    pub fn build(self, config: SorterConfig) -> Box<dyn SortingStrategy> {
+        assert!(self.validate().is_ok(), "invalid strategy: {self:?}");
+        match self {
+            StrategyKind::FullResort => Box::new(FullResortStrategy::new()),
+            StrategyKind::Hierarchical => Box::new(HierarchicalStrategy::new()),
+            StrategyKind::Periodic(interval) => Box::new(PeriodicStrategy::new(interval)),
+            StrategyKind::Background(lag) => Box::new(BackgroundStrategy::new(lag)),
+            StrategyKind::ReuseUpdate => Box::new(ReuseUpdateStrategy::new(config)),
+        }
+    }
+
+    /// Short human-readable label (matches the built strategy's
+    /// [`SortingStrategy::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::FullResort => "full-resort",
+            StrategyKind::Hierarchical => "hierarchical",
+            StrategyKind::Periodic(_) => "periodic",
+            StrategyKind::Background(_) => "background",
+            StrategyKind::ReuseUpdate => "reuse-update",
+        }
+    }
+}
+
+/// Options for the built-in strategies ([`StrategyKind::build`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SorterConfig {
     /// Dynamic Partial Sorting parameters (ReuseUpdate only).
@@ -84,85 +188,35 @@ pub struct FrameOrder {
     pub outgoing: usize,
 }
 
-/// Per-tile sorting state machine.
-///
-/// # Examples
-///
-/// ```
-/// use neo_sort::strategies::{StrategyKind, TileSorter};
-///
-/// let mut sorter = TileSorter::new(StrategyKind::ReuseUpdate);
-/// let frame0: Vec<(u32, f32)> = (0..100).map(|i| (i, i as f32)).collect();
-/// let out = sorter.process_frame(&frame0);
-/// assert_eq!(out.order.len(), 100);
-/// assert_eq!(out.incoming, 100);
-/// ```
-#[derive(Debug, Clone)]
-pub struct TileSorter {
-    kind: StrategyKind,
-    config: SorterConfig,
-    frame_index: u64,
-    /// Persisted table (ReuseUpdate, Periodic).
-    table: GaussianTable,
-    /// Membership of the previous frame (for incoming/outgoing detection).
-    prev_ids: HashSet<u32>,
-    /// Queue of sorted orders awaiting publication (Background).
-    pending: VecDeque<Vec<TableEntry>>,
+/// Exact sort of the current entries with the GPU-style LSD radix sort
+/// (CUB model): multi-pass, bandwidth-hungry, but exact. The "original
+/// 3DGS" baseline.
+#[derive(Debug, Clone, Default)]
+pub struct FullResortStrategy {
+    total_cost: SortCost,
 }
 
-impl TileSorter {
-    /// Creates a sorter with default configuration.
-    pub fn new(kind: StrategyKind) -> Self {
-        Self::with_config(kind, SorterConfig::default())
+impl FullResortStrategy {
+    /// Creates the stateless full-resort baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SortingStrategy for FullResortStrategy {
+    fn name(&self) -> &str {
+        "full-resort"
     }
 
-    /// Creates a sorter with explicit configuration.
-    pub fn with_config(kind: StrategyKind, config: SorterConfig) -> Self {
-        if let StrategyKind::Periodic(n) = kind {
-            assert!(n > 0, "periodic interval must be positive");
-        }
-        Self {
-            kind,
-            config,
-            frame_index: 0,
-            table: GaussianTable::new(),
-            prev_ids: HashSet::new(),
-            pending: VecDeque::new(),
-        }
-    }
+    fn begin_frame(&mut self, _frame_index: u64) {}
 
-    /// The strategy this sorter runs.
-    pub fn kind(&self) -> StrategyKind {
-        self.kind
-    }
-
-    /// The table carried across frames (empty for stateless strategies).
-    pub fn table(&self) -> &GaussianTable {
-        &self.table
-    }
-
-    /// Feeds one frame of true `(id, depth)` entries; returns the blend
-    /// order and its cost.
-    pub fn process_frame(&mut self, current: &[(u32, f32)]) -> FrameOrder {
-        let frame = self.frame_index;
-        self.frame_index += 1;
-        match self.kind {
-            StrategyKind::FullResort => self.full_resort(current),
-            StrategyKind::Hierarchical => self.hierarchical(current),
-            StrategyKind::Periodic(interval) => self.periodic(current, frame, interval),
-            StrategyKind::Background(lag) => self.background(current, lag),
-            StrategyKind::ReuseUpdate => self.reuse_update(current, frame),
-        }
-    }
-
-    /// Exact sort of the current entries with the GPU-style LSD radix
-    /// sort (CUB model): multi-pass, bandwidth-hungry, but exact.
-    fn full_resort(&mut self, current: &[(u32, f32)]) -> FrameOrder {
+    fn order(&mut self, current: &[(u32, f32)]) -> FrameOrder {
         let entries: Vec<TableEntry> = current
             .iter()
             .map(|&(id, d)| TableEntry::new(id, d))
             .collect();
         let (order, cost) = radix_sort(&entries);
+        self.total_cost += cost;
         FrameOrder {
             order,
             cost,
@@ -171,14 +225,39 @@ impl TileSorter {
         }
     }
 
-    /// Exact sort with GSCore's hierarchical (coarse bucket + fine chunk)
-    /// method: fewer off-chip passes than radix, still from scratch.
-    fn hierarchical(&mut self, current: &[(u32, f32)]) -> FrameOrder {
+    fn cost(&self) -> SortCost {
+        self.total_cost
+    }
+}
+
+/// Exact sort with GSCore's hierarchical (coarse bucket + fine chunk)
+/// method: fewer off-chip passes than radix, still from scratch.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchicalStrategy {
+    total_cost: SortCost,
+}
+
+impl HierarchicalStrategy {
+    /// Creates the stateless GSCore-style hierarchical sorter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SortingStrategy for HierarchicalStrategy {
+    fn name(&self) -> &str {
+        "hierarchical"
+    }
+
+    fn begin_frame(&mut self, _frame_index: u64) {}
+
+    fn order(&mut self, current: &[(u32, f32)]) -> FrameOrder {
         let entries: Vec<TableEntry> = current
             .iter()
             .map(|&(id, d)| TableEntry::new(id, d))
             .collect();
         let (order, cost) = hierarchical_sort(&entries, &HierarchicalConfig::default());
+        self.total_cost += cost;
         FrameOrder {
             order,
             cost,
@@ -187,11 +266,67 @@ impl TileSorter {
         }
     }
 
-    fn periodic(&mut self, current: &[(u32, f32)], frame: u64, interval: u32) -> FrameOrder {
-        if frame.is_multiple_of(interval as u64) {
-            let out = self.full_resort(current);
-            self.table.set_entries(out.order.clone());
-            out
+    fn cost(&self) -> SortCost {
+        self.total_cost
+    }
+}
+
+/// Full sort every `interval` frames; intermediate frames reuse the stale
+/// table unchanged — the latency-spike / quality-decay point of Figure 19.
+#[derive(Debug, Clone)]
+pub struct PeriodicStrategy {
+    interval: u32,
+    frame: u64,
+    table: GaussianTable,
+    total_cost: SortCost,
+}
+
+impl PeriodicStrategy {
+    /// Creates a periodic sorter refreshing every `interval` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interval` is zero.
+    pub fn new(interval: u32) -> Self {
+        assert!(interval > 0, "periodic interval must be positive");
+        Self {
+            interval,
+            frame: 0,
+            table: GaussianTable::new(),
+            total_cost: SortCost::new(),
+        }
+    }
+
+    /// The refresh interval in frames.
+    pub fn interval(&self) -> u32 {
+        self.interval
+    }
+}
+
+impl SortingStrategy for PeriodicStrategy {
+    fn name(&self) -> &str {
+        "periodic"
+    }
+
+    fn begin_frame(&mut self, frame_index: u64) {
+        self.frame = frame_index;
+    }
+
+    fn order(&mut self, current: &[(u32, f32)]) -> FrameOrder {
+        if self.frame.is_multiple_of(self.interval as u64) {
+            let entries: Vec<TableEntry> = current
+                .iter()
+                .map(|&(id, d)| TableEntry::new(id, d))
+                .collect();
+            let (order, cost) = radix_sort(&entries);
+            self.total_cost += cost;
+            self.table.set_entries(order.clone());
+            FrameOrder {
+                order,
+                cost,
+                incoming: 0,
+                outgoing: 0,
+            }
         } else {
             // Reuse the stale table: no sorting work, no updates. New
             // Gaussians are missing and departed ones linger — the quality
@@ -205,39 +340,120 @@ impl TileSorter {
         }
     }
 
-    fn background(&mut self, current: &[(u32, f32)], lag: u32) -> FrameOrder {
+    fn cost(&self) -> SortCost {
+        self.total_cost
+    }
+
+    fn table(&self) -> Option<&GaussianTable> {
+        Some(&self.table)
+    }
+}
+
+/// Full sort running continuously in the background; rendering consumes
+/// the order computed `lag` frames ago.
+#[derive(Debug, Clone)]
+pub struct BackgroundStrategy {
+    lag: u32,
+    pending: VecDeque<Vec<TableEntry>>,
+    total_cost: SortCost,
+}
+
+impl BackgroundStrategy {
+    /// Creates a background sorter publishing orders `lag` frames late.
+    pub fn new(lag: u32) -> Self {
+        Self {
+            lag,
+            pending: VecDeque::new(),
+            total_cost: SortCost::new(),
+        }
+    }
+
+    /// The publication lag in frames.
+    pub fn lag(&self) -> u32 {
+        self.lag
+    }
+}
+
+impl SortingStrategy for BackgroundStrategy {
+    fn name(&self) -> &str {
+        "background"
+    }
+
+    fn begin_frame(&mut self, _frame_index: u64) {}
+
+    fn order(&mut self, current: &[(u32, f32)]) -> FrameOrder {
         // The background engine sorts every frame (sustained traffic)...
-        let fresh = self.full_resort(current);
-        self.pending.push_back(fresh.order);
+        let entries: Vec<TableEntry> = current
+            .iter()
+            .map(|&(id, d)| TableEntry::new(id, d))
+            .collect();
+        let (fresh, cost) = radix_sort(&entries);
+        self.total_cost += cost;
+        self.pending.push_back(fresh);
         // ...but rendering consumes the sort finished `lag` frames ago.
-        while self.pending.len() > lag as usize + 1 {
+        while self.pending.len() > self.lag as usize + 1 {
             self.pending.pop_front();
         }
-        let order = if self.pending.len() > lag as usize {
-            self.pending.front().cloned().unwrap_or_default()
-        } else {
-            // Warm-up: use the oldest available.
-            self.pending.front().cloned().unwrap_or_default()
-        };
+        // During warm-up fewer than `lag` sorts exist; use the oldest.
+        let order = self.pending.front().cloned().unwrap_or_default();
         FrameOrder {
             order,
-            cost: fresh.cost,
+            cost,
             incoming: 0,
             outgoing: 0,
         }
     }
 
-    /// Neo's reuse-and-update flow (Figure 8):
-    /// ❶ reorder the inherited table with Dynamic Partial Sorting,
-    /// ❷ sort + insert incoming Gaussians, ❸ delete invalidated entries
-    /// during the same merge, then ❹ defer depth updates to rasterization
-    /// (modelled by refreshing stored depths *after* the order is taken).
-    fn reuse_update(&mut self, current: &[(u32, f32)], frame: u64) -> FrameOrder {
+    fn cost(&self) -> SortCost {
+        self.total_cost
+    }
+}
+
+/// Neo's reuse-and-update flow (Figure 8):
+/// ❶ reorder the inherited table with Dynamic Partial Sorting,
+/// ❷ sort + insert incoming Gaussians, ❸ delete invalidated entries
+/// during the same merge, then ❹ defer depth updates to rasterization
+/// (modelled by refreshing stored depths *after* the order is taken).
+#[derive(Debug, Clone)]
+pub struct ReuseUpdateStrategy {
+    config: SorterConfig,
+    frame: u64,
+    table: GaussianTable,
+    total_cost: SortCost,
+}
+
+impl ReuseUpdateStrategy {
+    /// Creates the reuse-and-update sorter with the given configuration.
+    pub fn new(config: SorterConfig) -> Self {
+        Self {
+            config,
+            frame: 0,
+            table: GaussianTable::new(),
+            total_cost: SortCost::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SorterConfig {
+        &self.config
+    }
+}
+
+impl SortingStrategy for ReuseUpdateStrategy {
+    fn name(&self) -> &str {
+        "reuse-update"
+    }
+
+    fn begin_frame(&mut self, frame_index: u64) {
+        self.frame = frame_index;
+    }
+
+    fn order(&mut self, current: &[(u32, f32)]) -> FrameOrder {
         let mut cost = SortCost::new();
 
         // ❶ Reordering: single-pass DPS over the inherited table, keyed by
         // the (one-frame-stale) stored depths.
-        cost += dynamic_partial_sort(&mut self.table, frame, &self.config.dps);
+        cost += dynamic_partial_sort(&mut self.table, self.frame, &self.config.dps);
 
         // ❷ Insertion: collect newly visible Gaussians and chunk-sort them.
         let valid_ids: HashSet<u32> = self
@@ -273,7 +489,7 @@ impl TileSorter {
         // ❹ Deferred depth update + outgoing detection, performed "during
         // rasterization": stored depths become this frame's depths, and
         // entries that no longer intersect the tile lose their valid bit.
-        let current_map: std::collections::HashMap<u32, f32> = current.iter().copied().collect();
+        let current_map: HashMap<u32, f32> = current.iter().copied().collect();
         let mut outgoing = 0;
         for e in self.table.entries_mut() {
             match current_map.get(&e.id) {
@@ -295,13 +511,138 @@ impl TileSorter {
             cost.passes += 1;
         }
 
-        self.prev_ids = current.iter().map(|&(id, _)| id).collect();
+        self.total_cost += cost;
         FrameOrder {
             order,
             cost,
             incoming,
             outgoing: outgoing + dropped,
         }
+    }
+
+    fn cost(&self) -> SortCost {
+        self.total_cost
+    }
+
+    fn table(&self) -> Option<&GaussianTable> {
+        Some(&self.table)
+    }
+}
+
+/// Closed enum-dispatch over the five built-in strategies, kept so
+/// [`TileSorter`] stays `Clone` (boxed trait objects are not).
+#[derive(Debug, Clone)]
+enum BuiltinStrategy {
+    FullResort(FullResortStrategy),
+    Hierarchical(HierarchicalStrategy),
+    Periodic(PeriodicStrategy),
+    Background(BackgroundStrategy),
+    ReuseUpdate(ReuseUpdateStrategy),
+}
+
+impl BuiltinStrategy {
+    fn as_dyn(&self) -> &dyn SortingStrategy {
+        match self {
+            BuiltinStrategy::FullResort(s) => s,
+            BuiltinStrategy::Hierarchical(s) => s,
+            BuiltinStrategy::Periodic(s) => s,
+            BuiltinStrategy::Background(s) => s,
+            BuiltinStrategy::ReuseUpdate(s) => s,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn SortingStrategy {
+        match self {
+            BuiltinStrategy::FullResort(s) => s,
+            BuiltinStrategy::Hierarchical(s) => s,
+            BuiltinStrategy::Periodic(s) => s,
+            BuiltinStrategy::Background(s) => s,
+            BuiltinStrategy::ReuseUpdate(s) => s,
+        }
+    }
+}
+
+/// Per-tile sorting state machine over the built-in strategies.
+///
+/// A thin convenience wrapper that owns one [`SortingStrategy`]
+/// implementor and drives it with an auto-incrementing frame counter;
+/// kept `Clone` for embedding in snapshot-style experiment state. New
+/// code that needs an open strategy set should hold
+/// `Box<dyn SortingStrategy>` (see [`StrategyKind::build`]) instead.
+///
+/// # Examples
+///
+/// ```
+/// use neo_sort::strategies::{StrategyKind, TileSorter};
+///
+/// let mut sorter = TileSorter::new(StrategyKind::ReuseUpdate);
+/// let frame0: Vec<(u32, f32)> = (0..100).map(|i| (i, i as f32)).collect();
+/// let out = sorter.process_frame(&frame0);
+/// assert_eq!(out.order.len(), 100);
+/// assert_eq!(out.incoming, 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TileSorter {
+    kind: StrategyKind,
+    inner: BuiltinStrategy,
+    next_frame: u64,
+    /// Returned by [`TileSorter::table`] for table-less strategies.
+    empty: GaussianTable,
+}
+
+impl TileSorter {
+    /// Creates a sorter with default configuration.
+    pub fn new(kind: StrategyKind) -> Self {
+        Self::with_config(kind, SorterConfig::default())
+    }
+
+    /// Creates a sorter with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`StrategyKind::validate`] rejects `kind` (e.g. a zero
+    /// periodic interval, enforced by [`PeriodicStrategy::new`]).
+    #[must_use]
+    pub fn with_config(kind: StrategyKind, config: SorterConfig) -> Self {
+        let inner = match kind {
+            StrategyKind::FullResort => BuiltinStrategy::FullResort(FullResortStrategy::new()),
+            StrategyKind::Hierarchical => {
+                BuiltinStrategy::Hierarchical(HierarchicalStrategy::new())
+            }
+            StrategyKind::Periodic(n) => BuiltinStrategy::Periodic(PeriodicStrategy::new(n)),
+            StrategyKind::Background(lag) => {
+                BuiltinStrategy::Background(BackgroundStrategy::new(lag))
+            }
+            StrategyKind::ReuseUpdate => {
+                BuiltinStrategy::ReuseUpdate(ReuseUpdateStrategy::new(config))
+            }
+        };
+        Self {
+            kind,
+            inner,
+            next_frame: 0,
+            empty: GaussianTable::new(),
+        }
+    }
+
+    /// The strategy this sorter runs.
+    pub fn kind(&self) -> StrategyKind {
+        self.kind
+    }
+
+    /// The table carried across frames (empty for stateless strategies).
+    pub fn table(&self) -> &GaussianTable {
+        self.inner.as_dyn().table().unwrap_or(&self.empty)
+    }
+
+    /// Feeds one frame of true `(id, depth)` entries; returns the blend
+    /// order and its cost.
+    pub fn process_frame(&mut self, current: &[(u32, f32)]) -> FrameOrder {
+        let frame = self.next_frame;
+        self.next_frame += 1;
+        let strategy = self.inner.as_dyn_mut();
+        strategy.begin_frame(frame);
+        strategy.order(current)
     }
 }
 
@@ -504,5 +845,56 @@ mod tests {
     #[should_panic(expected = "periodic interval")]
     fn zero_periodic_interval_rejected() {
         let _ = TileSorter::new(StrategyKind::Periodic(0));
+    }
+
+    #[test]
+    fn strategy_kind_validate_flags_zero_interval() {
+        assert!(StrategyKind::Periodic(0).validate().is_err());
+        assert!(StrategyKind::Periodic(1).validate().is_ok());
+        assert!(StrategyKind::Background(0).validate().is_ok());
+        assert!(StrategyKind::ReuseUpdate.validate().is_ok());
+    }
+
+    #[test]
+    fn boxed_strategies_match_tile_sorter() {
+        // StrategyKind::build must construct the same state machines the
+        // TileSorter wrapper drives.
+        for kind in [
+            StrategyKind::FullResort,
+            StrategyKind::Hierarchical,
+            StrategyKind::Periodic(2),
+            StrategyKind::Background(1),
+            StrategyKind::ReuseUpdate,
+        ] {
+            let mut boxed = kind.build(SorterConfig::default());
+            let mut legacy = TileSorter::new(kind);
+            for f in 0..4u64 {
+                let ids: Vec<u32> = (0..50 + (f as u32 * 7) % 13).collect();
+                let input = frame(&ids, |id| ((id * 37) % 101) as f32 + f as f32);
+                boxed.begin_frame(f);
+                let a = boxed.order(&input);
+                let b = legacy.process_frame(&input);
+                assert_eq!(a, b, "{kind:?} frame {f}");
+            }
+            assert_eq!(boxed.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn cumulative_cost_sums_frames() {
+        let mut s = StrategyKind::FullResort.build(SorterConfig::default());
+        let f = frame(&[1, 2, 3], |id| id as f32);
+        s.begin_frame(0);
+        let c0 = s.order(&f).cost;
+        s.begin_frame(1);
+        let c1 = s.order(&f).cost;
+        assert_eq!(s.cost().bytes_total(), c0.bytes_total() + c1.bytes_total());
+    }
+
+    #[test]
+    fn trait_objects_are_send() {
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send::<dyn SortingStrategy>();
+        assert_send::<Box<dyn SortingStrategy>>();
     }
 }

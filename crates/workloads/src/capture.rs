@@ -1,7 +1,7 @@
 //! Workload capture: run the functional pipeline on reduced scenes and
 //! extrapolate the counts to full scene size.
 
-use neo_core::{RendererConfig, SplatRenderer};
+use neo_core::{RenderEngine, RendererConfig};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 use neo_sim::WorkloadFrame;
 
@@ -40,7 +40,7 @@ impl Default for CaptureConfig {
 /// scene size.
 ///
 /// Blend operations are estimated from resolution and overdraw
-/// ([`neo_sim::workload::BLEND_OVERDRAW`] — measured per-pixel saturation
+/// ([`neo_sim::BLEND_OVERDRAW`] — measured per-pixel saturation
 /// depth), since per-pixel blending is skipped in capture mode.
 ///
 /// # Panics
@@ -50,10 +50,15 @@ pub fn capture_workload(cfg: &CaptureConfig) -> Vec<WorkloadFrame> {
     assert!(cfg.scale > 0.0, "capture scale must be positive");
     assert!(cfg.frames > 0, "frame count must be positive");
 
-    let cloud = cfg.scene.build_scaled(cfg.scale);
+    let engine = RenderEngine::builder()
+        .scene(cfg.scene.build_scaled(cfg.scale))
+        .config(RendererConfig::default().without_image())
+        .build()
+        .expect("default capture config is valid and preset scenes are non-empty");
+    let cloud = std::sync::Arc::clone(engine.scene());
     let sampler =
         FrameSampler::new(cfg.scene.trajectory(), 30.0, cfg.resolution).with_speed(cfg.speed);
-    let mut renderer = SplatRenderer::new_neo(RendererConfig::default().without_image());
+    let mut session = engine.session();
     let inv = 1.0 / cfg.scale;
     let (w, h) = cfg.resolution.dims();
     let pixels = w as u64 * h as u64;
@@ -61,7 +66,9 @@ pub fn capture_workload(cfg: &CaptureConfig) -> Vec<WorkloadFrame> {
     let mut out = Vec::with_capacity(cfg.frames);
     for i in 0..cfg.frames {
         let cam = sampler.frame(i);
-        let fr = renderer.render_frame(&cloud, &cam);
+        let fr = session
+            .render_frame(&cam)
+            .expect("trajectory cameras are well-formed");
         let s = |v: usize| (v as f64 * inv).round() as u64;
         out.push(WorkloadFrame {
             n_gaussians: s(cloud.len()),

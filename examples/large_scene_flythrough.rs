@@ -4,18 +4,22 @@
 //!
 //! Run: `cargo run --release --example large_scene_flythrough`
 
-use neo_core::{RendererConfig, SplatRenderer};
+use neo_core::{NeoError, RenderEngine, RendererConfig};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 use neo_sim::devices::{Device, NeoDevice};
 use neo_sim::WorkloadFrame;
 
-fn main() {
+fn main() -> Result<(), NeoError> {
     let scene = ScenePreset::Building;
     // 0.2% of 5.4M Gaussians ≈ 10.8k — enough for stable statistics.
     let scale = 0.002;
-    let cloud = scene.build_scaled(scale);
+    let engine = RenderEngine::builder()
+        .scene(scene.build_scaled(scale))
+        .config(RendererConfig::default().without_image())
+        .build()?;
+    let cloud = std::sync::Arc::clone(engine.scene());
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Qhd);
-    let mut renderer = SplatRenderer::new_neo(RendererConfig::default().without_image());
+    let mut session = engine.session();
     let device = NeoDevice::paper_default();
     let inv = 1.0 / scale;
 
@@ -29,7 +33,7 @@ fn main() {
     println!("------+---------------+----------+----------+------------------");
     for i in 0..24 {
         let cam = sampler.frame(i);
-        let fr = renderer.render_frame(&cloud, &cam);
+        let fr = session.render_frame(&cam)?;
         let s = |v: usize| (v as f64 * inv).round() as u64;
         let w = WorkloadFrame {
             n_gaussians: s(cloud.len()),
@@ -53,4 +57,5 @@ fn main() {
         "\nEven with millions of Gaussians, per-frame churn stays a small fraction\n\
          of the table, so reuse-and-update sorting keeps the frame rate up."
     );
+    Ok(())
 }

@@ -1,15 +1,15 @@
 //! Quickstart: render a few frames of a benchmark scene with Neo's
 //! reuse-and-update renderer and compare against the per-frame-resort
-//! baseline.
+//! baseline, using the `RenderEngine`/`RenderSession` front door.
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use neo_core::{RendererConfig, SplatRenderer};
+use neo_core::{NeoError, RenderEngine, RendererConfig, StrategyKind};
 use neo_metrics::psnr;
 use neo_pipeline::Stage;
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 
-fn main() {
+fn main() -> Result<(), NeoError> {
     // 1. Build a (reduced-size) benchmark scene — "Family" from the
     //    paper's Tanks & Temples set — and its 30 FPS capture trajectory.
     let scene = ScenePreset::Family;
@@ -17,18 +17,29 @@ fn main() {
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(320, 180));
     println!("scene: {} ({} Gaussians)", scene.name(), cloud.len());
 
-    // 2. Create the two renderers: Neo (reuse-and-update sorting) and the
-    //    original-3DGS baseline (full re-sort every frame).
-    let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
-    let mut baseline = SplatRenderer::new_baseline(RendererConfig::default().with_tile_size(32));
+    // 2. Build one engine per strategy. Both share the same scene Arc;
+    //    construction is fallible — bad configs are errors, not panics.
+    let config = RendererConfig::default().with_tile_size(32);
+    let neo_engine = RenderEngine::builder()
+        .scene(cloud)
+        .config(config.clone())
+        .strategy(StrategyKind::ReuseUpdate)
+        .build()?;
+    let baseline_engine = RenderEngine::builder()
+        .scene(std::sync::Arc::clone(neo_engine.scene()))
+        .config(config)
+        .strategy(StrategyKind::FullResort)
+        .build()?;
+    let mut neo = neo_engine.session();
+    let mut baseline = baseline_engine.session();
 
     println!("\nframe |  sorting traffic (KB)   | incoming | image PSNR");
     println!("      |      neo     baseline  |          | neo vs baseline");
     println!("------+-------------------------+----------+----------------");
     for i in 0..8 {
         let cam = sampler.frame(i);
-        let fn_ = neo.render_frame(&cloud, &cam);
-        let fb = baseline.render_frame(&cloud, &cam);
+        let fn_ = neo.render_frame(&cam)?;
+        let fb = baseline.render_frame(&cam)?;
         let kb = |r: &neo_core::FrameResult| r.stats.traffic.stage_total(Stage::Sorting) / 1024;
         let p = psnr(
             fb.image.as_ref().expect("image"),
@@ -45,7 +56,7 @@ fn main() {
 
     // 3. Save the last Neo frame so you can look at it.
     let cam = sampler.frame(8);
-    let frame = neo.render_frame(&cloud, &cam);
+    let frame = neo.render_frame(&cam)?;
     let ppm = frame.image.expect("image").to_ppm();
     let path = std::env::temp_dir().join("neo_quickstart.ppm");
     std::fs::write(&path, ppm).expect("write ppm");
@@ -54,4 +65,5 @@ fn main() {
         "After the first frame, Neo reuses each tile's Gaussian table: sorting\n\
          traffic collapses while the rendered image stays equivalent."
     );
+    Ok(())
 }

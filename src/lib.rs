@@ -4,8 +4,10 @@
 //! downstream experiments can depend on one crate. See the individual
 //! crates for full documentation:
 //!
-//! * [`neo_core`] — the reuse-and-update renderer (the paper's contribution)
-//! * [`neo_sort`] — Dynamic Partial Sorting + strategy state machines
+//! * [`neo_core`] — the `RenderEngine`/`RenderSession` front door over the
+//!   reuse-and-update renderer (the paper's contribution)
+//! * [`neo_sort`] — Dynamic Partial Sorting + the open `SortingStrategy`
+//!   trait and its five built-in implementors
 //! * [`neo_pipeline`] — the functional 3DGS pipeline
 //! * [`neo_scene`] — benchmark scenes, cameras, trajectories
 //! * [`neo_sim`] — device performance models and the area/power tables
@@ -25,7 +27,12 @@ pub use neo_workloads;
 
 /// The most common imports for writing an experiment.
 pub mod prelude {
-    pub use neo_core::{FrameResult, RendererConfig, SplatRenderer, StrategyKind};
+    #[allow(deprecated)]
+    pub use neo_core::SplatRenderer;
+    pub use neo_core::{
+        FrameResult, FrameStream, NeoError, NeoResult, RenderEngine, RenderSession, RendererConfig,
+        SortingStrategy, StrategyKind,
+    };
     pub use neo_metrics::{lpips_proxy, psnr, ssim};
     pub use neo_pipeline::{render_reference, Image, RenderConfig, Stage};
     pub use neo_scene::{presets::ScenePreset, Camera, FrameSampler, GaussianCloud, Resolution};

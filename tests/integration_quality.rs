@@ -1,24 +1,44 @@
 //! End-to-end quality integration: Neo's reuse-and-update renderer must
 //! be visually indistinguishable from the per-frame-resort baseline on
-//! real scenes (the claim behind Table 2).
+//! real scenes (the claim behind Table 2). Exercises the
+//! `RenderEngine`/`RenderSession` front door throughout.
 
-use neo_core::{RendererConfig, SplatRenderer};
+use neo_core::{NeoResult, RenderEngine, RendererConfig, StrategyKind};
 use neo_metrics::{lpips_proxy, psnr};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+use std::sync::Arc;
+
+fn engine_for(
+    cloud: &Arc<neo_scene::GaussianCloud>,
+    kind: StrategyKind,
+) -> NeoResult<RenderEngine> {
+    RenderEngine::builder()
+        .scene(Arc::clone(cloud))
+        .config(RendererConfig::default().with_tile_size(32))
+        .strategy(kind)
+        .build()
+}
 
 fn run_scene(scene: ScenePreset) -> (f64, f64) {
-    let cloud = scene.build_scaled(0.002);
+    let cloud = Arc::new(scene.build_scaled(0.002));
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(192, 108));
-    let cfg = RendererConfig::default().with_tile_size(32);
-    let mut neo = SplatRenderer::new_neo(cfg.clone());
-    let mut base = SplatRenderer::new_baseline(cfg);
+    let mut neo = engine_for(&cloud, StrategyKind::ReuseUpdate)
+        .expect("valid config")
+        .session();
+    let mut base = engine_for(&cloud, StrategyKind::FullResort)
+        .expect("valid config")
+        .session();
 
     let mut worst_psnr = f64::INFINITY;
     let mut worst_lpips: f64 = 0.0;
     for i in 0..8 {
         let cam = sampler.frame(i);
-        let a = neo.render_frame(&cloud, &cam).image.unwrap();
-        let b = base.render_frame(&cloud, &cam).image.unwrap();
+        let a = neo.render_frame(&cam).expect("valid camera").image.unwrap();
+        let b = base
+            .render_frame(&cam)
+            .expect("valid camera")
+            .image
+            .unwrap();
         if i >= 2 {
             worst_psnr = worst_psnr.min(psnr(&b, &a));
             worst_lpips = worst_lpips.max(lpips_proxy(&b, &a));
@@ -45,21 +65,34 @@ fn neo_matches_baseline_on_train() {
 fn periodic_sorting_quality_decays_between_refreshes() {
     // Figure 19(b): stale tables degrade quality; Neo does not.
     let scene = ScenePreset::Horse;
-    let cloud = scene.build_scaled(0.002);
+    let cloud = Arc::new(scene.build_scaled(0.002));
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(192, 108));
-    let cfg = RendererConfig::default().with_tile_size(32);
-    let mut base = SplatRenderer::new_baseline(cfg.clone());
-    let mut neo = SplatRenderer::new_neo(cfg.clone());
-    let mut periodic = SplatRenderer::new(neo_core::StrategyKind::Periodic(60), cfg);
+    let mut base = engine_for(&cloud, StrategyKind::FullResort)
+        .expect("valid config")
+        .session();
+    let mut neo = engine_for(&cloud, StrategyKind::ReuseUpdate)
+        .expect("valid config")
+        .session();
+    let mut periodic = engine_for(&cloud, StrategyKind::Periodic(60))
+        .expect("valid config")
+        .session();
 
     let mut neo_psnr = 0.0;
     let mut periodic_psnr = 0.0;
     let frames = 10;
     for i in 0..frames {
         let cam = sampler.frame(i);
-        let gt = base.render_frame(&cloud, &cam).image.unwrap();
-        let a = neo.render_frame(&cloud, &cam).image.unwrap();
-        let p = periodic.render_frame(&cloud, &cam).image.unwrap();
+        let gt = base
+            .render_frame(&cam)
+            .expect("valid camera")
+            .image
+            .unwrap();
+        let a = neo.render_frame(&cam).expect("valid camera").image.unwrap();
+        let p = periodic
+            .render_frame(&cam)
+            .expect("valid camera")
+            .image
+            .unwrap();
         if i >= 5 {
             neo_psnr += psnr(&gt, &a).min(60.0);
             periodic_psnr += psnr(&gt, &p).min(60.0);

@@ -1,0 +1,141 @@
+//! Parity suite for the API redesign: for each of the five built-in
+//! sorting strategies, a `RenderSession` driving trait objects through
+//! the new `RenderEngine` front door must produce **byte-identical**
+//! `FrameResult`s (image pixels, traffic ledgers, sort costs, per-tile
+//! table stats) to the legacy `SplatRenderer` on a seeded Family scene.
+//!
+//! Everything in the pipeline is deterministic, so equality is exact —
+//! `FrameResult` derives `PartialEq` and compares f32 pixels bitwise.
+
+#![allow(deprecated)]
+
+use neo_core::{RenderEngine, RendererConfig, SplatRenderer, StrategyKind};
+use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+use std::sync::Arc;
+
+const FRAMES: usize = 6;
+
+fn five_strategies() -> [StrategyKind; 5] {
+    [
+        StrategyKind::FullResort,
+        StrategyKind::Hierarchical,
+        StrategyKind::Periodic(4),
+        StrategyKind::Background(2),
+        StrategyKind::ReuseUpdate,
+    ]
+}
+
+fn assert_parity(config: RendererConfig) {
+    let scene = ScenePreset::Family;
+    let cloud = Arc::new(scene.build_scaled(0.002));
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(160, 96));
+
+    for kind in five_strategies() {
+        let mut legacy = SplatRenderer::new(kind, config.clone());
+        let engine = RenderEngine::builder()
+            .scene(Arc::clone(&cloud))
+            .config(config.clone())
+            .strategy(kind)
+            .build()
+            .expect("valid config");
+        let mut session = engine.session();
+
+        for i in 0..FRAMES {
+            let cam = sampler.frame(i);
+            let old = legacy.render_frame(&cloud, &cam);
+            let new = session.render_frame(&cam).expect("valid camera");
+            assert_eq!(
+                old, new,
+                "strategy {kind:?} frame {i}: engine result diverged from legacy"
+            );
+        }
+        assert_eq!(legacy.frames_rendered(), session.frames_rendered());
+    }
+}
+
+#[test]
+fn all_five_strategies_are_byte_identical_with_images() {
+    assert_parity(RendererConfig::default().with_tile_size(32));
+}
+
+#[test]
+fn all_five_strategies_are_byte_identical_in_workload_mode() {
+    assert_parity(RendererConfig::default().with_tile_size(32).without_image());
+}
+
+#[test]
+fn parity_survives_a_resolution_change_reset() {
+    // Both paths must reset per-tile state identically when the grid
+    // changes mid-sequence.
+    let scene = ScenePreset::Family;
+    let cloud = Arc::new(scene.build_scaled(0.002));
+    let config = RendererConfig::default().with_tile_size(32);
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(160, 96));
+
+    let mut legacy = SplatRenderer::new(StrategyKind::ReuseUpdate, config.clone());
+    let engine = RenderEngine::builder()
+        .scene(Arc::clone(&cloud))
+        .config(config)
+        .build()
+        .expect("valid config");
+    let mut session = engine.session();
+
+    for i in 0..3 {
+        let cam = sampler.frame(i);
+        assert_eq!(
+            legacy.render_frame(&cloud, &cam),
+            session.render_frame(&cam).expect("valid camera")
+        );
+    }
+    // Grid change: tables reset on both sides.
+    let big = sampler
+        .frame(3)
+        .with_resolution(Resolution::Custom(320, 192));
+    assert_eq!(
+        legacy.render_frame(&cloud, &big),
+        session.render_frame(&big).expect("valid camera")
+    );
+    // And both keep matching afterwards.
+    let cam = sampler
+        .frame(4)
+        .with_resolution(Resolution::Custom(320, 192));
+    assert_eq!(
+        legacy.render_frame(&cloud, &cam),
+        session.render_frame(&cam).expect("valid camera")
+    );
+}
+
+#[test]
+fn legacy_convenience_constructors_match_engine_strategies() {
+    // new_neo/new_baseline are ReuseUpdate/FullResort in disguise.
+    let scene = ScenePreset::Horse;
+    let cloud = Arc::new(scene.build_scaled(0.002));
+    let config = RendererConfig::default().with_tile_size(32);
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(128, 72));
+
+    for (mut legacy, kind) in [
+        (
+            SplatRenderer::new_neo(config.clone()),
+            StrategyKind::ReuseUpdate,
+        ),
+        (
+            SplatRenderer::new_baseline(config.clone()),
+            StrategyKind::FullResort,
+        ),
+    ] {
+        let mut session = RenderEngine::builder()
+            .scene(Arc::clone(&cloud))
+            .config(config.clone())
+            .strategy(kind)
+            .build()
+            .expect("valid config")
+            .session();
+        for i in 0..3 {
+            let cam = sampler.frame(i);
+            assert_eq!(
+                legacy.render_frame(&cloud, &cam),
+                session.render_frame(&cam).expect("valid camera")
+            );
+        }
+    }
+}

@@ -1,23 +1,30 @@
 //! Smoke test mirroring `examples/quickstart.rs`: build a small synthetic
-//! scene, render one frame with Neo's reuse-and-update renderer and the
-//! full-resort baseline, and check the image agrees with the reference
-//! pipeline at finite, sane PSNR.
+//! scene, render one frame through the `RenderEngine`/`RenderSession`
+//! front door with Neo's reuse-and-update strategy and the full-resort
+//! baseline, and check the image agrees with the reference pipeline at
+//! finite, sane PSNR.
 
-use neo_core::{RendererConfig, SplatRenderer};
+use neo_core::{RenderEngine, RendererConfig, StrategyKind};
 use neo_metrics::psnr;
 use neo_pipeline::{render_reference, RenderConfig};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+use std::sync::Arc;
 
 #[test]
 fn quickstart_one_frame_matches_reference() {
     let scene = ScenePreset::Family;
-    let cloud = scene.build_scaled(0.002);
+    let engine = RenderEngine::builder()
+        .scene(scene.build_scaled(0.002))
+        .config(RendererConfig::default().with_tile_size(32))
+        .build()
+        .expect("valid config");
+    let cloud = Arc::clone(engine.scene());
     assert!(!cloud.is_empty());
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(160, 90));
     let cam = sampler.frame(0);
 
-    let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
-    let result = neo.render_frame(&cloud, &cam);
+    let mut neo = engine.session();
+    let result = neo.render_frame(&cam).expect("valid camera");
     let image = result.image.as_ref().expect("image requested by default");
     assert_eq!(image.width(), 160);
     assert_eq!(image.height(), 90);
@@ -39,18 +46,31 @@ fn quickstart_one_frame_matches_reference() {
 #[test]
 fn quickstart_reuse_matches_baseline_over_frames() {
     // The heart of the quickstart demo: after the warm-up frame, Neo's
-    // reuse-and-update path keeps image quality at baseline levels.
+    // reuse-and-update path keeps image quality at baseline levels. Both
+    // engines share one scene Arc.
     let scene = ScenePreset::Family;
-    let cloud = scene.build_scaled(0.002);
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(160, 90));
+    let config = RendererConfig::default().with_tile_size(32);
 
-    let mut neo = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
-    let mut baseline = SplatRenderer::new_baseline(RendererConfig::default().with_tile_size(32));
+    let neo_engine = RenderEngine::builder()
+        .scene(scene.build_scaled(0.002))
+        .config(config.clone())
+        .strategy(StrategyKind::ReuseUpdate)
+        .build()
+        .expect("valid config");
+    let baseline_engine = RenderEngine::builder()
+        .scene(Arc::clone(neo_engine.scene()))
+        .config(config)
+        .strategy(StrategyKind::FullResort)
+        .build()
+        .expect("valid config");
+    let mut neo = neo_engine.session();
+    let mut baseline = baseline_engine.session();
 
     for i in 0..4 {
         let cam = sampler.frame(i);
-        let fn_ = neo.render_frame(&cloud, &cam);
-        let fb = baseline.render_frame(&cloud, &cam);
+        let fn_ = neo.render_frame(&cam).expect("valid camera");
+        let fb = baseline.render_frame(&cam).expect("valid camera");
         let p = psnr(
             fb.image.as_ref().expect("baseline image"),
             fn_.image.as_ref().expect("neo image"),
@@ -58,4 +78,29 @@ fn quickstart_reuse_matches_baseline_over_frames() {
         assert!(!p.is_nan());
         assert!(p > 30.0, "frame {i}: neo vs baseline PSNR {p} dB");
     }
+}
+
+#[test]
+fn quickstart_stream_is_equivalent_to_manual_loop() {
+    // FrameStream is sugar over render_frame: same sampler, same frames.
+    let scene = ScenePreset::Family;
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(160, 90));
+    let engine = RenderEngine::builder()
+        .scene(scene.build_scaled(0.002))
+        .config(RendererConfig::default().with_tile_size(32))
+        .build()
+        .expect("valid config");
+
+    let mut manual = engine.session();
+    let manual_frames: Vec<_> = (0..3)
+        .map(|i| manual.render_frame(&sampler.frame(i)).unwrap())
+        .collect();
+
+    let mut streamed = engine.session();
+    let streamed_frames: Vec<_> = streamed
+        .stream(&sampler, 3)
+        .collect::<Result<_, _>>()
+        .unwrap();
+
+    assert_eq!(manual_frames, streamed_frames);
 }
