@@ -1,0 +1,75 @@
+//! Criterion bench: intra-frame thread scaling of the parallel tile
+//! renderer on a large aerial scene.
+//!
+//! Drives [`neo_core::RenderSession::render_frame_with_plan`] with
+//! explicit balanced shard plans so the measured worker pool is exactly
+//! `n` threads regardless of the host's `available_parallelism` cap (the
+//! config-level `with_threads` knob clamps). Output is byte-identical at
+//! every thread count, so this bench measures pure scheduling overhead
+//! vs. parallel speedup; expect the parallel path to beat serial from
+//! ~2–4 threads on multi-core hosts, and to show only the (small)
+//! scoped-spawn overhead on single-core machines.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use neo_core::{RenderEngine, RendererConfig, ShardPlan};
+use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    // Mill 19 "Building": the large-scene stress workload (Figure 17a).
+    let cloud = Arc::new(ScenePreset::Building.build_scaled(0.002));
+    let sampler = FrameSampler::new(
+        ScenePreset::Building.trajectory(),
+        30.0,
+        Resolution::Custom(640, 360),
+    );
+
+    let mut group = c.benchmark_group("thread_scaling");
+    group.bench_function("serial_reference", |b| {
+        let engine = RenderEngine::builder()
+            .scene(Arc::clone(&cloud))
+            .config(RendererConfig::default().with_tile_size(32))
+            .build()
+            .expect("bench config is valid");
+        let mut session = engine.session();
+        let mut i = 0usize;
+        session.render_frame(&sampler.frame(0)).unwrap(); // warm tables
+        b.iter(|| {
+            i += 1;
+            session
+                .render_frame(black_box(&sampler.frame(i % 60)))
+                .unwrap()
+        })
+    });
+    for threads in THREAD_COUNTS {
+        group.bench_function(BenchmarkId::new("balanced", threads), |b| {
+            let engine = RenderEngine::builder()
+                .scene(Arc::clone(&cloud))
+                .config(RendererConfig::default().with_tile_size(32))
+                .build()
+                .expect("bench config is valid");
+            let mut session = engine.session();
+            let plan = ShardPlan::balanced(threads);
+            let mut i = 0usize;
+            session
+                .render_frame_with_plan(&sampler.frame(0), &plan)
+                .unwrap(); // warm tables + scratch
+            b.iter(|| {
+                i += 1;
+                session
+                    .render_frame_with_plan(black_box(&sampler.frame(i % 60)), &plan)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_thread_scaling
+}
+criterion_main!(benches);

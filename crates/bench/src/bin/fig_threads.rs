@@ -1,0 +1,108 @@
+//! Thread-scaling ablation: wall-clock frame time of the intra-frame
+//! worker pool at 1/2/4/8 shards on the large-scene workload, plus a
+//! byte-identity check of every parallel run against the serial one.
+//!
+//! Complements the criterion bench (`thread_scaling`) with a one-shot
+//! table and a machine-readable `results/fig_threads.json`. Uses explicit
+//! [`ShardPlan`]s so the shard count is exact even when the host has
+//! fewer cores (the config-level `with_threads` knob clamps to available
+//! parallelism).
+//!
+//! Run: `cargo run --release -p neo-bench --bin fig_threads`
+
+use neo_bench::{ExperimentRecord, TextTable};
+use neo_core::{FrameResult, RenderEngine, RendererConfig, ShardPlan};
+use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+use std::sync::Arc;
+use std::time::Instant;
+
+const FRAMES: usize = 24;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let scene = ScenePreset::Building;
+    let cloud = Arc::new(scene.build_scaled(0.002));
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(640, 360));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "fig_threads: '{}' ({}k Gaussians), {FRAMES} frames @640x360, {cores} core(s) available\n",
+        scene.name(),
+        cloud.len() / 1000
+    );
+
+    let render = |shards: usize| -> (Vec<FrameResult>, f64) {
+        let engine = RenderEngine::builder()
+            .scene(Arc::clone(&cloud))
+            .config(RendererConfig::default().with_tile_size(32))
+            .build()
+            .expect("figure configuration is valid");
+        let plan = ShardPlan::balanced(shards);
+        let mut session = engine.session();
+        // Warm per-tile tables and shard scratch outside the timed loop.
+        session
+            .render_frame_with_plan(&sampler.frame(0), &plan)
+            .expect("trajectory camera");
+        let start = Instant::now();
+        let frames: Vec<FrameResult> = (1..=FRAMES)
+            .map(|i| {
+                session
+                    .render_frame_with_plan(&sampler.frame(i), &plan)
+                    .expect("trajectory camera")
+            })
+            .collect();
+        let ms_per_frame = start.elapsed().as_secs_f64() * 1e3 / FRAMES as f64;
+        (frames, ms_per_frame)
+    };
+
+    let (serial_frames, serial_ms) = render(1);
+    let mut table = TextTable::new(["shards", "ms/frame", "speedup", "identical"]);
+    let mut ms_series = Vec::new();
+    let mut speedup_series = Vec::new();
+    let mut all_identical = true;
+    for shards in SHARD_COUNTS {
+        let (frames, ms) = if shards == 1 {
+            (serial_frames.clone(), serial_ms)
+        } else {
+            render(shards)
+        };
+        let identical = frames == serial_frames;
+        all_identical &= identical;
+        let speedup = serial_ms / ms;
+        table.row([
+            shards.to_string(),
+            format!("{ms:.2}"),
+            format!("{speedup:.2}x"),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+        ms_series.push(ms);
+        speedup_series.push(speedup);
+    }
+    println!("{}", table.render());
+
+    // Shape check: determinism must hold everywhere; scaling is only
+    // expected where the hardware can deliver it.
+    let best = speedup_series.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "shape check: byte-identical across shard counts: {} | best speedup {best:.2}x \
+         (expect >1 only with >1 core; {cores} available)",
+        if all_identical { "PASS" } else { "FAIL" }
+    );
+    assert!(
+        all_identical,
+        "parallel rendering diverged from serial — determinism contract broken"
+    );
+
+    let mut record = ExperimentRecord::new(
+        "fig_threads",
+        "Intra-frame worker-pool thread scaling on the large-scene workload",
+    );
+    record.push_series("shards", SHARD_COUNTS.iter().map(|&s| s as f64).collect());
+    record.push_series("ms_per_frame", ms_series);
+    record.push_series("speedup_vs_serial", speedup_series);
+    match record.save() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not persist results: {e}"),
+    }
+}

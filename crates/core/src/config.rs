@@ -4,6 +4,58 @@ use crate::{NeoError, NeoResult};
 use neo_math::Vec3;
 use neo_sort::dps::DpsConfig;
 use neo_sort::strategies::SorterConfig;
+use std::sync::OnceLock;
+
+/// How a session's tiles are spread over worker threads *within* a frame.
+///
+/// Whatever the setting, output is byte-identical to serial rendering:
+/// tiles are independent, workers rasterize into shard-local scratch
+/// buffers, and the merge replays per-tile results in tile order (see
+/// `ARCHITECTURE.md`, "Determinism contract").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Render every tile on the calling thread (the default).
+    #[default]
+    Serial,
+    /// Shard tiles across up to `n` scoped worker threads. The knob is
+    /// clamped, never rejected: `0` behaves like `1`, and values above
+    /// the machine's available parallelism are capped to it.
+    Threads(u32),
+    /// One worker per available CPU core.
+    Auto,
+}
+
+/// Cached `std::thread::available_parallelism()` (1 when unknown).
+fn available_parallelism() -> usize {
+    static AVAILABLE: OnceLock<usize> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+impl Parallelism {
+    /// The worker count actually used, after clamping: at least 1, at
+    /// most the machine's available parallelism.
+    ///
+    /// ```
+    /// use neo_core::Parallelism;
+    ///
+    /// assert_eq!(Parallelism::Serial.effective_threads(), 1);
+    /// assert_eq!(Parallelism::Threads(0).effective_threads(), 1); // clamped up
+    /// assert!(Parallelism::Threads(u32::MAX).effective_threads() >= 1); // capped
+    /// assert!(Parallelism::Auto.effective_threads() >= 1);
+    /// ```
+    #[must_use]
+    pub fn effective_threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => (n.max(1) as usize).min(available_parallelism()),
+            Parallelism::Auto => available_parallelism(),
+        }
+    }
+}
 
 /// Configuration for a [`crate::SplatRenderer`].
 ///
@@ -31,6 +83,9 @@ pub struct RendererConfig {
     /// Model deferred depth updates (true = Neo's design; false = the
     /// extra-pass ablation of Section 4.4).
     pub deferred_depth_update: bool,
+    /// Intra-frame tile parallelism (default [`Parallelism::Serial`]).
+    /// Output is byte-identical at any setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for RendererConfig {
@@ -42,6 +97,7 @@ impl Default for RendererConfig {
             subtiling: true,
             dps: DpsConfig::default(),
             deferred_depth_update: true,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -95,6 +151,33 @@ impl RendererConfig {
     pub fn without_deferred_depth_update(mut self) -> Self {
         self.deferred_depth_update = false;
         self
+    }
+
+    /// Shards each frame's tiles across up to `threads` worker threads
+    /// (shorthand for [`Parallelism::Threads`]).
+    ///
+    /// The knob is clamped rather than rejected, mirroring the legacy
+    /// tile-size clamping: `0` renders serially, and values above the
+    /// machine's available parallelism are capped to it (see
+    /// [`RendererConfig::effective_threads`]). Output is byte-identical
+    /// at any thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.parallelism = Parallelism::Threads(threads);
+        self
+    }
+
+    /// Sets the intra-frame parallelism policy.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The clamped worker count a session will actually use per frame.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        self.parallelism.effective_threads()
     }
 
     /// Checks every parameter, reporting the first problem as
@@ -160,5 +243,54 @@ mod tests {
         let cfg = RendererConfig::default().with_chunk_size(1);
         assert!(matches!(cfg.validate(), Err(NeoError::InvalidConfig(_))));
         assert!(RendererConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn default_parallelism_is_serial() {
+        let cfg = RendererConfig::default();
+        assert_eq!(cfg.parallelism, Parallelism::Serial);
+        assert_eq!(cfg.effective_threads(), 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        // Mirrors the legacy tile-size clamp: degenerate values are
+        // normalized, never rejected.
+        let cfg = RendererConfig::default().with_threads(0);
+        assert_eq!(cfg.parallelism, Parallelism::Threads(0));
+        assert_eq!(cfg.effective_threads(), 1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn huge_thread_counts_cap_at_available_parallelism() {
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let cfg = RendererConfig::default().with_threads(u32::MAX);
+        assert_eq!(cfg.effective_threads(), avail);
+        assert_eq!(
+            RendererConfig::default()
+                .with_parallelism(Parallelism::Auto)
+                .effective_threads(),
+            avail
+        );
+    }
+
+    #[test]
+    fn thread_counts_within_the_cap_pass_through() {
+        let cfg = RendererConfig::default().with_threads(1);
+        assert_eq!(cfg.effective_threads(), 1);
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for n in 1..=avail as u32 {
+            assert_eq!(
+                RendererConfig::default()
+                    .with_threads(n)
+                    .effective_threads(),
+                n as usize
+            );
+        }
     }
 }

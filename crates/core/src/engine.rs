@@ -9,7 +9,11 @@
 //! Each [`RenderEngine::session`] call mints an independent
 //! [`RenderSession`] carrying its own per-tile sorting tables, so many
 //! sessions — one per user, camera stream, or rollout — render the same
-//! scene concurrently from `std::thread::scope` without locks:
+//! scene concurrently from `std::thread::scope` without locks. Within a
+//! single session, each frame's tiles can additionally be sharded across
+//! an intra-frame worker pool ([`RendererConfig::with_threads`] /
+//! [`RenderSession::render_frame_with_plan`]) with byte-identical
+//! output:
 //!
 //! ```
 //! use neo_core::{RenderEngine, RendererConfig, StrategyKind};
@@ -37,10 +41,10 @@
 //! assert!(frames.iter().all(|f| f.is_ok()));
 //! ```
 
-use crate::{FrameResult, NeoError, NeoResult, RendererConfig, SequenceStats, TileLoad};
+use crate::{FrameResult, NeoError, NeoResult, RendererConfig, SequenceStats, ShardPlan, TileLoad};
 use neo_pipeline::{
-    bin_to_tiles, project_cloud, rasterize_tile, FrameStats, Image, ProjectedGaussian,
-    RenderConfig, Stage, TileGrid,
+    bin_to_tiles, project_cloud, FrameStats, Image, ProjectedGaussian, RenderConfig, ShardScratch,
+    Stage, TileGrid, TileRasterStats, TrafficLedger,
 };
 use neo_scene::{Camera, FrameSampler, GaussianCloud};
 use neo_sort::strategies::{SorterConfig, StrategyKind};
@@ -100,13 +104,15 @@ struct TileStrategy {
     next_frame: u64,
 }
 
-/// Per-session mutable rendering state: the tile grid and one strategy
-/// per occupied tile. Shared by [`RenderSession`] and the deprecated
-/// `SplatRenderer` wrapper so both drive the exact same code path.
+/// Per-session mutable rendering state: the tile grid, one strategy per
+/// occupied tile, and per-shard scratch buffers reused across frames.
+/// Shared by [`RenderSession`] and the deprecated `SplatRenderer` wrapper
+/// so both drive the exact same code path.
 #[derive(Debug, Default)]
 pub(crate) struct TileState {
     grid: Option<TileGrid>,
     sorters: Vec<Option<TileStrategy>>,
+    scratch: Vec<ShardScratch>,
     frames_rendered: u64,
 }
 
@@ -114,6 +120,7 @@ impl TileState {
     pub(crate) fn reset(&mut self) {
         self.grid = None;
         self.sorters.clear();
+        self.scratch.clear();
         self.frames_rendered = 0;
     }
 
@@ -135,16 +142,130 @@ impl TileState {
     }
 }
 
-/// Renders one frame, advancing all per-tile sorting state. The single
-/// rendering implementation behind both `RenderSession::render_frame`
-/// and the deprecated `SplatRenderer` — input validation happens in the
-/// callers, never here.
+/// Read-only per-frame inputs shared by every render worker.
+struct ShardContext<'a> {
+    projected: &'a [ProjectedGaussian],
+    by_id: &'a [Option<usize>],
+    grid: &'a TileGrid,
+    raster_cfg: &'a RenderConfig,
+    render_image: bool,
+    feature_bytes: u64,
+}
+
+/// One worker's frame contribution, merged on the main thread in shard
+/// order. Every field is an order-independent integer accumulation or an
+/// in-tile-order list, which is what makes the merge deterministic.
+#[derive(Default)]
+struct ShardOutput {
+    traffic: TrafficLedger,
+    sort_cost: SortCost,
+    incoming: usize,
+    outgoing: usize,
+    blend_ops: u64,
+    saturated_pixels: u64,
+    tile_loads: Vec<TileLoad>,
+}
+
+/// Renders one shard's tiles: advances each tile's sorting strategy and
+/// hands each tile's blend list to `rasterize` (the shard-arena sink on
+/// workers, the direct-blit sink on the serial path). `sorters` is the
+/// contiguous slice of per-tile state covering this shard's tile
+/// indices, offset by `base`; every strategy has already been created in
+/// tile order by the caller. This is the exact per-tile body the serial
+/// renderer runs — sharding only changes which thread executes it.
+fn run_shard(
+    ctx: &ShardContext<'_>,
+    occupied: &[(usize, &[(u32, f32)])],
+    sorters: &mut [Option<TileStrategy>],
+    base: usize,
+    rasterize: &mut dyn FnMut(usize, &[&ProjectedGaussian]) -> TileRasterStats,
+) -> ShardOutput {
+    let mut out = ShardOutput {
+        tile_loads: Vec::with_capacity(occupied.len()),
+        ..Default::default()
+    };
+    for &(tile_index, entries) in occupied {
+        let slot = sorters[tile_index - base]
+            .as_mut()
+            .expect("strategies are pre-created in tile order before sharding");
+        let frame = slot.next_frame;
+        slot.next_frame += 1;
+        slot.strategy.begin_frame(frame);
+        let order = slot.strategy.order(entries);
+        out.sort_cost += order.cost;
+        out.incoming += order.incoming;
+        out.outgoing += order.outgoing;
+        out.traffic.read(Stage::Sorting, order.cost.bytes_read);
+        out.traffic.write(Stage::Sorting, order.cost.bytes_written);
+        out.tile_loads.push(TileLoad {
+            tile: tile_index as u32,
+            table_len: order.order.len() as u32,
+            incoming: order.incoming as u32,
+            outgoing: order.outgoing as u32,
+        });
+
+        // Rasterization fetches features for every entry in the blend
+        // order (stale entries included — they are fetched, found
+        // non-intersecting by the ITU, and skipped).
+        out.traffic.read(
+            Stage::Rasterization,
+            order.order.len() as u64 * ctx.feature_bytes,
+        );
+
+        if ctx.render_image {
+            // Blend in the strategy's order; IDs without current
+            // features (stale entries) are skipped.
+            let blend: Vec<&ProjectedGaussian> = order
+                .order
+                .iter()
+                .filter(|e| e.valid)
+                .filter_map(|e| {
+                    ctx.by_id
+                        .get(e.id as usize)
+                        .copied()
+                        .flatten()
+                        .map(|i| &ctx.projected[i])
+                })
+                .collect();
+            let ts = rasterize(tile_index, &blend);
+            out.blend_ops += ts.blend_ops;
+            out.saturated_pixels += ts.saturated_pixels;
+        }
+    }
+    out
+}
+
+/// Renders one frame with the session's configured parallelism. The
+/// single rendering implementation behind both
+/// `RenderSession::render_frame` and the deprecated `SplatRenderer` —
+/// input validation happens in the callers, never here.
 pub(crate) fn render_frame_core(
     state: &mut TileState,
     factory: &StrategyFactory,
     config: &RendererConfig,
     cloud: &GaussianCloud,
     cam: &Camera,
+) -> FrameResult {
+    let plan = ShardPlan::balanced(config.effective_threads());
+    render_frame_core_with_plan(state, factory, config, cloud, cam, &plan)
+}
+
+/// Renders one frame with an explicit shard plan.
+///
+/// The frame pipeline: project and bin on the calling thread, resolve the
+/// plan into contiguous shards of the occupied-tile list, run one worker
+/// per shard on a `std::thread::scope` pool (each owning a disjoint slice
+/// of the per-tile sorting state and a shard-local scratch), then merge
+/// shard outputs *in shard order* — integer accumulations plus disjoint
+/// tile blits, so the result is byte-identical to serial rendering for
+/// any plan.
+pub(crate) fn render_frame_core_with_plan(
+    state: &mut TileState,
+    factory: &StrategyFactory,
+    config: &RendererConfig,
+    cloud: &GaussianCloud,
+    cam: &Camera,
+    plan: &ShardPlan,
 ) -> FrameResult {
     let grid = state.ensure_grid(cam, config.tile_size);
     let projected = project_cloud(cam, cloud);
@@ -156,11 +277,26 @@ pub(crate) fn render_frame_core(
         by_id[p.id as usize] = Some(i);
     }
 
+    // Occupied tiles in ascending tile-index order.
+    let occupied: Vec<(usize, &[(u32, f32)])> = assignments.iter_occupied().collect();
+    let ranges = match plan {
+        // The default serial config resolves to one shard no matter the
+        // loads; skip materializing the per-tile entry counts.
+        ShardPlan::Balanced { shards: 0 | 1 } if !occupied.is_empty() => {
+            std::iter::once(0..occupied.len()).collect()
+        }
+        _ => {
+            // Per-tile entry counts cost-balance the shards.
+            let loads: Vec<usize> = occupied.iter().map(|(_, e)| e.len()).collect();
+            plan.resolve(&loads)
+        }
+    };
+
     let mut stats = FrameStats {
         input: cloud.len(),
         projected: projected.len(),
         duplicates: assignments.total_assignments(),
-        occupied_tiles: assignments.occupied_tiles(),
+        occupied_tiles: occupied.len(),
         ..Default::default()
     };
     let feature_bytes = cloud.feature_record_bytes() as u64;
@@ -168,69 +304,130 @@ pub(crate) fn render_frame_core(
         .traffic
         .read(Stage::FeatureExtraction, cloud.len() as u64 * feature_bytes);
 
-    let mut image = config
-        .render_image
-        .then(|| Image::new(cam.width, cam.height, config.background));
     let raster_cfg = RenderConfig {
         tile_size: config.tile_size,
         background: config.background,
         subtiling: config.subtiling,
         ..RenderConfig::default()
     };
+    let ctx = ShardContext {
+        projected: &projected,
+        by_id: &by_id,
+        grid: &grid,
+        raster_cfg: &raster_cfg,
+        render_image: config.render_image,
+        feature_bytes,
+    };
 
+    // Strategy creation happens here, on the calling thread, in tile
+    // order — never lazily inside a worker. User factories may be impure
+    // (e.g. handing out a different seed per creation), so a racy
+    // creation order would make the tile→strategy assignment depend on
+    // scheduling and break the byte-identical contract.
+    for &(tile_index, _) in &occupied {
+        state.sorters[tile_index].get_or_insert_with(|| TileStrategy {
+            strategy: factory.create(),
+            next_frame: 0,
+        });
+    }
+
+    // Shard-local scratch buffers persist in the session and are only
+    // grown, never reallocated per frame.
+    if state.scratch.len() < ranges.len() {
+        state.scratch.resize_with(ranges.len(), ShardScratch::new);
+    }
+    let sorters = state.sorters.as_mut_slice();
+    let scratches = &mut state.scratch[..ranges.len()];
+
+    let mut image = config
+        .render_image
+        .then(|| Image::new(cam.width, cam.height, config.background));
+
+    let outputs: Vec<ShardOutput> = if ranges.len() <= 1 {
+        // Serial fast path: no threads, same per-tile body, and each
+        // tile blits straight into the framebuffer — no deferred-merge
+        // arena, no extra frame copy.
+        match ranges.first() {
+            None => Vec::new(),
+            Some(r) => {
+                let scratch = &mut scratches[0];
+                let mut rasterize = |tile_index: usize, blend: &[&ProjectedGaussian]| {
+                    let img = image
+                        .as_mut()
+                        .expect("rasterize sink is only called when an image is rendered");
+                    scratch.rasterize_direct(img, &grid, tile_index, blend, &raster_cfg)
+                };
+                vec![run_shard(
+                    &ctx,
+                    &occupied[r.clone()],
+                    sorters,
+                    0,
+                    &mut rasterize,
+                )]
+            }
+        }
+    } else {
+        // One scoped worker per shard. Each worker gets the contiguous
+        // slice of `sorters` spanning its shard's tile indices (shards
+        // are in ascending tile order, so repeated split_at_mut hands
+        // out disjoint windows), plus its own scratch to rasterize into.
+        // Workers are joined in shard order; panics propagate.
+        let outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(ranges.len());
+            let mut rest = sorters;
+            let mut base = 0usize;
+            let mut scratch_iter = scratches.iter_mut();
+            for (k, range) in ranges.iter().enumerate() {
+                let next_base = match ranges.get(k + 1) {
+                    Some(next) => occupied[next.start].0,
+                    None => base + rest.len(),
+                };
+                let (window, tail) = rest.split_at_mut(next_base - base);
+                rest = tail;
+                let occ = &occupied[range.clone()];
+                let scratch = scratch_iter.next().expect("scratch sized to shard count");
+                let ctx = &ctx;
+                let window_base = base;
+                base = next_base;
+                handles.push(scope.spawn(move || {
+                    scratch.begin_frame();
+                    let mut rasterize = |tile_index: usize, blend: &[&ProjectedGaussian]| {
+                        scratch.rasterize(ctx.grid, tile_index, blend, ctx.raster_cfg)
+                    };
+                    run_shard(ctx, occ, window, window_base, &mut rasterize)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("render worker panicked"))
+                .collect()
+        });
+        if let Some(img) = image.as_mut() {
+            // Tiles own disjoint pixel rects, so replaying each shard's
+            // buffered blocks yields the serial image exactly.
+            for scratch in scratches.iter() {
+                scratch.blit_to(img, &grid);
+            }
+        }
+        outputs
+    };
+
+    // Deterministic merge: shard order is tile order, and every counter
+    // is an order-independent integer sum.
     let mut sort_cost = SortCost::new();
     let mut incoming_total = 0usize;
     let mut outgoing_total = 0usize;
     let mut tile_loads = Vec::with_capacity(stats.occupied_tiles);
-
-    for (tile_index, entries) in assignments.iter_occupied() {
-        let slot = state.sorters[tile_index].get_or_insert_with(|| TileStrategy {
-            strategy: factory.create(),
-            next_frame: 0,
-        });
-        let frame = slot.next_frame;
-        slot.next_frame += 1;
-        slot.strategy.begin_frame(frame);
-        let out = slot.strategy.order(entries);
-        sort_cost += out.cost;
+    for out in outputs {
+        stats.traffic += out.traffic;
+        sort_cost += out.sort_cost;
         incoming_total += out.incoming;
         outgoing_total += out.outgoing;
-        stats.traffic.read(Stage::Sorting, out.cost.bytes_read);
-        stats.traffic.write(Stage::Sorting, out.cost.bytes_written);
-        tile_loads.push(TileLoad {
-            tile: tile_index as u32,
-            table_len: out.order.len() as u32,
-            incoming: out.incoming as u32,
-            outgoing: out.outgoing as u32,
-        });
-
-        // Rasterization fetches features for every entry in the blend
-        // order (stale entries included — they are fetched, found
-        // non-intersecting by the ITU, and skipped).
-        stats
-            .traffic
-            .read(Stage::Rasterization, out.order.len() as u64 * feature_bytes);
-
-        if let Some(img) = image.as_mut() {
-            // Blend in the strategy's order; IDs without current
-            // features (stale entries) are skipped.
-            let order: Vec<&ProjectedGaussian> = out
-                .order
-                .iter()
-                .filter(|e| e.valid)
-                .filter_map(|e| {
-                    by_id
-                        .get(e.id as usize)
-                        .copied()
-                        .flatten()
-                        .map(|i| &projected[i])
-                })
-                .collect();
-            let ts = rasterize_tile(img, &grid, tile_index, &order, &raster_cfg);
-            stats.blend_ops += ts.blend_ops;
-            stats.saturated_pixels += ts.saturated_pixels;
-        }
+        stats.blend_ops += out.blend_ops;
+        stats.saturated_pixels += out.saturated_pixels;
+        tile_loads.extend(out.tile_loads);
     }
+
     stats.traffic.write(
         Stage::Rasterization,
         cam.width as u64 * cam.height as u64 * 4,
@@ -456,6 +653,57 @@ impl RenderSession {
             &self.config,
             &self.scene,
             cam,
+        ))
+    }
+
+    /// Renders one frame with an explicit [`ShardPlan`] instead of the
+    /// plan [`RendererConfig::parallelism`] would derive.
+    ///
+    /// Output is byte-identical to [`RenderSession::render_frame`] for
+    /// *any* plan — sharding only changes which thread rasterizes which
+    /// tiles (see `ARCHITECTURE.md`, "Determinism contract"). This is the
+    /// escape hatch for benchmarks, determinism tests, and external
+    /// schedulers that want to pin shard boundaries; note that
+    /// [`ShardPlan::balanced`] counts are *not* capped to the machine's
+    /// available parallelism the way [`crate::Parallelism::Threads`] is.
+    ///
+    /// ```
+    /// use neo_core::{RenderEngine, RendererConfig, ShardPlan};
+    /// use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+    ///
+    /// let engine = RenderEngine::builder()
+    ///     .scene(ScenePreset::Family.build_scaled(0.002))
+    ///     .config(RendererConfig::default().with_tile_size(32))
+    ///     .build()
+    ///     .unwrap();
+    /// let sampler = FrameSampler::new(
+    ///     ScenePreset::Family.trajectory(), 30.0, Resolution::Custom(128, 72));
+    /// let cam = sampler.frame(0);
+    /// let serial = engine.session().render_frame(&cam).unwrap();
+    /// let sharded = engine
+    ///     .session()
+    ///     .render_frame_with_plan(&cam, &ShardPlan::balanced(4))
+    ///     .unwrap();
+    /// assert_eq!(serial, sharded);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::DegenerateCamera`] under exactly the same conditions
+    /// as [`RenderSession::render_frame`].
+    pub fn render_frame_with_plan(
+        &mut self,
+        cam: &Camera,
+        plan: &ShardPlan,
+    ) -> NeoResult<FrameResult> {
+        validate_camera(cam)?;
+        Ok(render_frame_core_with_plan(
+            &mut self.state,
+            &self.factory,
+            &self.config,
+            &self.scene,
+            cam,
+            plan,
         ))
     }
 
@@ -761,5 +1009,127 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<RenderSession>();
         assert_send::<RenderEngine>();
+    }
+
+    #[test]
+    fn sharded_frames_match_serial_across_a_sequence() {
+        let engine = small_engine();
+        let sampler = small_sampler();
+        let mut serial = engine.session();
+        let mut sharded = engine.session();
+        let mut explicit = engine.session();
+        for i in 0..4 {
+            let cam = sampler.frame(i);
+            let a = serial.render_frame(&cam).unwrap();
+            let b = sharded
+                .render_frame_with_plan(&cam, &ShardPlan::balanced(5))
+                .unwrap();
+            let c = explicit
+                .render_frame_with_plan(&cam, &ShardPlan::explicit(vec![1, 4, 9]))
+                .unwrap();
+            assert_eq!(a, b, "balanced plan diverged on frame {i}");
+            assert_eq!(a, c, "explicit plan diverged on frame {i}");
+        }
+    }
+
+    #[test]
+    fn config_threads_path_matches_serial() {
+        let scene = ScenePreset::Family.build_scaled(0.002);
+        let sampler = small_sampler();
+        let serial_engine = RenderEngine::builder()
+            .scene(Arc::new(scene))
+            .config(RendererConfig::default().with_tile_size(32))
+            .build()
+            .unwrap();
+        let threaded_engine = RenderEngine::builder()
+            .scene(Arc::clone(serial_engine.scene()))
+            .config(RendererConfig::default().with_tile_size(32).with_threads(4))
+            .build()
+            .unwrap();
+        let mut a = serial_engine.session();
+        let mut b = threaded_engine.session();
+        for i in 0..3 {
+            let cam = sampler.frame(i);
+            assert_eq!(
+                a.render_frame(&cam).unwrap(),
+                b.render_frame(&cam).unwrap(),
+                "threaded config diverged on frame {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn impure_strategy_factories_are_seeded_in_tile_order() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        // A factory that hands out a different behavior per creation:
+        // even seeds sort ascending, odd seeds descending. If strategies
+        // were created lazily on worker threads, the tile→seed assignment
+        // would depend on scheduling and sharded output would diverge.
+        #[derive(Debug)]
+        struct Seeded(u32);
+        impl SortingStrategy for Seeded {
+            fn name(&self) -> &str {
+                "seeded"
+            }
+            fn begin_frame(&mut self, _frame: u64) {}
+            fn order(&mut self, current: &[(u32, f32)]) -> neo_sort::strategies::FrameOrder {
+                let mut order: Vec<neo_sort::TableEntry> = current
+                    .iter()
+                    .map(|&(id, d)| neo_sort::TableEntry::new(id, d))
+                    .collect();
+                order.sort_by(|a, b| a.depth.total_cmp(&b.depth));
+                if self.0 % 2 == 1 {
+                    order.reverse();
+                }
+                neo_sort::strategies::FrameOrder {
+                    order,
+                    cost: SortCost::new(),
+                    incoming: 0,
+                    outgoing: 0,
+                }
+            }
+            fn cost(&self) -> SortCost {
+                SortCost::new()
+            }
+        }
+
+        let make_engine = || {
+            let counter = AtomicU32::new(0);
+            RenderEngine::builder()
+                .scene(ScenePreset::Family.build_scaled(0.002))
+                .config(RendererConfig::default().with_tile_size(16))
+                .strategy_factory("seeded", move || {
+                    Box::new(Seeded(counter.fetch_add(1, Ordering::SeqCst)))
+                })
+                .build()
+                .unwrap()
+        };
+        let cam = small_sampler().frame(0);
+        let serial = make_engine().session().render_frame(&cam).unwrap();
+        for round in 0..3 {
+            let sharded = make_engine()
+                .session()
+                .render_frame_with_plan(&cam, &ShardPlan::balanced(7))
+                .unwrap();
+            assert_eq!(serial, sharded, "seed assignment raced (round {round})");
+        }
+    }
+
+    #[test]
+    fn workload_mode_is_shard_invariant_too() {
+        let engine = RenderEngine::builder()
+            .scene(ScenePreset::Family.build_scaled(0.002))
+            .config(RendererConfig::default().with_tile_size(32).without_image())
+            .build()
+            .unwrap();
+        let cam = small_sampler().frame(0);
+        let a = engine.session().render_frame(&cam).unwrap();
+        let b = engine
+            .session()
+            .render_frame_with_plan(&cam, &ShardPlan::balanced(3))
+            .unwrap();
+        assert!(a.image.is_none());
+        assert_eq!(a, b);
     }
 }

@@ -24,6 +24,13 @@
 //! outside this workspace — plugs in through
 //! [`RenderEngineBuilder::strategy_factory`].
 //!
+//! Frames can additionally be rendered tile-parallel *within* a frame:
+//! [`RendererConfig::with_threads`] (or [`Parallelism`]) shards the
+//! binned tile list across a `std::thread::scope` worker pool, and the
+//! deterministic shard merge guarantees output byte-identical to serial
+//! rendering at any thread count — see [`ShardPlan`] and
+//! `ARCHITECTURE.md` for the contract.
+//!
 //! # Examples
 //!
 //! ```
@@ -55,8 +62,9 @@ mod error;
 mod frame;
 mod renderer;
 mod sequence;
+mod shard;
 
-pub use config::RendererConfig;
+pub use config::{Parallelism, RendererConfig};
 pub use engine::{FrameStream, RenderEngine, RenderEngineBuilder, RenderSession};
 pub use error::{NeoError, NeoResult};
 pub use frame::{FrameResult, TileLoad};
@@ -65,3 +73,4 @@ pub use neo_sort::SortingStrategy;
 #[allow(deprecated)]
 pub use renderer::SplatRenderer;
 pub use sequence::SequenceStats;
+pub use shard::ShardPlan;

@@ -1,0 +1,188 @@
+//! Contiguous shard plans for intra-frame parallel tile rendering.
+//!
+//! A frame's occupied tiles (in ascending tile-index order) are split
+//! into *contiguous* shards, one per worker thread. Contiguity is what
+//! keeps the parallel path simple and deterministic: each shard owns a
+//! disjoint, ordered slice of the per-tile sorting state, and the merge
+//! replays shard results in shard order — which *is* tile order.
+//!
+//! The renderer guarantees byte-identical output for **any** plan (see
+//! `ARCHITECTURE.md`, "Determinism contract"); plans only affect load
+//! balance. [`ShardPlan::Balanced`] is what
+//! [`crate::RenderSession::render_frame`] derives from
+//! [`crate::Parallelism`]; [`ShardPlan::Explicit`] pins exact cut points
+//! and exists for tests, benchmarks, and external schedulers.
+
+use std::ops::Range;
+
+/// A recipe for splitting a frame's occupied-tile list into contiguous
+/// shards.
+///
+/// Plans are resolved against the per-tile entry counts of the frame
+/// being rendered ([`ShardPlan::resolve`]); the same plan can therefore
+/// be reused across frames whose tile populations differ.
+///
+/// # Examples
+///
+/// ```
+/// use neo_core::ShardPlan;
+///
+/// // Four tiles with loads 8, 1, 1, 8 split into two shards of equal cost.
+/// let ranges = ShardPlan::balanced(2).resolve(&[8, 1, 1, 8]);
+/// assert_eq!(ranges, vec![0..2, 2..4]);
+///
+/// // Explicit cut points are sanitized (sorted, clamped, deduplicated),
+/// // so any cut list yields a valid plan.
+/// let ranges = ShardPlan::explicit(vec![3, 99, 3, 0]).resolve(&[1, 1, 1, 1]);
+/// assert_eq!(ranges, vec![0..3, 3..4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPlan {
+    /// Split into at most `shards` contiguous shards of roughly equal
+    /// total entry count (greedy prefix partition; deterministic).
+    Balanced {
+        /// Requested shard count; clamped to `1..=occupied_tiles` at
+        /// resolve time.
+        shards: usize,
+    },
+    /// Split at explicit indices into the occupied-tile list. Cuts are
+    /// sanitized at resolve time: sorted, clamped to the list length,
+    /// and deduplicated — so shard ranges are always non-empty and cover
+    /// the list exactly.
+    Explicit {
+        /// Raw cut points (`0 < cut < occupied_tiles` after sanitizing).
+        cuts: Vec<usize>,
+    },
+}
+
+impl ShardPlan {
+    /// A single-shard plan: the serial path.
+    #[must_use]
+    pub fn serial() -> Self {
+        ShardPlan::Balanced { shards: 1 }
+    }
+
+    /// A cost-balanced plan with at most `shards` shards.
+    #[must_use]
+    pub fn balanced(shards: usize) -> Self {
+        ShardPlan::Balanced { shards }
+    }
+
+    /// A plan with explicit cut points into the occupied-tile list.
+    #[must_use]
+    pub fn explicit(cuts: Vec<usize>) -> Self {
+        ShardPlan::Explicit { cuts }
+    }
+
+    /// Resolves the plan against a frame's per-tile entry counts,
+    /// returning non-empty, contiguous, in-order ranges that cover
+    /// `0..loads.len()` exactly (empty when there are no occupied tiles).
+    ///
+    /// Resolution is a pure function of `self` and `loads`, so a plan
+    /// yields the same shards for the same frame on every machine.
+    #[must_use]
+    pub fn resolve(&self, loads: &[usize]) -> Vec<Range<usize>> {
+        let n = loads.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        match self {
+            ShardPlan::Balanced { shards } => {
+                let s = (*shards).clamp(1, n);
+                let total: u64 = loads.iter().map(|&l| l as u64).sum();
+                let mut ranges = Vec::with_capacity(s);
+                let mut start = 0usize;
+                let mut cum = 0u64;
+                let mut i = 0usize;
+                for k in 1..s {
+                    let target = total * k as u64 / s as u64;
+                    // Leave at least one tile for each remaining shard.
+                    let max_end = n - (s - k);
+                    while i < max_end && (i < start + 1 || cum < target) {
+                        cum += loads[i] as u64;
+                        i += 1;
+                    }
+                    ranges.push(start..i);
+                    start = i;
+                }
+                ranges.push(start..n);
+                ranges
+            }
+            ShardPlan::Explicit { cuts } => {
+                let mut cuts: Vec<usize> =
+                    cuts.iter().copied().filter(|&c| c > 0 && c < n).collect();
+                cuts.sort_unstable();
+                cuts.dedup();
+                let mut ranges = Vec::with_capacity(cuts.len() + 1);
+                let mut start = 0usize;
+                for c in cuts {
+                    ranges.push(start..c);
+                    start = c;
+                }
+                ranges.push(start..n);
+                ranges
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ranges must be non-empty, contiguous, in order, and cover 0..n.
+    fn assert_covers(ranges: &[Range<usize>], n: usize) {
+        assert!(!ranges.is_empty() || n == 0);
+        let mut next = 0usize;
+        for r in ranges {
+            assert_eq!(r.start, next, "contiguous: {ranges:?}");
+            assert!(r.end > r.start, "non-empty: {ranges:?}");
+            next = r.end;
+        }
+        assert_eq!(next, n, "covers the list: {ranges:?}");
+    }
+
+    #[test]
+    fn balanced_splits_cover_for_all_shard_counts() {
+        let loads: Vec<usize> = (0..37).map(|i| 1 + (i * 13) % 29).collect();
+        for shards in 0..=45 {
+            let ranges = ShardPlan::balanced(shards).resolve(&loads);
+            assert_covers(&ranges, loads.len());
+            assert!(ranges.len() <= shards.clamp(1, loads.len()));
+        }
+    }
+
+    #[test]
+    fn balanced_balances_skewed_loads() {
+        // One huge tile at the front: the remaining shards split the tail.
+        let loads = [1000, 1, 1, 1, 1, 1];
+        let ranges = ShardPlan::balanced(3).resolve(&loads);
+        assert_covers(&ranges, loads.len());
+        assert_eq!(ranges[0], 0..1, "the hot tile gets its own shard");
+    }
+
+    #[test]
+    fn serial_is_one_range() {
+        assert_eq!(ShardPlan::serial().resolve(&[3, 2, 1]), vec![0..3]);
+    }
+
+    #[test]
+    fn empty_frame_resolves_to_no_shards() {
+        assert!(ShardPlan::balanced(4).resolve(&[]).is_empty());
+        assert!(ShardPlan::explicit(vec![1, 2]).resolve(&[]).is_empty());
+    }
+
+    #[test]
+    fn explicit_cuts_are_sanitized() {
+        // Unsorted, duplicated, out-of-range cuts still produce a cover.
+        let ranges = ShardPlan::explicit(vec![5, 0, 2, 2, 100]).resolve(&[1; 6]);
+        assert_eq!(ranges, vec![0..2, 2..5, 5..6]);
+        assert_covers(&ranges, 6);
+    }
+
+    #[test]
+    fn more_shards_than_tiles_clamps() {
+        let ranges = ShardPlan::balanced(16).resolve(&[1, 1, 1]);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+    }
+}

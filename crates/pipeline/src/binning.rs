@@ -68,6 +68,30 @@ impl TileAssignments {
 ///
 /// Entries within a tile keep the input order (ascending Gaussian ID),
 /// making the output deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use neo_math::{Vec2, Vec3};
+/// use neo_pipeline::{bin_to_tiles, ProjectedGaussian, TileGrid};
+///
+/// let grid = TileGrid::new(256, 256, 64);
+/// // A splat centered on the corner shared by four tiles is duplicated
+/// // into each of them.
+/// let splat = ProjectedGaussian {
+///     id: 7,
+///     mean2d: Vec2::new(64.0, 64.0),
+///     depth: 2.5,
+///     conic: (1.0, 0.0, 1.0),
+///     radius: 6.0,
+///     color: Vec3::ONE,
+///     opacity: 0.9,
+/// };
+/// let binned = bin_to_tiles(&grid, &[splat]);
+/// assert_eq!(binned.total_assignments(), 4);
+/// assert_eq!(binned.occupied_tiles(), 4);
+/// assert_eq!(binned.tile(grid.tile_index(0, 0)), &[(7, 2.5)]);
+/// ```
 pub fn bin_to_tiles(grid: &TileGrid, projected: &[ProjectedGaussian]) -> TileAssignments {
     let mut out = TileAssignments::new(*grid);
     for p in projected {

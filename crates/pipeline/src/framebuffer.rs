@@ -67,6 +67,44 @@ impl Image {
         &mut self.data
     }
 
+    /// Copies a `w`×`h` row-major pixel block into the rectangle whose
+    /// top-left corner is `(x0, y0)`.
+    ///
+    /// This is the merge primitive of the parallel renderer: tiles own
+    /// disjoint rectangles, so replaying per-tile blocks in any grouping
+    /// produces the same image.
+    ///
+    /// ```
+    /// use neo_math::Vec3;
+    /// use neo_pipeline::Image;
+    ///
+    /// let mut img = Image::new(4, 3, Vec3::ZERO);
+    /// img.blit_region(1, 1, 2, 2, &[Vec3::ONE; 4]);
+    /// assert_eq!(img.get(2, 2), Vec3::ONE);
+    /// assert_eq!(img.get(0, 0), Vec3::ZERO);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rectangle exceeds the image bounds or `block` is
+    /// not exactly `w * h` pixels.
+    pub fn blit_region(&mut self, x0: u32, y0: u32, w: u32, h: u32, block: &[Vec3]) {
+        // Widened arithmetic: u32 sums would wrap in release builds and
+        // let an out-of-bounds rect slip past the check.
+        assert!(
+            x0 as u64 + w as u64 <= self.width as u64 && y0 as u64 + h as u64 <= self.height as u64,
+            "blit rect {w}x{h}+{x0}+{y0} exceeds {}x{} image",
+            self.width,
+            self.height
+        );
+        assert_eq!(block.len(), w as usize * h as usize, "block size mismatch");
+        for row in 0..h {
+            let dst = (y0 + row) as usize * self.width as usize + x0 as usize;
+            let src = row as usize * w as usize;
+            self.data[dst..dst + w as usize].copy_from_slice(&block[src..src + w as usize]);
+        }
+    }
+
     /// Mean pixel value across the image.
     pub fn mean(&self) -> Vec3 {
         let sum = self.data.iter().fold(Vec3::ZERO, |acc, &p| acc + p);
@@ -141,5 +179,29 @@ mod tests {
     fn oob_get_panics() {
         let img = Image::new(2, 2, Vec3::ZERO);
         let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn blit_region_roundtrip() {
+        let mut img = Image::new(5, 4, Vec3::ZERO);
+        img.blit_region(3, 2, 2, 2, &[Vec3::ONE; 4]);
+        assert_eq!(img.get(3, 2), Vec3::ONE);
+        assert_eq!(img.get(4, 3), Vec3::ONE);
+        assert_eq!(img.get(2, 2), Vec3::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn blit_region_rejects_wrapping_rects() {
+        // x0 + w wraps u32; the widened bounds check must still reject it.
+        let mut img = Image::new(4, 4, Vec3::ZERO);
+        img.blit_region(u32::MAX - 1, 1, 2, 1, &[Vec3::ONE; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn blit_region_rejects_oversized_rects() {
+        let mut img = Image::new(4, 4, Vec3::ZERO);
+        img.blit_region(3, 0, 2, 1, &[Vec3::ONE; 2]);
     }
 }

@@ -32,14 +32,16 @@ mod culling;
 mod framebuffer;
 mod pipeline;
 mod projection;
+mod scratch;
 pub mod stats;
 mod tiles;
 
 pub use binning::{bin_to_tiles, TileAssignments};
 pub use culling::{cull_cloud, CullResult};
 pub use framebuffer::Image;
-pub use pipeline::{render_reference, RenderConfig};
+pub use pipeline::{render_reference, RenderConfig, TileRasterStats};
 pub use projection::{project_cloud, project_gaussian, ProjectedGaussian};
+pub use scratch::{RasterScratch, ShardScratch};
 pub use stats::{FrameStats, Stage, TrafficLedger};
 pub use tiles::{subtile_bitmap, TileGrid, SUBTILES_PER_TILE, SUBTILE_SIZE};
 
@@ -48,3 +50,9 @@ pub use tiles::{subtile_bitmap, TileGrid, SUBTILES_PER_TILE, SUBTILE_SIZE};
 /// Re-exported from the rasterizer module for callers (like `neo-core`)
 /// that manage their own per-tile ordering.
 pub use pipeline::rasterize_tile;
+
+/// Scratch-buffer variant of [`rasterize_tile`]: leaves the finished
+/// pixel block in a reusable [`RasterScratch`] for deferred, deterministic
+/// merging — the rasterization primitive of `neo-core`'s intra-frame
+/// worker pool.
+pub use pipeline::rasterize_tile_with_scratch;

@@ -7,6 +7,7 @@
 use crate::binning::bin_to_tiles;
 use crate::framebuffer::Image;
 use crate::projection::{project_cloud, ProjectedGaussian};
+use crate::scratch::RasterScratch;
 use crate::stats::{FrameStats, Stage};
 use crate::tiles::{subtile_bitmap, TileGrid, SUBTILE_SIZE};
 use neo_math::{Vec2, Vec3};
@@ -59,8 +60,33 @@ pub struct TileRasterStats {
 ///
 /// `ordered` must be sorted by ascending depth; the function blends
 /// front-to-back with early termination and (optionally) subtile skipping.
+///
+/// This one-shot wrapper allocates fresh working buffers per call; hot
+/// loops should hold a [`RasterScratch`] and call
+/// [`rasterize_tile_with_scratch`] instead (byte-identical output).
 pub fn rasterize_tile(
     image: &mut Image,
+    grid: &TileGrid,
+    tile_index: usize,
+    ordered: &[&ProjectedGaussian],
+    config: &RenderConfig,
+) -> TileRasterStats {
+    let mut scratch = RasterScratch::new();
+    let stats = rasterize_tile_with_scratch(&mut scratch, grid, tile_index, ordered, config);
+    scratch.blit_to(image, grid, tile_index);
+    stats
+}
+
+/// Rasterizes one tile into `scratch`'s reusable buffers, leaving the
+/// finished pixel block in the scratch instead of writing a framebuffer.
+///
+/// `ordered` must be sorted by ascending depth, exactly as for
+/// [`rasterize_tile`]. The caller commits the block with
+/// [`RasterScratch::blit_to`] (immediately for serial rendering, or after
+/// a parallel frame's workers join — the deferred merge is what makes
+/// sharded rendering deterministic).
+pub fn rasterize_tile_with_scratch(
+    scratch: &mut RasterScratch,
     grid: &TileGrid,
     tile_index: usize,
     ordered: &[&ProjectedGaussian],
@@ -71,12 +97,19 @@ pub fn rasterize_tile(
     let (x0, y0, x1, y1) = grid.tile_rect(tx, ty);
     let mut stats = TileRasterStats::default();
 
-    // Per-pixel transmittance and accumulated color for this tile.
+    // Per-pixel transmittance and accumulated color for this tile, in
+    // buffers reused across tiles and frames.
     let w = (x1 - x0) as usize;
     let h = (y1 - y0) as usize;
     let eps = config.transmittance_eps;
-    let mut transmittance = vec![1.0f32; w * h];
-    let mut color = vec![config.background; w * h];
+    scratch.width = w;
+    scratch.height = h;
+    scratch.transmittance.clear();
+    scratch.transmittance.resize(w * h, 1.0);
+    scratch.color.clear();
+    scratch.color.resize(w * h, config.background);
+    let transmittance = &mut scratch.transmittance;
+    let color = &mut scratch.color;
     let mut live_pixels = (w * h) as i64;
 
     // Precompute bitmaps when subtiling is on.
@@ -137,8 +170,7 @@ pub fn rasterize_tile(
         for px in x0..x1 {
             let li = ((py - y0) as usize) * w + (px - x0) as usize;
             let t = transmittance[li];
-            let c = color[li] - config.background + config.background * t;
-            image.set(px, py, c);
+            color[li] = color[li] - config.background + config.background * t;
         }
     }
     stats
@@ -188,6 +220,7 @@ pub fn render_reference(
         assignments.total_assignments() as u64 * entry_bytes,
     );
 
+    let mut scratch = RasterScratch::new();
     for (tile_index, entries) in assignments.iter_occupied() {
         // Sort from scratch: stable sort by depth.
         let mut order: Vec<&ProjectedGaussian> = entries
@@ -207,7 +240,9 @@ pub fn render_reference(
             .traffic
             .read(Stage::Rasterization, entries.len() as u64 * feature_bytes);
 
-        let tile_stats = rasterize_tile(&mut image, &grid, tile_index, &order, config);
+        let tile_stats =
+            rasterize_tile_with_scratch(&mut scratch, &grid, tile_index, &order, config);
+        scratch.blit_to(&mut image, &grid, tile_index);
         stats.blend_ops += tile_stats.blend_ops;
         stats.saturated_pixels += tile_stats.saturated_pixels;
     }

@@ -15,6 +15,22 @@ pub const SUBTILE_SIZE: u32 = 8;
 pub const SUBTILES_PER_TILE: u32 = 64;
 
 /// Partition of an image into square tiles.
+///
+/// # Examples
+///
+/// ```
+/// use neo_math::Vec2;
+/// use neo_pipeline::TileGrid;
+///
+/// let grid = TileGrid::new(2560, 1440, 64);
+/// assert_eq!((grid.tiles_x(), grid.tiles_y()), (40, 23)); // rows round up
+/// assert_eq!(grid.tile_count(), 920);
+/// // Border tiles are clipped to the image.
+/// assert_eq!(grid.tile_rect(0, 22), (0, 1408, 64, 1440));
+/// // A 10-pixel splat near a tile corner overlaps four tiles.
+/// let span = grid.tiles_for_splat(Vec2::new(64.0, 64.0), 10.0).unwrap();
+/// assert_eq!(span, (0, 0, 1, 1));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileGrid {
     /// Image width in pixels.
@@ -83,6 +99,22 @@ impl TileGrid {
             (x0 + self.tile_size).min(self.width),
             (y0 + self.tile_size).min(self.height),
         )
+    }
+
+    /// Pixel rectangle of the tile with flat index `tile_index`
+    /// (row-major), like [`TileGrid::tile_rect`] but without unpacking
+    /// the coordinates first.
+    ///
+    /// ```
+    /// use neo_pipeline::TileGrid;
+    ///
+    /// let grid = TileGrid::new(100, 70, 64);
+    /// assert_eq!(grid.tile_rect_at(3), grid.tile_rect(1, 1));
+    /// ```
+    pub fn tile_rect_at(&self, tile_index: usize) -> (u32, u32, u32, u32) {
+        let tx = (tile_index as u32) % self.tiles_x;
+        let ty = (tile_index as u32) / self.tiles_x;
+        self.tile_rect(tx, ty)
     }
 
     /// Inclusive tile-coordinate ranges overlapped by a circle of `radius`

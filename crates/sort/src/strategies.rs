@@ -48,7 +48,13 @@ pub const HIERARCHICAL_PASSES: u32 = 2;
 /// The trait is object-safe: `neo-core`'s `RenderEngine` drives boxed
 /// strategies created by a per-tile factory, so implementations outside
 /// this crate plug in without any enum edits. Implementors must be
-/// [`Send`] so render sessions can move across threads.
+/// [`Send`] for two reasons: render sessions move across threads, and
+/// `neo-core`'s intra-frame worker pool partitions the per-tile strategy
+/// slots into contiguous shards and hands each shard to a different
+/// scoped worker. A strategy never observes any tile but its own, so any
+/// shard partition is safe and cannot change its outputs — that
+/// independence is what backs the renderer's byte-identical parallelism
+/// guarantee.
 ///
 /// # Examples
 ///
@@ -273,6 +279,22 @@ impl SortingStrategy for HierarchicalStrategy {
 
 /// Full sort every `interval` frames; intermediate frames reuse the stale
 /// table unchanged — the latency-spike / quality-decay point of Figure 19.
+///
+/// # Examples
+///
+/// ```
+/// use neo_sort::strategies::{PeriodicStrategy, SortingStrategy};
+///
+/// let mut s = PeriodicStrategy::new(3);
+/// s.begin_frame(0);
+/// let refreshed = s.order(&[(1, 2.0), (2, 1.0)]);
+/// assert!(refreshed.cost.bytes_total() > 0, "frame 0 sorts");
+/// s.begin_frame(1);
+/// // Membership changed, but the stale table is reused at zero cost.
+/// let stale = s.order(&[(1, 2.0), (2, 1.0), (3, 0.5)]);
+/// assert_eq!(stale.cost.bytes_total(), 0);
+/// assert_eq!(stale.order.len(), 2, "newcomer 3 is missing until refresh");
+/// ```
 #[derive(Debug, Clone)]
 pub struct PeriodicStrategy {
     interval: u32,
@@ -414,6 +436,21 @@ impl SortingStrategy for BackgroundStrategy {
 /// ❷ sort + insert incoming Gaussians, ❸ delete invalidated entries
 /// during the same merge, then ❹ defer depth updates to rasterization
 /// (modelled by refreshing stored depths *after* the order is taken).
+///
+/// # Examples
+///
+/// ```
+/// use neo_sort::strategies::{ReuseUpdateStrategy, SortingStrategy};
+///
+/// let mut s = ReuseUpdateStrategy::new(Default::default());
+/// s.begin_frame(0);
+/// let f0 = s.order(&[(10, 3.0), (11, 1.0)]);
+/// assert_eq!(f0.incoming, 2, "first frame inserts everything");
+/// s.begin_frame(1);
+/// // ID 10 departs, ID 12 arrives; the table tracks membership.
+/// let f1 = s.order(&[(11, 1.0), (12, 2.0)]);
+/// assert_eq!((f1.incoming, f1.outgoing), (1, 1));
+/// ```
 #[derive(Debug, Clone)]
 pub struct ReuseUpdateStrategy {
     config: SorterConfig,
@@ -896,5 +933,18 @@ mod tests {
         fn assert_send<T: Send + ?Sized>() {}
         assert_send::<dyn SortingStrategy>();
         assert_send::<Box<dyn SortingStrategy>>();
+    }
+
+    #[test]
+    fn every_builtin_strategy_is_send() {
+        // The intra-frame worker pool in neo-core moves per-tile strategy
+        // state to scoped workers; each built-in must stay Send.
+        fn assert_send<T: Send>() {}
+        assert_send::<FullResortStrategy>();
+        assert_send::<HierarchicalStrategy>();
+        assert_send::<PeriodicStrategy>();
+        assert_send::<BackgroundStrategy>();
+        assert_send::<ReuseUpdateStrategy>();
+        assert_send::<TileSorter>();
     }
 }

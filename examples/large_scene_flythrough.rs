@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example large_scene_flythrough`
 
-use neo_core::{NeoError, RenderEngine, RendererConfig};
+use neo_core::{NeoError, Parallelism, RenderEngine, RendererConfig};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 use neo_sim::devices::{Device, NeoDevice};
 use neo_sim::WorkloadFrame;
@@ -13,9 +13,19 @@ fn main() -> Result<(), NeoError> {
     let scene = ScenePreset::Building;
     // 0.2% of 5.4M Gaussians ≈ 10.8k — enough for stable statistics.
     let scale = 0.002;
+    // Large frames are where the intra-frame worker pool pays off: shard
+    // each frame's tiles across every available core. Output is
+    // byte-identical to serial rendering at any thread count.
+    let config = RendererConfig::default()
+        .without_image()
+        .with_parallelism(Parallelism::Auto);
+    println!(
+        "intra-frame parallelism: {} worker thread(s)",
+        config.effective_threads()
+    );
     let engine = RenderEngine::builder()
         .scene(scene.build_scaled(scale))
-        .config(RendererConfig::default().without_image())
+        .config(config)
         .build()?;
     let cloud = std::sync::Arc::clone(engine.scene());
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Qhd);

@@ -30,8 +30,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use neo_core::SplatRenderer;
     pub use neo_core::{
-        FrameResult, FrameStream, NeoError, NeoResult, RenderEngine, RenderSession, RendererConfig,
-        SortingStrategy, StrategyKind,
+        FrameResult, FrameStream, NeoError, NeoResult, Parallelism, RenderEngine, RenderSession,
+        RendererConfig, ShardPlan, SortingStrategy, StrategyKind,
     };
     pub use neo_metrics::{lpips_proxy, psnr, ssim};
     pub use neo_pipeline::{render_reference, Image, RenderConfig, Stage};
