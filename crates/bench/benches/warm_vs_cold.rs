@@ -1,0 +1,74 @@
+//! Criterion bench: warm-start temporal sorting vs. cold full re-sort on
+//! the large-scene flythrough trajectory (the `large_scene_flythrough`
+//! workload — Mill 19 "Building" at 0.2% scale, 640×360, 32-px tiles).
+//!
+//! Both sessions run the exact full-resort strategy; the warm session
+//! wraps it in the temporal cache at the default retention threshold, so
+//! blend orders (and rendered images) are identical and the measured
+//! delta is purely re-sort vs. cached repair. The primary comparison is
+//! the workload-statistics pair (`sort_*`): with tables primed, warm
+//! frames replace the 8-pass radix sort with a single bounded repair +
+//! merge pass per tile and win clearly. The `render_*` pair includes
+//! per-pixel rasterization, which both configurations share — there the
+//! sorting delta is a few percent of the frame and can sit inside
+//! machine noise.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use neo_core::{RenderEngine, RendererConfig, StrategyKind, WarmStartConfig};
+use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+use std::sync::Arc;
+
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    let cloud = Arc::new(ScenePreset::Building.build_scaled(0.002));
+    let sampler = FrameSampler::new(
+        ScenePreset::Building.trajectory(),
+        30.0,
+        Resolution::Custom(640, 360),
+    );
+
+    // (label, temporal cache, render an image?). The workload-mode pair
+    // isolates sorting from rasterization; the render pair shows the
+    // end-to-end frame-time effect.
+    let configs: [(&str, Option<WarmStartConfig>, bool); 4] = [
+        ("sort_cold_full_resort", None, false),
+        ("sort_warm_repair", Some(WarmStartConfig::default()), false),
+        ("render_cold_full_resort", None, true),
+        ("render_warm_repair", Some(WarmStartConfig::default()), true),
+    ];
+
+    let mut group = c.benchmark_group("warm_vs_cold");
+    for (label, warm, image) in configs {
+        group.bench_function(BenchmarkId::new("flythrough", label), |b| {
+            let mut config = RendererConfig::default().with_tile_size(32);
+            if !image {
+                config = config.without_image();
+            }
+            if let Some(w) = warm {
+                config = config.with_temporal_cache(w);
+            }
+            let engine = RenderEngine::builder()
+                .scene(Arc::clone(&cloud))
+                .config(config)
+                .strategy(StrategyKind::FullResort)
+                .build()
+                .expect("bench config is valid");
+            let mut session = engine.session();
+            let mut i = 0usize;
+            session.render_frame(&sampler.frame(0)).unwrap(); // prime tables/cache
+            b.iter(|| {
+                i += 1;
+                session
+                    .render_frame(black_box(&sampler.frame(i % 60)))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_warm_vs_cold
+}
+criterion_main!(benches);

@@ -4,6 +4,7 @@ use crate::{NeoError, NeoResult};
 use neo_math::Vec3;
 use neo_sort::dps::DpsConfig;
 use neo_sort::strategies::SorterConfig;
+use neo_sort::warm::WarmStartConfig;
 use std::sync::OnceLock;
 
 /// How a session's tiles are spread over worker threads *within* a frame.
@@ -86,6 +87,12 @@ pub struct RendererConfig {
     /// Intra-frame tile parallelism (default [`Parallelism::Serial`]).
     /// Output is byte-identical at any setting.
     pub parallelism: Parallelism,
+    /// Warm-start temporal sorting cache (default `None`): when set,
+    /// every per-tile strategy is wrapped in a
+    /// [`neo_sort::WarmStartSorter`] that carries the previous frame's
+    /// order across frames and repairs it instead of re-sorting. See
+    /// [`RendererConfig::with_temporal_cache`].
+    pub temporal_cache: Option<WarmStartConfig>,
 }
 
 impl Default for RendererConfig {
@@ -98,6 +105,7 @@ impl Default for RendererConfig {
             dps: DpsConfig::default(),
             deferred_depth_update: true,
             parallelism: Parallelism::Serial,
+            temporal_cache: None,
         }
     }
 }
@@ -174,6 +182,62 @@ impl RendererConfig {
         self
     }
 
+    /// Enables warm-start temporal sorting: each tile's strategy is
+    /// wrapped in a [`neo_sort::WarmStartSorter`] that keeps the previous
+    /// frame's depth order in the session and repairs it — departed IDs
+    /// dropped, newcomers merge-inserted, retained IDs fixed up with a
+    /// bounded insertion pass — instead of re-sorting from scratch,
+    /// falling back to a cold inner sort when inter-frame retention drops
+    /// below `config.retention_threshold`.
+    ///
+    /// The cache is per-tile session state, so it shards with the
+    /// intra-frame worker pool and survives re-planning; hit-rate and
+    /// repair cost surface per frame in
+    /// [`crate::FrameResult::temporal`]. With
+    /// [`neo_sort::WarmStartMode::Exact`] the output is byte-identical
+    /// to cold sorting (validation mode); the default
+    /// [`neo_sort::WarmStartMode::Repair`] keeps images byte-identical
+    /// over *exact* inner strategies while cutting sorting traffic to a
+    /// single pass on warm frames.
+    ///
+    /// This example is the README's warm-start quickstart, kept honest by
+    /// `cargo test --doc`:
+    ///
+    /// ```
+    /// use neo_core::{RenderEngine, RendererConfig, StrategyKind, WarmStartConfig};
+    /// use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+    ///
+    /// let engine = RenderEngine::builder()
+    ///     .scene(ScenePreset::Family.build_scaled(0.002))
+    ///     .strategy(StrategyKind::FullResort) // exact sort, warm-started
+    ///     .config(
+    ///         RendererConfig::default()
+    ///             .with_tile_size(32)
+    ///             .with_temporal_cache(WarmStartConfig::default()),
+    ///     )
+    ///     .build()?;
+    /// let sampler = FrameSampler::new(
+    ///     ScenePreset::Family.trajectory(), 30.0, Resolution::Custom(160, 96));
+    /// let mut session = engine.session();
+    /// let cold = session.render_frame(&sampler.frame(0))?; // primes the cache
+    /// let warm = session.render_frame(&sampler.frame(1))?;
+    /// assert!(warm.temporal.hit_rate() > 0.5, "most tiles served warm");
+    /// assert!(warm.sort_cost.bytes_total() < cold.sort_cost.bytes_total() / 2);
+    /// # Ok::<(), neo_core::NeoError>(())
+    /// ```
+    #[must_use]
+    pub fn with_temporal_cache(mut self, config: WarmStartConfig) -> Self {
+        self.temporal_cache = Some(config);
+        self
+    }
+
+    /// Disables the warm-start temporal cache (the default).
+    #[must_use]
+    pub fn without_temporal_cache(mut self) -> Self {
+        self.temporal_cache = None;
+        self
+    }
+
     /// The clamped worker count a session will actually use per frame.
     #[must_use]
     pub fn effective_threads(&self) -> usize {
@@ -189,6 +253,9 @@ impl RendererConfig {
             return Err(NeoError::invalid_config("tile size must be positive"));
         }
         self.dps.validate().map_err(NeoError::invalid_config)?;
+        if let Some(warm) = &self.temporal_cache {
+            warm.validate().map_err(NeoError::invalid_config)?;
+        }
         Ok(())
     }
 
@@ -243,6 +310,22 @@ mod tests {
         let cfg = RendererConfig::default().with_chunk_size(1);
         assert!(matches!(cfg.validate(), Err(NeoError::InvalidConfig(_))));
         assert!(RendererConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn temporal_cache_defaults_off_and_validates() {
+        let cfg = RendererConfig::default();
+        assert!(cfg.temporal_cache.is_none());
+        let cfg = cfg.with_temporal_cache(WarmStartConfig::default());
+        assert!(cfg.validate().is_ok());
+        assert!(cfg
+            .clone()
+            .without_temporal_cache()
+            .temporal_cache
+            .is_none());
+        let bad =
+            cfg.with_temporal_cache(WarmStartConfig::default().with_retention_threshold(-0.5));
+        assert!(matches!(bad.validate(), Err(NeoError::InvalidConfig(_))));
     }
 
     #[test]

@@ -41,13 +41,17 @@
 //! assert!(frames.iter().all(|f| f.is_ok()));
 //! ```
 
-use crate::{FrameResult, NeoError, NeoResult, RendererConfig, SequenceStats, ShardPlan, TileLoad};
+use crate::{
+    FrameResult, NeoError, NeoResult, RendererConfig, SequenceStats, ShardPlan, TemporalCacheStats,
+    TileLoad,
+};
 use neo_pipeline::{
     bin_to_tiles, project_cloud, FrameStats, Image, ProjectedGaussian, RenderConfig, ShardScratch,
     Stage, TileGrid, TileRasterStats, TrafficLedger,
 };
 use neo_scene::{Camera, FrameSampler, GaussianCloud};
 use neo_sort::strategies::{SorterConfig, StrategyKind};
+use neo_sort::warm::{WarmStartConfig, WarmStartSorter};
 use neo_sort::{SortCost, SortingStrategy};
 use std::sync::Arc;
 
@@ -82,6 +86,15 @@ impl StrategyFactory {
 
     pub(crate) fn create(&self) -> Box<dyn SortingStrategy> {
         (self.make)()
+    }
+
+    /// Wraps this factory so every created strategy carries a warm-start
+    /// temporal cache ([`WarmStartSorter`]) with the given configuration.
+    pub(crate) fn warmed(self, config: WarmStartConfig) -> Self {
+        let name = format!("warm-start({})", self.name);
+        Self::new(name, move || {
+            Box::new(WarmStartSorter::new(self.create(), config))
+        })
     }
 }
 
@@ -164,6 +177,7 @@ struct ShardOutput {
     blend_ops: u64,
     saturated_pixels: u64,
     tile_loads: Vec<TileLoad>,
+    temporal: TemporalCacheStats,
 }
 
 /// Renders one shard's tiles: advances each tile's sorting strategy and
@@ -203,6 +217,15 @@ fn run_shard(
             incoming: order.incoming as u32,
             outgoing: order.outgoing as u32,
         });
+        if let Some(reuse) = order.reuse {
+            if reuse.warm {
+                out.temporal.warm_tiles += 1;
+                out.temporal.reused_entries += reuse.reused as u64;
+                out.temporal.repair_moves += reuse.repair_moves;
+            } else {
+                out.temporal.cold_tiles += 1;
+            }
+        }
 
         // Rasterization fetches features for every entry in the blend
         // order (stale entries included — they are fetched, found
@@ -418,6 +441,7 @@ pub(crate) fn render_frame_core_with_plan(
     let mut incoming_total = 0usize;
     let mut outgoing_total = 0usize;
     let mut tile_loads = Vec::with_capacity(stats.occupied_tiles);
+    let mut temporal = TemporalCacheStats::default();
     for out in outputs {
         stats.traffic += out.traffic;
         sort_cost += out.sort_cost;
@@ -426,6 +450,7 @@ pub(crate) fn render_frame_core_with_plan(
         stats.blend_ops += out.blend_ops;
         stats.saturated_pixels += out.saturated_pixels;
         tile_loads.extend(out.tile_loads);
+        temporal += out.temporal;
     }
 
     stats.traffic.write(
@@ -441,6 +466,7 @@ pub(crate) fn render_frame_core_with_plan(
         incoming: incoming_total,
         outgoing: outgoing_total,
         tile_loads,
+        temporal,
     }
 }
 
@@ -561,6 +587,13 @@ impl RenderEngineBuilder {
                 StrategyFactory::from_kind(kind, self.config.sorter_config())
             }
             StrategySpec::Custom(factory) => factory,
+        };
+        // The temporal cache composes over *any* strategy — built-in or
+        // user-defined — by wrapping the factory, so each tile gets its
+        // own WarmStartSorter around its own inner instance.
+        let factory = match self.config.temporal_cache {
+            Some(warm) => factory.warmed(warm),
+            None => factory,
         };
         Ok(RenderEngine {
             scene,
@@ -984,6 +1017,7 @@ mod tests {
                     cost: SortCost::new(),
                     incoming: 0,
                     outgoing: 0,
+                    reuse: None,
                 }
             }
             fn cost(&self) -> SortCost {
@@ -1087,6 +1121,7 @@ mod tests {
                     cost: SortCost::new(),
                     incoming: 0,
                     outgoing: 0,
+                    reuse: None,
                 }
             }
             fn cost(&self) -> SortCost {

@@ -31,6 +31,14 @@
 //! rendering at any thread count — see [`ShardPlan`] and
 //! `ARCHITECTURE.md` for the contract.
 //!
+//! Any strategy can additionally be **warm-started** across frames:
+//! [`RendererConfig::with_temporal_cache`] wraps each tile's strategy in
+//! a [`neo_sort::WarmStartSorter`] that keeps the previous frame's depth
+//! order in the session and repairs it (departed IDs dropped, newcomers
+//! merge-inserted, retained IDs fixed with a bounded insertion pass)
+//! instead of re-sorting, with per-frame hit-rate/repair statistics in
+//! [`FrameResult::temporal`] — see [`WarmStartConfig`].
+//!
 //! # Examples
 //!
 //! ```
@@ -67,8 +75,9 @@ mod shard;
 pub use config::{Parallelism, RendererConfig};
 pub use engine::{FrameStream, RenderEngine, RenderEngineBuilder, RenderSession};
 pub use error::{NeoError, NeoResult};
-pub use frame::{FrameResult, TileLoad};
+pub use frame::{FrameResult, TemporalCacheStats, TileLoad};
 pub use neo_sort::strategies::StrategyKind;
+pub use neo_sort::warm::{WarmStartConfig, WarmStartMode, WarmStartStats};
 pub use neo_sort::SortingStrategy;
 #[allow(deprecated)]
 pub use renderer::SplatRenderer;

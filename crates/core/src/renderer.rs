@@ -36,6 +36,7 @@ pub struct SplatRenderer {
 fn sanitize(strategy: StrategyKind, mut config: RendererConfig) -> (StrategyKind, RendererConfig) {
     config.tile_size = config.tile_size.max(1);
     config.dps.chunk_size = config.dps.chunk_size.max(2);
+    config.temporal_cache = config.temporal_cache.map(|c| c.sanitized());
     let strategy = match strategy {
         StrategyKind::Periodic(0) => StrategyKind::Periodic(1),
         other => other,
@@ -54,7 +55,12 @@ impl SplatRenderer {
     /// Creates a renderer with an explicit sorting strategy.
     pub fn new(strategy: StrategyKind, config: RendererConfig) -> Self {
         let (strategy, config) = sanitize(strategy, config);
-        let factory = StrategyFactory::from_kind(strategy, config.sorter_config());
+        let mut factory = StrategyFactory::from_kind(strategy, config.sorter_config());
+        if let Some(warm) = config.temporal_cache {
+            // Same composition rule as the engine: the legacy wrapper must
+            // stay byte-identical to a RenderSession with the same config.
+            factory = factory.warmed(warm);
+        }
         Self {
             strategy,
             config,
@@ -97,7 +103,29 @@ impl SplatRenderer {
     ///
     /// Gaussian IDs must be stable across frames (the same cloud, or at
     /// least stable indices) — reuse is keyed on IDs.
+    ///
+    /// Like the configuration clamps, degenerate cameras are absorbed
+    /// rather than reported: a zero-pixel resolution (where the engine
+    /// would return [`crate::NeoError::DegenerateCamera`]) yields an
+    /// empty [`FrameResult`] — no image, no tiles, no sorting work — and
+    /// leaves the per-tile state untouched.
     pub fn render_frame(&mut self, cloud: &GaussianCloud, cam: &Camera) -> FrameResult {
+        if cam.width == 0 || cam.height == 0 {
+            // TileGrid and Image both (rightly) reject zero dimensions;
+            // the infallible legacy API degrades instead of panicking.
+            return FrameResult {
+                image: None,
+                stats: neo_pipeline::FrameStats {
+                    input: cloud.len(),
+                    ..Default::default()
+                },
+                sort_cost: neo_sort::SortCost::new(),
+                incoming: 0,
+                outgoing: 0,
+                tile_loads: Vec::new(),
+                temporal: crate::TemporalCacheStats::default(),
+            };
+        }
         render_frame_core(&mut self.state, &self.factory, &self.config, cloud, cam)
     }
 }
@@ -244,6 +272,67 @@ mod tests {
         );
         let f = r.render_frame(&cloud, &cam);
         assert_eq!(f.image.unwrap().get(10, 10), Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn zero_size_resolutions_never_panic() {
+        // The legacy API has no DegenerateCamera error path, so a
+        // zero-pixel camera must degrade to an empty frame, not panic.
+        let (cloud, _) = small_setup();
+        let good = Camera::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            1.0,
+            Resolution::Custom(64, 64),
+        );
+        let mut r = SplatRenderer::new_neo(RendererConfig::default().with_tile_size(32));
+        for (w, h) in [(0u32, 64u32), (64, 0), (0, 0)] {
+            let mut cam = good;
+            cam.width = w;
+            cam.height = h;
+            let f = r.render_frame(&cloud, &cam);
+            assert_eq!(f.stats.occupied_tiles, 0, "{w}x{h}");
+            assert!(f.tile_loads.is_empty(), "{w}x{h}");
+            assert_eq!(f.stats.blend_ops, 0, "{w}x{h}");
+        }
+        // The renderer stays usable after degenerate frames.
+        let f = r.render_frame(&cloud, &good);
+        assert!(f.stats.projected > 0);
+    }
+
+    #[test]
+    fn zero_gaussian_cloud_never_panics_across_strategies() {
+        let cloud = GaussianCloud::new();
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            1.0,
+            Resolution::Custom(64, 64),
+        );
+        for kind in [
+            StrategyKind::FullResort,
+            StrategyKind::Hierarchical,
+            StrategyKind::Periodic(2),
+            StrategyKind::Background(1),
+            StrategyKind::ReuseUpdate,
+        ] {
+            let mut r = SplatRenderer::new(kind, RendererConfig::default());
+            for _ in 0..2 {
+                let f = r.render_frame(&cloud, &cam);
+                assert_eq!(f.stats.input, 0, "{kind:?}");
+                assert_eq!(f.incoming, 0, "{kind:?}");
+                assert!(f.image.is_some(), "{kind:?}");
+            }
+        }
+        // Zero Gaussians *and* zero pixels together.
+        let mut cam0 = cam;
+        cam0.width = 0;
+        cam0.height = 0;
+        let mut r = SplatRenderer::new_neo(RendererConfig::default());
+        let f = r.render_frame(&cloud, &cam0);
+        assert_eq!(f.stats.projected, 0);
     }
 
     #[test]

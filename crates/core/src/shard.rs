@@ -185,4 +185,68 @@ mod tests {
         let ranges = ShardPlan::balanced(16).resolve(&[1, 1, 1]);
         assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
     }
+
+    #[test]
+    fn duplicate_cuts_never_produce_phantom_shards() {
+        // Regression guard: a duplicated cut point must dedupe to one
+        // boundary, not an empty shard. Empty shards would spawn workers
+        // that contribute zeroed ShardOutputs and would skew any
+        // per-shard accounting layered on top.
+        for cuts in [
+            vec![2, 2],
+            vec![2, 2, 2, 2, 2],
+            vec![1, 1, 3, 3, 5, 5],
+            vec![4, 4, 0, 0],
+        ] {
+            let ranges = ShardPlan::explicit(cuts.clone()).resolve(&[1; 6]);
+            assert_covers(&ranges, 6);
+            assert!(
+                ranges.iter().all(|r| r.end > r.start),
+                "cuts {cuts:?} produced an empty shard: {ranges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn descending_cuts_are_sorted_not_dropped() {
+        // Descending cut lists describe the same partition as their
+        // sorted form; resolution must normalize, not garble.
+        let loads = [3usize, 1, 4, 1, 5, 9, 2];
+        let descending = ShardPlan::explicit(vec![5, 3, 1]).resolve(&loads);
+        let ascending = ShardPlan::explicit(vec![1, 3, 5]).resolve(&loads);
+        assert_eq!(descending, ascending);
+        assert_eq!(descending, vec![0..1, 1..3, 3..5, 5..7]);
+        assert_covers(&descending, loads.len());
+    }
+
+    #[test]
+    fn boundary_cuts_at_zero_and_len_are_dropped() {
+        // Cuts at 0 or len would create empty edge shards; they must be
+        // filtered, leaving the remaining interior cuts intact.
+        let ranges = ShardPlan::explicit(vec![0, 4, 4, 0]).resolve(&[1; 4]);
+        assert_eq!(ranges, vec![0..4]);
+        let ranges = ShardPlan::explicit(vec![0, 2, 4]).resolve(&[1; 4]);
+        assert_eq!(ranges, vec![0..2, 2..4]);
+    }
+
+    #[test]
+    fn balanced_never_produces_empty_shards() {
+        // The balanced partitioner reserves one tile per remaining shard;
+        // skewed loads must not starve a later shard into emptiness.
+        for loads in [
+            vec![1_000_000usize, 1, 1, 1],
+            vec![1, 1, 1, 1_000_000],
+            vec![0, 0, 0, 0, 7],
+            vec![5; 11],
+        ] {
+            for shards in 1..=loads.len() + 2 {
+                let ranges = ShardPlan::balanced(shards).resolve(&loads);
+                assert_covers(&ranges, loads.len());
+                assert!(
+                    ranges.iter().all(|r| r.end > r.start),
+                    "loads {loads:?} shards {shards} produced {ranges:?}"
+                );
+            }
+        }
+    }
 }

@@ -7,6 +7,75 @@
 
 use crate::projection::ProjectedGaussian;
 use crate::tiles::TileGrid;
+use std::collections::HashSet;
+
+/// Membership diff between one tile's populations in consecutive frames
+/// — the measurement the warm-start temporal sorting cache acts on.
+///
+/// Counts are over *unique* Gaussian IDs (binning never assigns a splat
+/// to the same tile twice, so for binned populations the counts equal
+/// the entry counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TilePopulationDiff {
+    /// IDs present in both frames.
+    pub retained: usize,
+    /// IDs present only in the previous frame.
+    pub departed: usize,
+    /// IDs present only in the current frame.
+    pub arrived: usize,
+}
+
+impl TilePopulationDiff {
+    /// Fraction of the previous population still present (1.0 when the
+    /// previous frame was empty — an empty tile retains everything
+    /// vacuously, matching `neo_sort::stats::retention`).
+    #[must_use]
+    pub fn retention(&self) -> f64 {
+        let prev = self.retained + self.departed;
+        if prev == 0 {
+            1.0
+        } else {
+            self.retained as f64 / prev as f64
+        }
+    }
+
+    /// Unique IDs in the previous population.
+    #[must_use]
+    pub fn prev_len(&self) -> usize {
+        self.retained + self.departed
+    }
+
+    /// Unique IDs in the current population.
+    #[must_use]
+    pub fn cur_len(&self) -> usize {
+        self.retained + self.arrived
+    }
+}
+
+/// Diffs one tile's `(id, depth)` population between two frames — the
+/// inputs are per-tile slices as produced by [`TileAssignments::tile`].
+///
+/// # Examples
+///
+/// ```
+/// use neo_pipeline::diff_tile_population;
+///
+/// let prev = [(1, 2.0), (2, 1.0), (3, 4.0)];
+/// let cur = [(2, 1.1), (3, 3.9), (9, 0.5)];
+/// let d = diff_tile_population(&prev, &cur);
+/// assert_eq!((d.retained, d.departed, d.arrived), (2, 1, 1));
+/// assert!((d.retention() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn diff_tile_population(prev: &[(u32, f32)], cur: &[(u32, f32)]) -> TilePopulationDiff {
+    let prev_ids: HashSet<u32> = prev.iter().map(|&(id, _)| id).collect();
+    let cur_ids: HashSet<u32> = cur.iter().map(|&(id, _)| id).collect();
+    let retained = prev_ids.intersection(&cur_ids).count();
+    TilePopulationDiff {
+        retained,
+        departed: prev_ids.len() - retained,
+        arrived: cur_ids.len() - retained,
+    }
+}
 
 /// Per-tile lists of `(gaussian_id, depth)` pairs.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,6 +231,23 @@ mod tests {
         let binned = bin_to_tiles(&grid, &splats);
         let tile = binned.tile(0);
         assert_eq!(tile.iter().map(|e| e.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn diff_tile_population_counts_membership_churn() {
+        let prev = [(0u32, 1.0f32), (1, 2.0), (2, 3.0)];
+        let cur = [(1u32, 2.5f32), (2, 2.9), (3, 0.5), (4, 9.0)];
+        let d = diff_tile_population(&prev, &cur);
+        assert_eq!(d.retained, 2);
+        assert_eq!(d.departed, 1);
+        assert_eq!(d.arrived, 2);
+        assert_eq!(d.prev_len(), 3);
+        assert_eq!(d.cur_len(), 4);
+        assert!((d.retention() - 2.0 / 3.0).abs() < 1e-12);
+        // Vacuous retention for an empty previous population.
+        assert_eq!(diff_tile_population(&[], &cur).retention(), 1.0);
+        // Disjoint populations retain nothing.
+        assert_eq!(diff_tile_population(&prev, &[]).retention(), 0.0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod scratch;
 pub mod stats;
 mod tiles;
 
-pub use binning::{bin_to_tiles, TileAssignments};
+pub use binning::{bin_to_tiles, diff_tile_population, TileAssignments, TilePopulationDiff};
 pub use culling::{cull_cloud, CullResult};
 pub use framebuffer::Image;
 pub use pipeline::{render_reference, RenderConfig, TileRasterStats};

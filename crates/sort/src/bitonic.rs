@@ -11,19 +11,29 @@ use crate::{SortCost, TableEntry};
 /// Native width of the BSU (entries sorted per invocation).
 pub const BSU_WIDTH: usize = 16;
 
-/// Sentinel entry used to pad the network to a power of two; its key
-/// compares greater than every real entry (`+inf` depth, max ID).
+/// Sentinel entry used to pad the network to a power of two; its key is
+/// the *maximum of the key space* so padding sorts strictly after every
+/// real entry and `[..n]` truncation recovers exactly the input set.
+///
+/// The sentinel used to be `+inf`, but [`TableEntry::key`]'s IEEE total
+/// order places positive NaNs *after* `+inf` — a real NaN-depth entry
+/// would sort behind the padding and be truncated away (and a pad entry
+/// leaked in its place). The fix pads with the largest quiet-NaN bit
+/// pattern (`0x7FFF_FFFF`) and ID `u32::MAX`, the reserved maximum key
+/// documented on [`TableEntry::key`].
 fn pad_entry() -> TableEntry {
     TableEntry {
         id: u32::MAX,
-        depth: f32::INFINITY,
+        depth: f32::from_bits(0x7FFF_FFFF),
         valid: false,
     }
 }
 
 /// Sorts `entries` in place with a bitonic network, padding physically to
-/// the next power of two like the hardware does (pad slots hold `+inf`
-/// keys and are discarded afterwards).
+/// the next power of two like the hardware does (pad slots hold the
+/// reserved maximum key documented on [`TableEntry::key`] and are
+/// discarded afterwards), with output ordered by that key's total order
+/// even for NaN and infinite depths.
 ///
 /// # Examples
 ///
@@ -179,6 +189,40 @@ mod tests {
         before.sort_unstable();
         after.sort_unstable();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn pathological_depths_match_comparison_sort() {
+        // Regression: padding used to be +inf, so NaN-depth entries (which
+        // IEEE total order places *after* +inf) were truncated away and a
+        // pad entry leaked in their place.
+        let specials = [
+            f32::NAN,
+            -f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            0.0,
+            1.5,
+            -3.25,
+        ];
+        let mut v: Vec<TableEntry> = specials
+            .iter()
+            .cycle()
+            .take(21)
+            .enumerate()
+            .map(|(i, &d)| TableEntry::new(i as u32, d))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_by_key(TableEntry::key);
+        bitonic_sort(&mut v);
+        assert_eq!(v.len(), 21, "no entry lost to padding");
+        assert!(v.iter().all(|e| e.id != u32::MAX), "no pad leaked");
+        let got: Vec<_> = v.iter().map(TableEntry::key).collect();
+        let want: Vec<_> = expect.iter().map(TableEntry::key).collect();
+        assert_eq!(got, want);
+        // A NaN-depth entry must survive and sort last (after +inf).
+        assert!(v.last().unwrap().depth.is_nan());
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   through `neo-core`'s `RenderEngine` unchanged.
 //! * **Temporal statistics** ([`stats`]) — Gaussian retention and
 //!   order-difference percentiles (Figures 6 and 7).
+//! * **Warm-start temporal sorting** ([`warm`]) — a cache wrapper over
+//!   any strategy that carries the previous frame's order across frames
+//!   and repairs it instead of re-sorting, exploiting exactly the
+//!   coherence those statistics measure.
 //!
 //! # Examples
 //!
@@ -43,6 +47,7 @@ pub mod merge;
 pub mod radix;
 pub mod stats;
 pub mod strategies;
+pub mod warm;
 
 mod cost;
 mod table;
@@ -50,3 +55,4 @@ mod table;
 pub use cost::SortCost;
 pub use strategies::{SortingStrategy, StrategyKind};
 pub use table::{GaussianTable, TableEntry, ENTRY_BYTES};
+pub use warm::{WarmStartConfig, WarmStartMode, WarmStartSorter, WarmStartStats};

@@ -17,6 +17,14 @@ pub const RADIX64_PASSES: u32 = 8;
 /// the 64-bit composite key), counting one read+write pass over the array
 /// per 8-bit digit.
 ///
+/// The composite key is bit-for-bit the lexicographic `(depth_key, id)`
+/// pair of [`TableEntry::key`], so the output agrees exactly with the
+/// comparison sort `sort_by_key(TableEntry::key)` — including on
+/// pathological depths (`±0.0`, `±inf`, NaNs of either sign), which
+/// follow the IEEE total order documented on [`TableEntry::key`]. The
+/// property suite (`tests/property_sort.rs`) enforces this agreement
+/// across every sorting kernel in the crate.
+///
 /// ```
 /// use neo_sort::radix::radix_sort;
 /// use neo_sort::TableEntry;
@@ -125,6 +133,30 @@ mod tests {
             .map(|e| e.id)
             .collect();
         assert_eq!(zero_ids, vec![3, 2]);
+    }
+
+    #[test]
+    fn nan_depths_follow_ieee_total_order() {
+        // NaNs must neither vanish nor destabilize the sort: negative
+        // NaNs sort before -inf, positive NaNs after +inf, and the
+        // ID tiebreak keeps equal-bit NaNs deterministic.
+        let input = vec![
+            TableEntry::new(0, f32::NAN),
+            TableEntry::new(1, f32::INFINITY),
+            TableEntry::new(2, -f32::NAN),
+            TableEntry::new(3, f32::NEG_INFINITY),
+            TableEntry::new(4, 0.0),
+            TableEntry::new(5, f32::NAN),
+        ];
+        let (out, _) = radix_sort(&input);
+        let mut expect = input.clone();
+        expect.sort_by_key(TableEntry::key);
+        let got: Vec<_> = out.iter().map(|e| (e.id, e.depth.to_bits())).collect();
+        let want: Vec<_> = expect.iter().map(|e| (e.id, e.depth.to_bits())).collect();
+        assert_eq!(got, want);
+        assert_eq!(out.len(), 6);
+        let ids: Vec<u32> = out.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![2, 3, 4, 1, 0, 5]);
     }
 
     #[test]

@@ -47,38 +47,60 @@ pub fn order_differences(prev: &[u32], cur: &[u32]) -> Vec<usize> {
         .collect()
 }
 
+/// Nearest-rank index (0-based) for `p` in `[0, 100]` over `n > 0`
+/// samples: `rank = clamp(ceil(p/100 · n), 1, n)`, returned as
+/// `rank - 1`.
+///
+/// The clamp makes the `p = 0.0` edge explicit: the textbook nearest-rank
+/// formula yields rank 0 there, which would underflow the 1-based rank;
+/// we define `p = 0.0` as the minimum sample (rank 1). The upper clamp is
+/// defensive against float round-up at `p = 100.0`.
+fn nearest_rank_index(n: usize, p: f64) -> usize {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    (((p / 100.0) * n as f64).ceil() as usize).clamp(1, n) - 1
+}
+
 /// Nearest-rank percentile of a sample set (`p` in `[0, 100]`).
 ///
-/// Returns 0 for empty input.
+/// Contract (deliberately `Option`-free so figure code stays plain):
+///
+/// * **Empty input** returns the `0` sentinel — callers plotting
+///   percentiles of "no displacement samples" want 0, not a panic.
+/// * **`p = 0.0`** returns the minimum sample (nearest-rank rank is
+///   clamped to 1; the unclamped formula would underflow).
+/// * **`p = 100.0`** returns the maximum sample.
 ///
 /// # Panics
 ///
 /// Panics when `p` is outside `[0, 100]`.
 pub fn percentile(samples: &[usize], p: f64) -> usize {
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
     if samples.is_empty() {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
         return 0;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    sorted[nearest_rank_index(sorted.len(), p)]
 }
 
 /// Nearest-rank percentile for `f64` samples.
+///
+/// Same contract as [`percentile`]: `0.0` sentinel for empty input,
+/// `p = 0.0` is the minimum sample, `p = 100.0` the maximum. Samples are
+/// ordered by [`f64::total_cmp`], so NaNs sort to the ends instead of
+/// poisoning the ranking.
 ///
 /// # Panics
 ///
 /// Panics when `p` is outside `[0, 100]`.
 pub fn percentile_f64(samples: &[f64], p: f64) -> f64 {
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
     if samples.is_empty() {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
         return 0.0;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    sorted[nearest_rank_index(sorted.len(), p)]
 }
 
 /// Empirical CDF points `(value, cumulative_fraction)` for plotting
@@ -153,6 +175,35 @@ mod tests {
     #[should_panic(expected = "percentile")]
     fn percentile_out_of_range_panics() {
         let _ = percentile(&[1], 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics_on_empty_too() {
+        // The range check must not be short-circuited by the empty-input
+        // sentinel: bad `p` is a caller bug regardless of the data.
+        let _ = percentile(&[], -1.0);
+    }
+
+    #[test]
+    fn percentile_zero_is_the_minimum() {
+        // p = 0.0 used to rely on an implicit saturating clamp; the
+        // contract is now explicit: nearest rank 1, i.e. the minimum.
+        let v = [7usize, 3, 9, 1];
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&[42], 0.0), 42);
+        assert_eq!(percentile(&[], 0.0), 0, "empty-input sentinel");
+        assert!((percentile_f64(&[2.5, 0.5], 0.0) - 0.5).abs() < 1e-12);
+        assert_eq!(percentile_f64(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_tiny_p_still_hits_rank_one() {
+        // Any p in (0, 100/n] is rank 1 under nearest-rank.
+        let v = [10usize, 20, 30, 40];
+        assert_eq!(percentile(&v, 0.001), 10);
+        assert_eq!(percentile(&v, 25.0), 10);
+        assert_eq!(percentile(&v, 25.1), 20);
     }
 
     #[test]

@@ -179,6 +179,25 @@ impl Default for SorterConfig {
     }
 }
 
+/// Per-tile temporal-reuse diagnostics a cache-carrying strategy (see
+/// [`crate::warm::WarmStartSorter`]) attaches to its [`FrameOrder`].
+///
+/// Strategies without a temporal cache leave [`FrameOrder::reuse`] as
+/// `None`; the renderer aggregates the `Some` values into the per-frame
+/// hit-rate/repair-cost statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileReuse {
+    /// True when this frame was served from the warm cache (repair path);
+    /// false when the tile fell back to a cold inner sort.
+    pub warm: bool,
+    /// Fraction of the cached entries still present this frame.
+    pub retention: f64,
+    /// Cached entries reused (retained in place) this frame.
+    pub reused: usize,
+    /// Element moves spent repairing the retained order this frame.
+    pub repair_moves: u64,
+}
+
 /// Output of one frame of sorting for one tile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FrameOrder {
@@ -192,6 +211,8 @@ pub struct FrameOrder {
     pub incoming: usize,
     /// Gaussians flagged outgoing this frame (ReuseUpdate only).
     pub outgoing: usize,
+    /// Temporal-cache diagnostics (`None` for cache-less strategies).
+    pub reuse: Option<TileReuse>,
 }
 
 /// Exact sort of the current entries with the GPU-style LSD radix sort
@@ -228,6 +249,7 @@ impl SortingStrategy for FullResortStrategy {
             cost,
             incoming: 0,
             outgoing: 0,
+            reuse: None,
         }
     }
 
@@ -269,6 +291,7 @@ impl SortingStrategy for HierarchicalStrategy {
             cost,
             incoming: 0,
             outgoing: 0,
+            reuse: None,
         }
     }
 
@@ -348,6 +371,7 @@ impl SortingStrategy for PeriodicStrategy {
                 cost,
                 incoming: 0,
                 outgoing: 0,
+                reuse: None,
             }
         } else {
             // Reuse the stale table: no sorting work, no updates. New
@@ -358,6 +382,7 @@ impl SortingStrategy for PeriodicStrategy {
                 cost: SortCost::new(),
                 incoming: 0,
                 outgoing: 0,
+                reuse: None,
             }
         }
     }
@@ -423,6 +448,7 @@ impl SortingStrategy for BackgroundStrategy {
             cost,
             incoming: 0,
             outgoing: 0,
+            reuse: None,
         }
     }
 
@@ -554,6 +580,7 @@ impl SortingStrategy for ReuseUpdateStrategy {
             cost,
             incoming,
             outgoing: outgoing + dropped,
+            reuse: None,
         }
     }
 

@@ -29,8 +29,26 @@ impl TableEntry {
         }
     }
 
-    /// Total-order sort key: depth first (IEEE total order), ID as the
-    /// tiebreaker so orderings are deterministic.
+    /// Total-order sort key: depth first (IEEE-754 total order), ID as
+    /// the tiebreaker so orderings are deterministic.
+    ///
+    /// This key is **the** ordering contract of the sorting substrate:
+    /// every kernel ([`crate::radix`], [`crate::bitonic`],
+    /// [`crate::merge`], [`crate::hierarchical`]) and every strategy
+    /// orders by it, so all of them agree bit-for-bit even on
+    /// pathological depths. Under IEEE total order:
+    ///
+    /// * negative values sort ascending, `-0.0` strictly before `+0.0`;
+    /// * `-inf` / `+inf` sort before / after every finite value;
+    /// * NaNs are ordered by their bit patterns: negative-signed NaNs
+    ///   sort before `-inf`, positive-signed NaNs after `+inf`.
+    ///
+    /// The depth word of the key maps `f32` bits to lexicographically
+    /// ordered `u32` (negative ⇒ flip all bits, non-negative ⇒ set the
+    /// sign bit), which realizes exactly that order. The maximum possible
+    /// key — the quiet-NaN pattern `0x7FFF_FFFF` with ID `u32::MAX` — is
+    /// reserved as the padding sentinel of the bitonic network
+    /// ([`crate::bitonic`]); real entries must not use it.
     #[inline]
     pub fn key(&self) -> (u32, u32) {
         // Map f32 to lexicographically ordered u32 (flip sign bit tricks).

@@ -1,8 +1,8 @@
 //! Temporal-similarity measurement (the data behind Figures 6 and 7).
 
-use neo_pipeline::{bin_to_tiles, project_cloud, TileGrid};
+use neo_pipeline::{bin_to_tiles, diff_tile_population, project_cloud, TileGrid};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
-use neo_sort::stats::{order_differences, percentile, retention};
+use neo_sort::stats::{order_differences, percentile};
 
 /// Per-scene temporal-similarity measurements.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,7 +72,11 @@ pub fn measure_temporal(
 
     let mut retention_samples = Vec::new();
     let mut order_diff_samples = Vec::new();
-    let mut prev: Option<Vec<Vec<u32>>> = None;
+    // Per tile: the raw (id, depth) population (for the membership diff —
+    // the same measurement the warm-start cache acts on) and the true
+    // depth order (for rank displacements).
+    type FrameTiles = (Vec<Vec<(u32, f32)>>, Vec<Vec<u32>>);
+    let mut prev: Option<FrameTiles> = None;
     let mut pop_sum = 0.0f64;
     let mut pop_count = 0u64;
 
@@ -80,9 +84,11 @@ pub fn measure_temporal(
         let cam = sampler.frame(i);
         let projected = project_cloud(&cam, &cloud);
         let assignments = bin_to_tiles(&grid, &projected);
-        // True depth order per tile.
+        let mut raw: Vec<Vec<(u32, f32)>> = vec![Vec::new(); grid.tile_count()];
         let mut tiles: Vec<Vec<u32>> = vec![Vec::new(); grid.tile_count()];
         for (tile, entries) in assignments.iter_occupied() {
+            raw[tile] = entries.to_vec();
+            // True depth order.
             let mut order: Vec<(u32, f32)> = entries.to_vec();
             order.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             tiles[tile] = order.into_iter().map(|(id, _)| id).collect();
@@ -91,19 +97,19 @@ pub fn measure_temporal(
             pop_sum += tile.len() as f64 * inv;
             pop_count += 1;
         }
-        if let Some(prev_tiles) = &prev {
-            for (p, c) in prev_tiles.iter().zip(&tiles) {
+        if let Some((prev_raw, prev_tiles)) = &prev {
+            for (t, (p, c)) in prev_tiles.iter().zip(&tiles).enumerate() {
                 if p.is_empty() {
                     continue;
                 }
-                retention_samples.push(retention(p, c));
+                retention_samples.push(diff_tile_population(&prev_raw[t], &raw[t]).retention());
                 for d in order_differences(p, c) {
                     // Scale rank displacement to full tile population.
                     order_diff_samples.push((d as f64 * inv).round() as usize);
                 }
             }
         }
-        prev = Some(tiles);
+        prev = Some((raw, tiles));
     }
 
     TemporalStats {

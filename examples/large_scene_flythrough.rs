@@ -1,10 +1,18 @@
-//! Large-scene flythrough: run the reuse-and-update sorter over a Mill 19
-//! style aerial scene and watch per-frame churn (incoming/outgoing
-//! Gaussians) as the camera sweeps — the stress scenario of Figure 17(a).
+//! Large-scene flythrough: warm-start temporal sorting over a Mill 19
+//! style aerial scene — per-frame churn (incoming/outgoing Gaussians)
+//! and temporal-cache hit rate as the camera sweeps, the stress scenario
+//! of Figure 17(a).
+//!
+//! The sorter here is an *exact* full re-sort wrapped in the warm-start
+//! temporal cache: frames whose tiles retain enough of the previous
+//! population are repaired in a single pass instead of re-sorted, so the
+//! blend orders stay exact while the sorting traffic collapses.
 //!
 //! Run: `cargo run --release --example large_scene_flythrough`
 
-use neo_core::{NeoError, Parallelism, RenderEngine, RendererConfig};
+use neo_core::{
+    NeoError, Parallelism, RenderEngine, RendererConfig, StrategyKind, WarmStartConfig,
+};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 use neo_sim::devices::{Device, NeoDevice};
 use neo_sim::WorkloadFrame;
@@ -15,10 +23,12 @@ fn main() -> Result<(), NeoError> {
     let scale = 0.002;
     // Large frames are where the intra-frame worker pool pays off: shard
     // each frame's tiles across every available core. Output is
-    // byte-identical to serial rendering at any thread count.
+    // byte-identical to serial rendering at any thread count — and the
+    // warm-start cache, being per-tile session state, shards with it.
     let config = RendererConfig::default()
         .without_image()
-        .with_parallelism(Parallelism::Auto);
+        .with_parallelism(Parallelism::Auto)
+        .with_temporal_cache(WarmStartConfig::default());
     println!(
         "intra-frame parallelism: {} worker thread(s)",
         config.effective_threads()
@@ -26,7 +36,9 @@ fn main() -> Result<(), NeoError> {
     let engine = RenderEngine::builder()
         .scene(scene.build_scaled(scale))
         .config(config)
+        .strategy(StrategyKind::FullResort) // exact sorting, warm-started
         .build()?;
+    println!("sorting strategy: {}", engine.strategy_name());
     let cloud = std::sync::Arc::clone(engine.scene());
     let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Qhd);
     let mut session = engine.session();
@@ -39,8 +51,8 @@ fn main() -> Result<(), NeoError> {
         cloud.len() / 1000,
         cloud.len() as f64 * inv / 1e6
     );
-    println!("frame | table entries | incoming | outgoing | est. FPS (Neo hw)");
-    println!("------+---------------+----------+----------+------------------");
+    println!("frame | table entries | incoming | outgoing | cache hit | est. FPS (Neo hw)");
+    println!("------+---------------+----------+----------+-----------+------------------");
     for i in 0..24 {
         let cam = sampler.frame(i);
         let fr = session.render_frame(&cam)?;
@@ -59,13 +71,17 @@ fn main() -> Result<(), NeoError> {
         };
         let fps = device.simulate_frame(&w).fps();
         println!(
-            "  {i:>3} | {:>13} | {:>8} | {:>8} | {fps:>8.1}",
-            w.table_entries, w.incoming, w.outgoing
+            "  {i:>3} | {:>13} | {:>8} | {:>8} | {:>8.0}% | {fps:>8.1}",
+            w.table_entries,
+            w.incoming,
+            w.outgoing,
+            fr.temporal.hit_rate() * 100.0
         );
     }
     println!(
         "\nEven with millions of Gaussians, per-frame churn stays a small fraction\n\
-         of the table, so reuse-and-update sorting keeps the frame rate up."
+         of the table, so after the first frame nearly every tile is served from\n\
+         the warm-start cache: exact blend orders at single-pass sorting cost."
     );
     Ok(())
 }

@@ -95,6 +95,7 @@ impl SortingStrategy for OddEvenTouchup {
             cost,
             incoming,
             outgoing,
+            reuse: None,
         }
     }
 

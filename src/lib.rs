@@ -31,7 +31,8 @@ pub mod prelude {
     pub use neo_core::SplatRenderer;
     pub use neo_core::{
         FrameResult, FrameStream, NeoError, NeoResult, Parallelism, RenderEngine, RenderSession,
-        RendererConfig, ShardPlan, SortingStrategy, StrategyKind,
+        RendererConfig, ShardPlan, SortingStrategy, StrategyKind, TemporalCacheStats,
+        WarmStartConfig, WarmStartMode,
     };
     pub use neo_metrics::{lpips_proxy, psnr, ssim};
     pub use neo_pipeline::{render_reference, Image, RenderConfig, Stage};

@@ -3,7 +3,9 @@
 
 use neo_sort::bitonic::bitonic_sort;
 use neo_sort::dps::{chunk_ranges, dynamic_partial_sort, DpsConfig};
+use neo_sort::hierarchical::{hierarchical_sort, HierarchicalConfig};
 use neo_sort::merge::{chunk_sort, merge_filtering, merge_keeping};
+use neo_sort::radix::radix_sort;
 use neo_sort::strategies::{StrategyKind, TileSorter};
 use neo_sort::{GaussianTable, TableEntry};
 use proptest::prelude::*;
@@ -20,8 +22,41 @@ fn arb_entries(max_len: usize) -> impl Strategy<Value = Vec<TableEntry>> {
     })
 }
 
+/// Entries whose depths are drawn from the pathological corners of the
+/// f32 space: ±NaN, ±inf, ±0.0, subnormals, and huge magnitudes. These
+/// must sort identically (IEEE total order by `TableEntry::key`) through
+/// every kernel in the crate.
+fn arb_pathological_entries(max_len: usize) -> impl Strategy<Value = Vec<TableEntry>> {
+    let depth = (0usize..10, -4.0f32..4.0).prop_map(|(pick, fallback)| match pick {
+        0 => f32::NAN,
+        1 => -f32::NAN,
+        2 => f32::INFINITY,
+        3 => f32::NEG_INFINITY,
+        4 => 0.0,
+        5 => -0.0,
+        6 => f32::MIN_POSITIVE / 2.0, // subnormal
+        7 => -1e38,
+        8 => 1e38,
+        _ => fallback,
+    });
+    prop::collection::vec((0u32..64, depth), 0..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(id, depth)| TableEntry::new(id, depth))
+            .collect()
+    })
+}
+
 fn is_sorted(v: &[TableEntry]) -> bool {
     v.windows(2).all(|w| w[0].key() <= w[1].key())
+}
+
+/// Key-plus-depth-bits view: equal iff the orderings agree bit-for-bit
+/// (NaN payloads included — `PartialEq` on depth would treat them as
+/// always-unequal).
+fn key_bits(v: &[TableEntry]) -> Vec<(u32, u32, u32)> {
+    v.iter()
+        .map(|e| (e.key().0, e.id, e.depth.to_bits()))
+        .collect()
 }
 
 proptest! {
@@ -123,6 +158,50 @@ proptest! {
         dynamic_partial_sort(&mut table, 0, &cfg);
         dynamic_partial_sort(&mut table, 1, &cfg);
         prop_assert!(table.is_sorted());
+    }
+
+    #[test]
+    fn all_kernels_agree_with_comparison_sort_on_pathological_depths(
+        entries in arb_pathological_entries(200),
+    ) {
+        // The reference: the comparison sort by the documented total-order
+        // key (what `GaussianTable::sort_full` and `sort_by_key` run).
+        let mut expect = entries.clone();
+        expect.sort_by_key(TableEntry::key);
+        let want = key_bits(&expect);
+
+        // GPU-model LSD radix sort (stable on the same composite key).
+        let (radix, _) = radix_sort(&entries);
+        prop_assert_eq!(key_bits(&radix), want.clone(), "radix diverged");
+
+        // Bitonic network (pads with the reserved maximum key — the old
+        // +inf padding lost NaN entries).
+        let mut bitonic = entries.clone();
+        bitonic_sort(&mut bitonic);
+        prop_assert_eq!(key_bits(&bitonic), want.clone(), "bitonic diverged");
+
+        // BSU+MSU chunk sort (all entries valid here, so no filtering).
+        let (chunked, _) = chunk_sort(&entries);
+        prop_assert_eq!(key_bits(&chunked), want.clone(), "chunk_sort diverged");
+
+        // GSCore-style hierarchical sort.
+        let (hier, _) = hierarchical_sort(&entries, &HierarchicalConfig::default());
+        prop_assert_eq!(key_bits(&hier), want, "hierarchical diverged");
+    }
+
+    #[test]
+    fn full_resort_and_hierarchical_strategies_agree_on_pathological_depths(
+        entries in arb_pathological_entries(120),
+    ) {
+        // Strategy level: the two exact strategies must produce identical
+        // blend orders even for NaN/infinite depths.
+        let input: Vec<(u32, f32)> =
+            entries.iter().map(|e| (e.id, e.depth)).collect();
+        let mut full = TileSorter::new(StrategyKind::FullResort);
+        let mut hier = TileSorter::new(StrategyKind::Hierarchical);
+        let a = full.process_frame(&input);
+        let b = hier.process_frame(&input);
+        prop_assert_eq!(key_bits(&a.order), key_bits(&b.order));
     }
 
     #[test]
