@@ -1,0 +1,120 @@
+//! Rasterization fast-path ablation: the exact-clipped row-interval
+//! rasterizer vs the legacy every-pixel-per-splat blend loop on the
+//! Building flythrough — pixel visits, blend ops, and wall-clock per
+//! frame, plus the byte-identity shape check (images and every statistic
+//! except `pixel_visits` must match exactly).
+//!
+//! Writes `results/fig_raster.json`.
+//!
+//! Run: `cargo run --release -p neo-bench --bin fig_raster`
+
+use neo_bench::{ExperimentRecord, TextTable};
+use neo_core::{FrameResult, RenderEngine, RendererConfig};
+use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
+use std::sync::Arc;
+use std::time::Instant;
+
+const FRAMES: usize = 16;
+
+fn main() {
+    let scene = ScenePreset::Building;
+    let cloud = Arc::new(scene.build_scaled(0.002));
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(640, 360));
+    println!(
+        "fig_raster: '{}' ({}k Gaussians), {FRAMES} frames @640x360, 32-px tiles\n",
+        scene.name(),
+        cloud.len() / 1000
+    );
+
+    let render = |fast_path: bool| -> (Vec<FrameResult>, f64) {
+        let engine = RenderEngine::builder()
+            .scene(Arc::clone(&cloud))
+            .config(
+                RendererConfig::default()
+                    .with_tile_size(32)
+                    .with_raster_fast_path(fast_path),
+            )
+            .build()
+            .expect("figure configuration is valid");
+        let mut session = engine.session();
+        // Warm per-tile tables and scratch outside the timed loop.
+        session
+            .render_frame(&sampler.frame(0))
+            .expect("trajectory camera");
+        let start = Instant::now();
+        let frames: Vec<FrameResult> = (1..=FRAMES)
+            .map(|i| session.render_frame(&sampler.frame(i)).expect("camera"))
+            .collect();
+        let ms_per_frame = start.elapsed().as_secs_f64() * 1e3 / FRAMES as f64;
+        (frames, ms_per_frame)
+    };
+
+    let (legacy_frames, legacy_ms) = render(false);
+    let (fast_frames, fast_ms) = render(true);
+
+    let visits =
+        |frames: &[FrameResult]| -> u64 { frames.iter().map(|f| f.stats.pixel_visits).sum() };
+    let blends: u64 = fast_frames.iter().map(|f| f.stats.blend_ops).sum();
+    let legacy_visits = visits(&legacy_frames) / FRAMES as u64;
+    let fast_visits = visits(&fast_frames) / FRAMES as u64;
+    let reduction = legacy_visits as f64 / fast_visits.max(1) as f64;
+    let speedup = legacy_ms / fast_ms;
+
+    let mut table = TextTable::new(["raster path", "ms/frame", "pixel visits/frame", "reduction"]);
+    table.row([
+        "legacy (every pixel)".to_string(),
+        format!("{legacy_ms:.2}"),
+        legacy_visits.to_string(),
+        "1.00x".to_string(),
+    ]);
+    table.row([
+        "exact-clipped rows".to_string(),
+        format!("{fast_ms:.2}"),
+        fast_visits.to_string(),
+        format!("{reduction:.2}x"),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "blend ops/frame: {} (identical by contract) | wall-clock speedup {speedup:.2}x",
+        blends / FRAMES as u64
+    );
+
+    // Shape check 1: byte-identity — images and all statistics except
+    // pixel_visits must match the legacy loop exactly.
+    let mut identical = true;
+    for (f, l) in fast_frames.iter().zip(&legacy_frames) {
+        let mut f = f.clone();
+        f.stats.pixel_visits = l.stats.pixel_visits;
+        identical &= &f == l;
+    }
+    // Shape check 2: the clip must pay for itself — the issue's bar is a
+    // ≥ 3x reduction in per-frame pixel visits on this workload.
+    println!(
+        "shape check: byte-identical modulo pixel_visits: {} | visits reduction {reduction:.2}x (expect ≥ 3x)",
+        if identical { "PASS" } else { "FAIL" }
+    );
+    assert!(
+        identical,
+        "fast path diverged from the legacy loop — byte-identity contract broken"
+    );
+    assert!(
+        reduction >= 3.0,
+        "pixel-visit reduction {reduction:.2}x below the 3x bar"
+    );
+
+    let mut record = ExperimentRecord::new(
+        "fig_raster",
+        "Exact-clipped row-interval rasterization vs the legacy per-pixel loop on the Building flythrough",
+    );
+    record.push_series(
+        "pixel_visits_per_frame",
+        vec![legacy_visits as f64, fast_visits as f64],
+    );
+    record.push_series("ms_per_frame", vec![legacy_ms, fast_ms]);
+    record.push_series("visits_reduction", vec![reduction]);
+    record.push_series("wall_clock_speedup", vec![speedup]);
+    match record.save() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not persist results: {e}"),
+    }
+}

@@ -79,6 +79,15 @@ pub struct RendererConfig {
     pub render_image: bool,
     /// Use subtile bitmaps during rasterization (GSCore/Neo subtiling).
     pub subtiling: bool,
+    /// Use the exact-clipped row-interval rasterization fast path
+    /// (default `true`): per splat, only the pixels inside the true
+    /// α-cutoff ellipse are visited instead of every pixel of the tile.
+    /// Output is byte-identical either way — only
+    /// [`neo_pipeline::FrameStats::pixel_visits`] changes. Disable via
+    /// [`RendererConfig::without_raster_fast_path`] to run the legacy
+    /// per-pixel loop (the baseline of the `fig_raster` ablation and
+    /// `tests/raster_parity.rs`).
+    pub raster_fast_path: bool,
     /// Dynamic Partial Sorting parameters (ReuseUpdate strategy).
     pub dps: DpsConfig,
     /// Model deferred depth updates (true = Neo's design; false = the
@@ -102,6 +111,7 @@ impl Default for RendererConfig {
             background: Vec3::ZERO,
             render_image: true,
             subtiling: true,
+            raster_fast_path: true,
             dps: DpsConfig::default(),
             deferred_depth_update: true,
             parallelism: Parallelism::Serial,
@@ -158,6 +168,24 @@ impl RendererConfig {
     #[must_use]
     pub fn without_deferred_depth_update(mut self) -> Self {
         self.deferred_depth_update = false;
+        self
+    }
+
+    /// Disables the exact-clipped rasterization fast path, running the
+    /// legacy every-pixel-per-splat blend loop instead. Output is
+    /// byte-identical; only `FrameStats::pixel_visits` (and wall-clock
+    /// time) changes. This is the ablation baseline of `fig_raster`.
+    #[must_use]
+    pub fn without_raster_fast_path(mut self) -> Self {
+        self.raster_fast_path = false;
+        self
+    }
+
+    /// Sets the exact-clipped rasterization fast path explicitly (see
+    /// [`RendererConfig::without_raster_fast_path`]).
+    #[must_use]
+    pub fn with_raster_fast_path(mut self, enabled: bool) -> Self {
+        self.raster_fast_path = enabled;
         self
     }
 
@@ -326,6 +354,16 @@ mod tests {
         let bad =
             cfg.with_temporal_cache(WarmStartConfig::default().with_retention_threshold(-0.5));
         assert!(matches!(bad.validate(), Err(NeoError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn raster_fast_path_defaults_on() {
+        let cfg = RendererConfig::default();
+        assert!(cfg.raster_fast_path);
+        let cfg = cfg.without_raster_fast_path();
+        assert!(!cfg.raster_fast_path);
+        assert!(cfg.validate().is_ok(), "legacy loop is a valid config");
+        assert!(cfg.with_raster_fast_path(true).raster_fast_path);
     }
 
     #[test]

@@ -176,6 +176,7 @@ struct ShardOutput {
     outgoing: usize,
     blend_ops: u64,
     saturated_pixels: u64,
+    pixel_visits: u64,
     tile_loads: Vec<TileLoad>,
     temporal: TemporalCacheStats,
 }
@@ -253,6 +254,7 @@ fn run_shard(
             let ts = rasterize(tile_index, &blend);
             out.blend_ops += ts.blend_ops;
             out.saturated_pixels += ts.saturated_pixels;
+            out.pixel_visits += ts.pixel_visits;
         }
     }
     out
@@ -331,6 +333,7 @@ pub(crate) fn render_frame_core_with_plan(
         tile_size: config.tile_size,
         background: config.background,
         subtiling: config.subtiling,
+        raster_fast_path: config.raster_fast_path,
         ..RenderConfig::default()
     };
     let ctx = ShardContext {
@@ -449,6 +452,7 @@ pub(crate) fn render_frame_core_with_plan(
         outgoing_total += out.outgoing;
         stats.blend_ops += out.blend_ops;
         stats.saturated_pixels += out.saturated_pixels;
+        stats.pixel_visits += out.pixel_visits;
         tile_loads.extend(out.tile_loads);
         temporal += out.temporal;
     }

@@ -17,6 +17,12 @@ use neo_scene::{Camera, GaussianCloud};
 /// saturated and blending stops (the reference implementation's 1/255).
 pub const DEFAULT_TRANSMITTANCE_EPS: f32 = 1.0 / 255.0;
 
+/// Minimum α a splat must contribute for a pixel to be blended (the
+/// reference rasterizer's 1/255 cutoff). Shared by the legacy per-pixel
+/// loop, the exact-clipped fast path, and the cutoff-radius solver —
+/// they must agree bit-for-bit on this constant.
+const BLEND_ALPHA_CUTOFF: f32 = 1.0 / 255.0;
+
 /// Configuration for the functional renderer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RenderConfig {
@@ -31,6 +37,15 @@ pub struct RenderConfig {
     /// towards zero approaches exhaustive blending (used as the
     /// "ground-truth" configuration in quality experiments).
     pub transmittance_eps: f32,
+    /// Use the exact-clipped row-interval fast path (default `true`):
+    /// each splat's true α-cutoff ellipse (the region where
+    /// `alpha_at ≥ 1/255`) is solved per row and only those pixels are
+    /// visited, instead of walking every pixel of the tile per splat.
+    /// Output is **byte-identical** to the legacy per-pixel loop — only
+    /// [`TileRasterStats::pixel_visits`] changes. Disable to run the
+    /// legacy loop (the byte-identity baseline used by
+    /// `tests/raster_parity.rs` and the `fig_raster` ablation).
+    pub raster_fast_path: bool,
 }
 
 impl Default for RenderConfig {
@@ -40,6 +55,7 @@ impl Default for RenderConfig {
             background: Vec3::ZERO,
             subtiling: true,
             transmittance_eps: DEFAULT_TRANSMITTANCE_EPS,
+            raster_fast_path: true,
         }
     }
 }
@@ -54,6 +70,11 @@ pub struct TileRasterStats {
     /// Gaussians whose subtile bitmap was empty (no intersection at all) —
     /// these are the "outgoing" candidates Neo's ITU flags.
     pub zero_coverage: u64,
+    /// (splat, pixel) pairs the blend loop visited — the raw work metric
+    /// the exact-clipped fast path reduces. This is the **only** counter
+    /// allowed to differ between [`RenderConfig::raster_fast_path`] on
+    /// and off; everything else (and the image) is byte-identical.
+    pub pixel_visits: u64,
 }
 
 /// Rasterizes one tile given its depth-ordered splats.
@@ -108,15 +129,31 @@ pub fn rasterize_tile_with_scratch(
     scratch.transmittance.resize(w * h, 1.0);
     scratch.color.clear();
     scratch.color.resize(w * h, config.background);
+    scratch.row_live.clear();
+    scratch.row_live.resize(h, w as u32);
     let transmittance = &mut scratch.transmittance;
     let color = &mut scratch.color;
+    let row_live = &mut scratch.row_live;
     let mut live_pixels = (w * h) as i64;
+    let per_edge = grid.subtiles_per_edge();
 
-    // Precompute bitmaps when subtiling is on.
     for p in ordered {
         if live_pixels <= 0 {
             break;
         }
+        // Degenerate-splat guard: a non-finite opacity, conic, or center
+        // makes `alpha_at` meaningless (a NaN intermediate is masked to
+        // 0.99 by the `min` clamp), which would blend a garbage splat
+        // over the whole tile. Skip it in both raster paths.
+        if !p.opacity.is_finite()
+            || !p.conic.0.is_finite()
+            || !p.conic.1.is_finite()
+            || !p.conic.2.is_finite()
+            || !p.mean2d.is_finite()
+        {
+            continue;
+        }
+        // Precompute the bitmap when subtiling is on.
         let bitmap = if config.subtiling {
             let bm = subtile_bitmap(grid, tx, ty, p.mean2d, p.radius);
             if bm == 0 {
@@ -128,35 +165,56 @@ pub fn rasterize_tile_with_scratch(
             u64::MAX
         };
 
-        let per_edge = grid.subtiles_per_edge();
-        for py in y0..y1 {
-            for px in x0..x1 {
-                let li = ((py - y0) as usize) * w + (px - x0) as usize;
-                let t = transmittance[li];
-                if t < eps {
+        if config.raster_fast_path {
+            // Exact-clipped fast path: visit only the pixels inside the
+            // splat's (conservatively widened) α-cutoff ellipse, row by
+            // row, skipping rows whose pixels have all saturated.
+            let Some(ellipse) = CutoffEllipse::new(p, (x0, y0, x1, y1)) else {
+                continue;
+            };
+            for py in ellipse.y_lo..ellipse.y_hi {
+                if row_live[(py - y0) as usize] == 0 {
                     continue;
                 }
-                if config.subtiling {
-                    let sx = (px - x0) / SUBTILE_SIZE;
-                    let sy = (py - y0) / SUBTILE_SIZE;
-                    let bit = sy * per_edge + sx;
-                    if bit < 64 && bitmap & (1u64 << bit) == 0 {
-                        continue;
-                    }
+                if let Some((lo, hi)) = ellipse.row_span(py, x0, x1) {
+                    blend_row_span(
+                        p,
+                        py,
+                        lo..hi,
+                        (x0, y0),
+                        w,
+                        config.subtiling,
+                        per_edge,
+                        bitmap,
+                        eps,
+                        transmittance,
+                        color,
+                        row_live,
+                        &mut stats,
+                        &mut live_pixels,
+                    );
                 }
-                let pc = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
-                let alpha = p.alpha_at(pc);
-                if alpha < 1.0 / 255.0 {
-                    continue;
-                }
-                stats.blend_ops += 1;
-                color[li] += p.color * (alpha * t);
-                let nt = t * (1.0 - alpha);
-                transmittance[li] = nt;
-                if nt < eps {
-                    stats.saturated_pixels += 1;
-                    live_pixels -= 1;
-                }
+            }
+        } else {
+            // Legacy loop: every pixel of the tile, every splat. Kept as
+            // the byte-identity baseline for the fast path.
+            for py in y0..y1 {
+                blend_row_span(
+                    p,
+                    py,
+                    x0..x1,
+                    (x0, y0),
+                    w,
+                    config.subtiling,
+                    per_edge,
+                    bitmap,
+                    eps,
+                    transmittance,
+                    color,
+                    row_live,
+                    &mut stats,
+                    &mut live_pixels,
+                );
             }
         }
     }
@@ -174,6 +232,205 @@ pub fn rasterize_tile_with_scratch(
         }
     }
     stats
+}
+
+/// Blends one splat over a contiguous pixel span of one tile row.
+///
+/// This is the *single* per-pixel blend body both raster paths execute:
+/// the legacy loop calls it with the full row (`x0..x1`) and the fast
+/// path with the clipped α-cutoff interval. Because every visited pixel
+/// runs the exact same float operations in the same order, byte-identity
+/// between the paths reduces to the fast path's interval being a superset
+/// of the pixels that pass the α cutoff — which [`CutoffEllipse`]
+/// guarantees.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn blend_row_span(
+    p: &ProjectedGaussian,
+    py: u32,
+    px_range: std::ops::Range<u32>,
+    origin: (u32, u32),
+    w: usize,
+    subtiling: bool,
+    per_edge: u32,
+    bitmap: u64,
+    eps: f32,
+    transmittance: &mut [f32],
+    color: &mut [Vec3],
+    row_live: &mut [u32],
+    stats: &mut TileRasterStats,
+    live_pixels: &mut i64,
+) {
+    let (x0, y0) = origin;
+    let row = (py - y0) as usize;
+    for px in px_range {
+        stats.pixel_visits += 1;
+        let li = row * w + (px - x0) as usize;
+        let t = transmittance[li];
+        if t < eps {
+            continue;
+        }
+        if subtiling {
+            let sx = (px - x0) / SUBTILE_SIZE;
+            let sy = (py - y0) / SUBTILE_SIZE;
+            let bit = sy * per_edge + sx;
+            if bit < 64 && bitmap & (1u64 << bit) == 0 {
+                continue;
+            }
+        }
+        let pc = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
+        let alpha = p.alpha_at(pc);
+        if alpha < BLEND_ALPHA_CUTOFF {
+            continue;
+        }
+        stats.blend_ops += 1;
+        color[li] += p.color * (alpha * t);
+        let nt = t * (1.0 - alpha);
+        transmittance[li] = nt;
+        if nt < eps {
+            stats.saturated_pixels += 1;
+            row_live[row] -= 1;
+            *live_pixels -= 1;
+        }
+    }
+}
+
+/// Relative deflation of the conic used when widening the cutoff ellipse.
+///
+/// The blend loop evaluates the falloff exponent in `f32`; its absolute
+/// rounding error is bounded by a small multiple of `f32::EPSILON` times
+/// the magnitude of the quadratic-form terms `A·dx² + C·dy²` (≈ 10
+/// roundings of intermediates no larger than 1.5× that sum). Shrinking
+/// `A` and `C` by `2·KAPPA` widens the accepted region by exactly
+/// `KAPPA`× those terms — a margin that *scales with* the evaluation
+/// error instead of guessing a constant, with ~4× headroom over the
+/// worst-case bound (10 × 2⁻²⁴ × 1.5 ≈ 9e-7).
+const CUTOFF_KAPPA: f64 = 4e-6;
+
+/// Absolute slack added to the log-opacity budget `τ = ln(255·opacity)`,
+/// covering the `exp`/multiply rounding on the blend side (≲ 1e-6 in the
+/// log domain) with two orders of magnitude to spare.
+const CUTOFF_TAU_SLACK: f64 = 1e-4;
+
+/// Extra pixels added on every side of the solved interval. The interval
+/// endpoints are computed in `f64` (error ≪ 1 px); one pixel of slack
+/// absorbs the floor/ceil edge cases outright.
+const CUTOFF_PX_SLACK: f64 = 1.0;
+
+/// The screen region where one splat can possibly blend, solved exactly
+/// from its conic and opacity (then conservatively widened).
+///
+/// A pixel at center `q` blends iff `alpha_at(q) ≥ 1/255`, i.e. iff the
+/// quadratic form `Q(d) = ½(A·dx² + C·dy²) + B·dx·dy` of `d = q − mean`
+/// satisfies `Q(d) ≤ τ` with `τ = ln(255·opacity)`. Note the conservative
+/// 3σ `radius` used for binning is *not* a valid clip for this: at 3σ the
+/// falloff is `exp(−4.5) ≈ 2.8/255`, so a high-opacity splat still blends
+/// well outside it. This solver instead widens the *exact* ellipse by
+/// margins dominating the `f32` evaluation error of the blend loop
+/// (see [`CUTOFF_KAPPA`]), so the row spans it yields are a strict
+/// superset of the pixels the legacy loop would blend — that superset
+/// property is what makes the fast path byte-identical.
+struct CutoffEllipse {
+    cx: f64,
+    cy: f64,
+    /// Deflated conic `(a, b, c)` for `[[a, b], [b, c]]`.
+    a: f64,
+    b: f64,
+    /// `b² − a·c` (negative for a bounded ellipse), cached for row solves.
+    b2_minus_ac: f64,
+    /// `2τ` with slack applied.
+    two_tau: f64,
+    /// First candidate row (clamped to the tile rect).
+    y_lo: u32,
+    /// One past the last candidate row.
+    y_hi: u32,
+    /// Degenerate conic: fall back to full rows (legacy-equivalent).
+    full_span: bool,
+}
+
+impl CutoffEllipse {
+    /// Builds the solver for one splat over the tile rect
+    /// `(x0, y0, x1, y1)`. Returns `None` when no pixel can reach the
+    /// α cutoff (opacity below 1/255 — the blended α can never round
+    /// above the opacity itself).
+    fn new(p: &ProjectedGaussian, rect: (u32, u32, u32, u32)) -> Option<Self> {
+        let (_, y0, _, y1) = rect;
+        if p.opacity < BLEND_ALPHA_CUTOFF {
+            return None;
+        }
+        let scale = 1.0 - 2.0 * CUTOFF_KAPPA;
+        let a = scale * p.conic.0 as f64;
+        let b = p.conic.1 as f64;
+        let c = scale * p.conic.2 as f64;
+        let cx = p.mean2d.x as f64;
+        let cy = p.mean2d.y as f64;
+        let tau = (p.opacity as f64 * 255.0).ln() + CUTOFF_TAU_SLACK;
+        let det = a * c - b * b;
+        let bounded = det > 0.0 && a > 0.0 && c > 0.0 && tau.is_finite();
+        if !bounded {
+            // Indefinite or near-degenerate conic (hand-built splats,
+            // |B|² ≈ A·C within the deflation margin): no bounded
+            // ellipse exists, so degrade to the legacy full-tile walk
+            // for this splat. Conservative by construction.
+            return Some(Self {
+                cx,
+                cy,
+                a,
+                b,
+                b2_minus_ac: 0.0,
+                two_tau: 0.0,
+                y_lo: y0,
+                y_hi: y1,
+                full_span: true,
+            });
+        }
+        // Extremal dy on the ellipse boundary: dy² ≤ 2τ·a / (a·c − b²).
+        let dy_max = (2.0 * tau * a / det).sqrt() + CUTOFF_PX_SLACK;
+        let y_lo = (cy - 0.5 - dy_max).floor().clamp(y0 as f64, y1 as f64) as u32;
+        let y_hi = ((cy - 0.5 + dy_max).ceil() + 1.0).clamp(y_lo as f64, y1 as f64) as u32;
+        Some(Self {
+            cx,
+            cy,
+            a,
+            b,
+            b2_minus_ac: b * b - a * c,
+            two_tau: 2.0 * tau,
+            y_lo,
+            y_hi,
+            full_span: false,
+        })
+    }
+
+    /// The candidate pixel span `[lo, hi)` of row `py`, clamped to the
+    /// tile's `[x0, x1)`, or `None` when the row misses the ellipse.
+    ///
+    /// Solves `a·dx² + 2b·dy·dx + (c·dy² − 2τ) ≤ 0` for the row's fixed
+    /// `dy`, then widens by [`CUTOFF_PX_SLACK`] on both sides.
+    fn row_span(&self, py: u32, x0: u32, x1: u32) -> Option<(u32, u32)> {
+        if self.full_span {
+            return Some((x0, x1));
+        }
+        let dy = py as f64 + 0.5 - self.cy;
+        let disc = self.b2_minus_ac * dy * dy + self.two_tau * self.a;
+        if disc <= 0.0 {
+            return None;
+        }
+        if !disc.is_finite() {
+            // Overflowed intermediates: the solve is meaningless, so
+            // degrade to the full row rather than risk clipping a pixel.
+            return Some((x0, x1));
+        }
+        let half = disc.sqrt();
+        let mid = -self.b * dy;
+        let dx_lo = (mid - half) / self.a;
+        let dx_hi = (mid + half) / self.a;
+        let lo = (self.cx + dx_lo - 0.5 - CUTOFF_PX_SLACK)
+            .floor()
+            .clamp(x0 as f64, x1 as f64) as u32;
+        let hi = ((self.cx + dx_hi - 0.5 + CUTOFF_PX_SLACK).ceil() + 1.0)
+            .clamp(lo as f64, x1 as f64) as u32;
+        (lo < hi).then_some((lo, hi))
+    }
 }
 
 /// Renders one frame with the reference pipeline: cull+project, bin, sort
@@ -245,6 +502,7 @@ pub fn render_reference(
         scratch.blit_to(&mut image, &grid, tile_index);
         stats.blend_ops += tile_stats.blend_ops;
         stats.saturated_pixels += tile_stats.saturated_pixels;
+        stats.pixel_visits += tile_stats.pixel_visits;
     }
     // Final pixel writes.
     stats.traffic.write(
@@ -375,6 +633,122 @@ mod tests {
         assert!(stats.traffic.stage_total(Stage::FeatureExtraction) > 0);
         assert!(stats.traffic.stage_total(Stage::Sorting) > 0);
         assert!(stats.traffic.stage_total(Stage::Rasterization) > 0);
+    }
+
+    // Whole-scene fast-vs-legacy parity lives in `tests/raster_parity.rs`
+    // (run in debug and release by CI); the unit tests below pin the
+    // solver's edge cases close to the code.
+
+    #[test]
+    fn fast_path_covers_low_opacity_and_cutoff_edge() {
+        // Opacity exactly at, just below, and far above the 1/255 cutoff:
+        // the interval solver's skip logic must agree with the legacy
+        // per-pixel comparison bit-for-bit.
+        let grid = TileGrid::new(64, 64, 64);
+        for opacity in [1.0 / 255.0, 0.95 / 255.0, 0.0, 0.999, 2.0] {
+            let splat = ProjectedGaussian {
+                id: 0,
+                mean2d: Vec2::new(31.5, 31.5),
+                depth: 1.0,
+                conic: (0.5, 0.0, 0.5),
+                radius: 10.0,
+                color: Vec3::ONE,
+                opacity,
+            };
+            let legacy_cfg = RenderConfig {
+                raster_fast_path: false,
+                ..Default::default()
+            };
+            let mut legacy_img = Image::new(64, 64, Vec3::ZERO);
+            let legacy = rasterize_tile(&mut legacy_img, &grid, 0, &[&splat], &legacy_cfg);
+            let mut fast_img = Image::new(64, 64, Vec3::ZERO);
+            let fast = rasterize_tile(&mut fast_img, &grid, 0, &[&splat], &RenderConfig::default());
+            assert_eq!(legacy_img, fast_img, "opacity={opacity}");
+            assert_eq!(legacy.blend_ops, fast.blend_ops, "opacity={opacity}");
+            assert_eq!(legacy.saturated_pixels, fast.saturated_pixels);
+        }
+    }
+
+    #[test]
+    fn non_finite_splats_are_skipped_in_both_paths() {
+        // A NaN opacity used to be masked to α = 0.99 by the `min` clamp
+        // (Rust's `min` returns the non-NaN operand), blending a garbage
+        // splat over the whole tile; non-finite conics likewise. Both
+        // raster paths must skip such splats entirely.
+        let grid = TileGrid::new(64, 64, 64);
+        let good = ProjectedGaussian {
+            id: 0,
+            mean2d: Vec2::new(30.0, 30.0),
+            depth: 1.0,
+            conic: (0.05, 0.0, 0.05),
+            radius: 20.0,
+            color: Vec3::new(0.9, 0.2, 0.1),
+            opacity: 0.9,
+        };
+        let poisoned = [
+            ProjectedGaussian {
+                opacity: f32::NAN,
+                ..good
+            },
+            ProjectedGaussian {
+                opacity: f32::INFINITY,
+                ..good
+            },
+            ProjectedGaussian {
+                conic: (f32::NAN, 0.0, 0.05),
+                ..good
+            },
+            ProjectedGaussian {
+                conic: (0.05, f32::NEG_INFINITY, 0.05),
+                ..good
+            },
+            ProjectedGaussian {
+                mean2d: Vec2::new(f32::NAN, 30.0),
+                ..good
+            },
+        ];
+        for fast in [true, false] {
+            let cfg = RenderConfig {
+                raster_fast_path: fast,
+                ..Default::default()
+            };
+            let mut clean = Image::new(64, 64, Vec3::ZERO);
+            let clean_stats = rasterize_tile(&mut clean, &grid, 0, &[&good], &cfg);
+            for (i, bad) in poisoned.iter().enumerate() {
+                let mut img = Image::new(64, 64, Vec3::ZERO);
+                // Poisoned splat in front: must not affect the result.
+                let stats = rasterize_tile(&mut img, &grid, 0, &[bad, &good], &cfg);
+                assert_eq!(img, clean, "poisoned splat {i} leaked (fast={fast})");
+                assert_eq!(
+                    stats.blend_ops, clean_stats.blend_ops,
+                    "poisoned splat {i} blended (fast={fast})"
+                );
+                assert!(img.pixels().iter().all(|p| p.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_scale_cloud_renders_finite() {
+        // Degenerate-scale regression: a Gaussian whose covariance
+        // overflows f32 is culled at projection, and a NaN-opacity
+        // Gaussian is skipped by the blend-loop guard — neither may
+        // poison the frame.
+        let cam = cam(96, 96);
+        let mut cloud = red_blob();
+        let mut huge = Gaussian::isotropic(Vec3::ZERO, 0.2, 0.9, Vec3::ONE);
+        huge.scale = Vec3::new(1e25, 1e25, 1e25);
+        cloud.push(huge);
+        let mut nan_opacity = Gaussian::isotropic(Vec3::new(0.1, 0.0, 0.0), 0.2, 0.9, Vec3::ONE);
+        nan_opacity.opacity = f32::NAN;
+        cloud.push(nan_opacity);
+
+        let (img, stats) = render_reference(&cloud, &cam, &RenderConfig::default());
+        assert!(img.pixels().iter().all(|p| p.is_finite()), "NaN leaked");
+        let (clean_img, clean_stats) =
+            render_reference(&red_blob(), &cam, &RenderConfig::default());
+        assert_eq!(img, clean_img, "degenerate Gaussians changed the image");
+        assert_eq!(stats.blend_ops, clean_stats.blend_ops);
     }
 
     #[test]

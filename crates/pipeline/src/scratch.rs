@@ -71,6 +71,11 @@ pub struct RasterScratch {
     /// Per-pixel accumulated color; holds the finished pixel block after
     /// rasterization.
     pub(crate) color: Vec<Vec3>,
+    /// Per-row count of not-yet-saturated pixels, maintained by the blend
+    /// loop. The exact-clipped fast path skips whole rows once this hits
+    /// zero (the per-row analogue of the tile-level `live_pixels`
+    /// early-out); the legacy loop maintains but never consults it.
+    pub(crate) row_live: Vec<u32>,
     /// Width in pixels of the last rasterized tile rect.
     pub(crate) width: usize,
     /// Height in pixels of the last rasterized tile rect.

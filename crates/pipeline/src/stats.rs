@@ -143,6 +143,12 @@ pub struct FrameStats {
     pub blend_ops: u64,
     /// Pixels that saturated (early-terminated) during blending.
     pub saturated_pixels: u64,
+    /// (splat, pixel) pairs visited by the rasterizer's blend loop — the
+    /// work metric the exact-clipped row-interval fast path reduces
+    /// (see [`crate::RenderConfig::raster_fast_path`]). The only frame
+    /// statistic allowed to differ between the fast path and the legacy
+    /// per-pixel loop.
+    pub pixel_visits: u64,
     /// DRAM traffic attributed to this frame.
     pub traffic: TrafficLedger,
 }

@@ -48,11 +48,22 @@ impl TileGrid {
     ///
     /// # Panics
     ///
-    /// Panics when any dimension is zero.
+    /// Panics when any dimension is zero. In debug builds, additionally
+    /// asserts that a tile spans at most 8×8 subtiles (`tile_size ≤ 64`
+    /// at the fixed 8-px [`SUBTILE_SIZE`]) — the bound under which
+    /// [`subtile_bitmap`]'s 64-bit bitmaps describe every subtile. Larger
+    /// tiles still render correct pixels in release builds, but
+    /// [`subtile_bitmap`] degrades to a conservative whole-tile test (no
+    /// subtile skipping); see [`TileGrid::subtiles_per_edge`].
     pub fn new(width: u32, height: u32, tile_size: u32) -> Self {
         assert!(
             width > 0 && height > 0 && tile_size > 0,
             "dimensions must be positive"
+        );
+        debug_assert!(
+            tile_size.div_ceil(SUBTILE_SIZE) <= 8,
+            "tile_size {tile_size} spans more than 64 subtiles; \
+             subtile bitmaps track at most 8×8 subtiles per tile"
         );
         Self {
             width,
@@ -140,6 +151,14 @@ impl TileGrid {
     }
 
     /// Subtile grid dimension along one tile edge.
+    ///
+    /// Subtile bitmaps are 64-bit, so subtile skipping requires
+    /// `subtiles_per_edge() ≤ 8` (i.e. `tile_size ≤ 64` at the fixed
+    /// 8-px [`SUBTILE_SIZE`]) — the paper's 64×64/8×8 configuration and
+    /// everything below it. Beyond that bound, [`subtile_bitmap`] falls
+    /// back to a conservative whole-tile intersection test: pixels are
+    /// never wrongly skipped, but per-subtile skipping is lost.
+    /// [`TileGrid::new`] flags such grids with a `debug_assert!`.
     pub fn subtiles_per_edge(&self) -> u32 {
         self.tile_size.div_ceil(SUBTILE_SIZE)
     }
@@ -149,11 +168,30 @@ impl TileGrid {
 ///
 /// Bit `s` is set when the circle (`center`, `radius`, in pixels) overlaps
 /// subtile `s` (row-major within the tile). This models the ITU's
-/// on-the-fly bitmap generation. Tiles larger than 64 subtiles clamp to the
-/// first 64 (not the case for the paper's 64×64/8×8 configuration).
+/// on-the-fly bitmap generation.
+///
+/// Tiles spanning more than 64 subtiles (see
+/// [`TileGrid::subtiles_per_edge`]) cannot be described by a 64-bit
+/// bitmap; for those this returns the conservative whole-tile answer —
+/// all-ones when the circle overlaps the tile rect at all, zero
+/// otherwise — so callers still never skip a covered pixel. (Simply
+/// clamping to the first 64 subtiles, as this function once did, would
+/// report `0` for a splat overlapping only untracked subtiles and make
+/// the rasterizer drop it entirely.)
 pub fn subtile_bitmap(grid: &TileGrid, tx: u32, ty: u32, center: Vec2, radius: f32) -> u64 {
     let (x0, y0, x1, y1) = grid.tile_rect(tx, ty);
     let per_edge = grid.subtiles_per_edge();
+    if per_edge > 8 {
+        let cx = center.x.clamp(x0 as f32, x1 as f32);
+        let cy = center.y.clamp(y0 as f32, y1 as f32);
+        let dx = center.x - cx;
+        let dy = center.y - cy;
+        return if dx * dx + dy * dy <= radius * radius {
+            u64::MAX
+        } else {
+            0
+        };
+    }
     let mut bitmap = 0u64;
     let mut bit = 0u32;
     for sy in 0..per_edge {
@@ -251,5 +289,33 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_tile_size_rejected() {
         let _ = TileGrid::new(100, 100, 0);
+    }
+
+    /// Debug builds reject grids whose tiles span more than 64 subtiles
+    /// at construction (the bitmap cannot describe them).
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "more than 64 subtiles")]
+    fn oversized_tile_asserts_in_debug() {
+        let _ = TileGrid::new(256, 256, 128);
+    }
+
+    /// Release builds degrade oversized tiles to a conservative
+    /// whole-tile bitmap: a splat overlapping *only* subtiles beyond bit
+    /// 63 must still be reported as covering (the old first-64 clamp
+    /// returned 0 and made the rasterizer drop such splats), and a splat
+    /// missing the tile entirely still reports zero coverage.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn oversized_tile_bitmap_is_conservative() {
+        let g = TileGrid::new(128, 128, 128);
+        assert_eq!(g.subtiles_per_edge(), 16);
+        // Bottom-right corner: subtile (15, 15), bit 255 — untracked.
+        assert_eq!(
+            subtile_bitmap(&g, 0, 0, Vec2::new(120.0, 120.0), 4.0),
+            u64::MAX
+        );
+        // Fully off-tile splats still report no coverage.
+        assert_eq!(subtile_bitmap(&g, 0, 0, Vec2::new(300.0, 300.0), 4.0), 0);
     }
 }

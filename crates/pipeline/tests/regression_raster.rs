@@ -48,6 +48,27 @@ fn two_gaussian_tile_stats_are_pinned() {
         (stats.blend_ops, stats.saturated_pixels, stats.zero_coverage),
         (4428, 16, 0)
     );
+    // The exact-clipped fast path (the default) visits only the pixels
+    // inside each splat's α-cutoff ellipse: 4916 of the legacy loop's
+    // 2 × 64 × 64 = 8192. Everything else above is path-invariant.
+    assert_eq!(stats.pixel_visits, 4916);
+}
+
+#[test]
+fn legacy_loop_visits_every_pixel_per_splat() {
+    let (grid, splats) = fixture();
+    let ordered: Vec<&ProjectedGaussian> = splats.iter().collect();
+    let cfg = RenderConfig {
+        raster_fast_path: false,
+        ..Default::default()
+    };
+    let mut image = Image::new(64, 64, Vec3::ZERO);
+    let stats = rasterize_tile(&mut image, &grid, 0, &ordered, &cfg);
+    assert_eq!(
+        (stats.blend_ops, stats.saturated_pixels, stats.zero_coverage),
+        (4428, 16, 0)
+    );
+    assert_eq!(stats.pixel_visits, 2 * 64 * 64);
 }
 
 #[test]

@@ -32,6 +32,12 @@ pub enum DecodeCloudError {
     BadDegree(u8),
     /// The buffer ended before all records were read.
     Truncated,
+    /// The buffer continues past the last declared record (carries the
+    /// number of unread trailing bytes). A well-formed `NEOG` blob ends
+    /// exactly at the last record; trailing garbage usually means a
+    /// corrupted length field or a concatenation bug, so it is rejected
+    /// rather than silently ignored.
+    TrailingBytes(usize),
 }
 
 impl fmt::Display for DecodeCloudError {
@@ -43,6 +49,9 @@ impl fmt::Display for DecodeCloudError {
             }
             DecodeCloudError::BadDegree(d) => write!(f, "invalid SH degree {d}"),
             DecodeCloudError::Truncated => write!(f, "unexpected end of buffer"),
+            DecodeCloudError::TrailingBytes(n) => {
+                write!(f, "{n} trailing byte(s) after the last record")
+            }
         }
     }
 }
@@ -99,8 +108,10 @@ pub fn encode_cloud(cloud: &GaussianCloud) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns a [`DecodeCloudError`] when the header is malformed or the
-/// buffer is shorter than the declared record count requires.
+/// Returns a [`DecodeCloudError`] when the header is malformed, the
+/// buffer is shorter than the declared record count requires (including
+/// counts whose byte size overflows `usize`), or bytes remain after the
+/// last record ([`DecodeCloudError::TrailingBytes`]).
 pub fn decode_cloud(mut buf: &[u8]) -> Result<GaussianCloud, DecodeCloudError> {
     if buf.remaining() < 13 {
         return Err(DecodeCloudError::Truncated);
@@ -121,7 +132,13 @@ pub fn decode_cloud(mut buf: &[u8]) -> Result<GaussianCloud, DecodeCloudError> {
     }
     let n_coeffs = basis_count(degree as usize);
     let record = (3 + 3 + 4 + 1 + 3 * n_coeffs) * 4;
-    if buf.remaining() < count * record {
+    // `count * record` can wrap on 32-bit `usize` (count comes straight
+    // from the wire), which would make a truncated buffer look big
+    // enough; a wrapped size also certainly exceeds any real buffer.
+    let needed = count
+        .checked_mul(record)
+        .ok_or(DecodeCloudError::Truncated)?;
+    if buf.remaining() < needed {
         return Err(DecodeCloudError::Truncated);
     }
 
@@ -152,6 +169,9 @@ pub fn decode_cloud(mut buf: &[u8]) -> Result<GaussianCloud, DecodeCloudError> {
                 degree: degree as usize,
             },
         });
+    }
+    if buf.remaining() > 0 {
+        return Err(DecodeCloudError::TrailingBytes(buf.remaining()));
     }
     Ok(cloud)
 }
@@ -198,6 +218,44 @@ mod tests {
         let cut = &bytes[..bytes.len() - 5];
         assert_eq!(decode_cloud(cut), Err(DecodeCloudError::Truncated));
         assert_eq!(decode_cloud(&bytes[..4]), Err(DecodeCloudError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let cloud = SynthParams {
+            gaussian_count: 3,
+            ..Default::default()
+        }
+        .build();
+        let mut bytes = encode_cloud(&cloud);
+        bytes.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+        assert_eq!(
+            decode_cloud(&bytes),
+            Err(DecodeCloudError::TrailingBytes(3))
+        );
+        // A whole extra record's worth of bytes is trailing garbage too:
+        // the declared count wins.
+        let record = (bytes.len() - 3 - 13) / 3;
+        let mut doubled = encode_cloud(&cloud);
+        doubled.extend_from_slice(&vec![0u8; record]);
+        assert_eq!(
+            decode_cloud(&doubled),
+            Err(DecodeCloudError::TrailingBytes(record))
+        );
+    }
+
+    #[test]
+    fn huge_count_rejected_without_wraparound() {
+        // A header declaring u32::MAX records must fail cleanly as
+        // truncated — on 32-bit targets the unchecked `count * record`
+        // multiply used to wrap and accept the short buffer.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.push(0); // degree
+        bytes.extend_from_slice(&[0u8; 64]); // far fewer than declared
+        assert_eq!(decode_cloud(&bytes), Err(DecodeCloudError::Truncated));
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Property-based tests on the functional pipeline: tiling, binning and
-//! projection invariants for arbitrary splats and cameras.
+//! projection invariants for arbitrary splats and cameras, plus the
+//! byte-identity contract of the exact-clipped rasterization fast path.
 
 use neo_math::{Vec2, Vec3};
-use neo_pipeline::{bin_to_tiles, subtile_bitmap, ProjectedGaussian, TileGrid};
+use neo_pipeline::{
+    bin_to_tiles, rasterize_tile, subtile_bitmap, Image, ProjectedGaussian, RenderConfig, TileGrid,
+};
 use neo_scene::{Camera, Gaussian, Resolution};
 use proptest::prelude::*;
 
@@ -25,7 +28,91 @@ fn arb_splat() -> impl Strategy<Value = ProjectedGaussian> {
         })
 }
 
+/// A splat with a well-formed (positive-definite, anisotropic) conic
+/// derived from a random 2D covariance — the realistic population for
+/// the fast-path parity check — with occasional degenerate poisoning
+/// (NaN opacity / NaN conic) to pin the skip-guard parity too.
+fn arb_blendable_splat() -> impl Strategy<Value = ProjectedGaussian> {
+    (
+        -60.0f32..220.0, // mean x (straddles the 150x100 image's borders)
+        -60.0f32..160.0, // mean y
+        0.3f32..400.0,   // cov xx (σ up to 20 px)
+        0.3f32..400.0,   // cov yy
+        -0.95f32..0.95,  // correlation
+        0.0f32..1.2,     // opacity (past the 0.99 clamp)
+        0.1f32..100.0,   // depth
+        0.0f32..300.0,   // binning radius: zero to image-dwarfing
+        0u8..24,         // degeneracy selector (0/1 poison the splat)
+    )
+        .prop_map(
+            |(x, y, sxx, syy, rho, opacity, depth, radius, degenerate)| {
+                let sxy = rho * (sxx * syy).sqrt();
+                let det = sxx * syy - sxy * sxy;
+                let mut conic = (syy / det, -sxy / det, sxx / det);
+                let mut opacity = opacity;
+                match degenerate {
+                    0 => opacity = f32::NAN,
+                    1 => conic.0 = f32::NAN,
+                    _ => {}
+                }
+                ProjectedGaussian {
+                    id: 0,
+                    mean2d: Vec2::new(x, y),
+                    depth,
+                    conic,
+                    radius,
+                    color: Vec3::new(0.8, 0.4, 0.2),
+                    opacity,
+                }
+            },
+        )
+}
+
 proptest! {
+    /// The exact-clipped row-interval fast path is byte-identical to the
+    /// legacy every-pixel loop: same pixels, same counters (pixel_visits
+    /// excepted, and never more of them), over random splat mixes —
+    /// splats straddling tile borders, subtiling on and off, zero and
+    /// huge radii, cutoff-grazing opacities, and non-finite poison.
+    #[test]
+    fn raster_fast_path_is_byte_identical_to_legacy(
+        mut splats in prop::collection::vec(arb_blendable_splat(), 0..30),
+        subtiling in any::<bool>(),
+    ) {
+        for (i, s) in splats.iter_mut().enumerate() {
+            s.id = i as u32;
+        }
+        splats.sort_by(|a, b| a.depth.total_cmp(&b.depth));
+        let ordered: Vec<&ProjectedGaussian> = splats.iter().collect();
+        // 150x100 at 32-px tiles: interior tiles plus clipped border
+        // tiles (22 and 4 px wide), so spans clamp against real edges.
+        let grid = TileGrid::new(150, 100, 32);
+        let fast_cfg = RenderConfig {
+            tile_size: 32,
+            subtiling,
+            ..Default::default()
+        };
+        let legacy_cfg = RenderConfig {
+            raster_fast_path: false,
+            ..fast_cfg.clone()
+        };
+        let mut fast_img = Image::new(150, 100, Vec3::ZERO);
+        let mut legacy_img = Image::new(150, 100, Vec3::ZERO);
+        for tile in 0..grid.tile_count() {
+            let fast = rasterize_tile(&mut fast_img, &grid, tile, &ordered, &fast_cfg);
+            let legacy = rasterize_tile(&mut legacy_img, &grid, tile, &ordered, &legacy_cfg);
+            prop_assert_eq!(fast.blend_ops, legacy.blend_ops, "tile {}", tile);
+            prop_assert_eq!(fast.saturated_pixels, legacy.saturated_pixels, "tile {}", tile);
+            prop_assert_eq!(fast.zero_coverage, legacy.zero_coverage, "tile {}", tile);
+            prop_assert!(
+                fast.pixel_visits <= legacy.pixel_visits,
+                "tile {}: fast path visited more pixels ({} > {})",
+                tile, fast.pixel_visits, legacy.pixel_visits
+            );
+        }
+        prop_assert_eq!(&fast_img, &legacy_img);
+    }
+
     #[test]
     fn binning_covers_every_overlapped_tile(mut splats in prop::collection::vec(arb_splat(), 0..60)) {
         // IDs must be unique to attribute tile hits per splat.
