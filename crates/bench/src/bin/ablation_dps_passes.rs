@@ -45,7 +45,7 @@ fn main() {
         let mut counted = 0u64;
         for i in 0..14 {
             let cam = sampler.frame(i);
-            let (gt, _) = render_reference(&cloud, &cam, &gt_cfg);
+            let (gt, _) = render_reference(cloud.as_ref(), &cam, &gt_cfg);
             let fr = session.render_frame(&cam).expect("trajectory camera");
             if i >= 4 {
                 let p = psnr(&gt, &fr.image.expect("image")).min(60.0);

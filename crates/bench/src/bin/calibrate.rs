@@ -11,6 +11,7 @@ fn main() {
                 frames: 10,
                 scale: 0.01,
                 speed: 1.0,
+                ..Default::default()
             }));
             println!(
                 "{:<12} {:>4}: N={:>9} proj={:>9} dup={:>10} tiles/g={:.2} occ={:>4} inc={:>8} out={:>8} table={:>10}",

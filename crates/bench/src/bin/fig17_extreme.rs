@@ -26,6 +26,7 @@ fn main() {
             frames: 30,
             scale: 0.002,
             speed: 1.0,
+            ..Default::default()
         });
         let fps: Vec<f64> = [&orin as &dyn Device, &gscore, &neo]
             .iter()

@@ -39,6 +39,7 @@ fn latency_series(kind: StrategyKind) -> Vec<f64> {
         frames: FRAMES,
         scale,
         speed: 1.0,
+        ..Default::default()
     });
     // Re-run the per-tile sorters with this strategy to get its sorting
     // traffic per frame.
@@ -95,7 +96,7 @@ fn psnr_series(kind: StrategyKind) -> Vec<f64> {
     (0..FRAMES)
         .map(|i| {
             let cam = sampler.frame(i);
-            let (gt, _) = render_reference(&cloud, &cam, &gt_cfg);
+            let (gt, _) = render_reference(cloud.as_ref(), &cam, &gt_cfg);
             let fr = session.render_frame(&cam).expect("trajectory camera");
             psnr(&gt, &fr.image.expect("image enabled")).min(60.0)
         })

@@ -64,7 +64,7 @@ fn main() {
         let mut counted = 0.0;
         for i in 0..FRAMES {
             let cam = sampler.frame(i);
-            let (gt, _) = render_reference(&cloud, &cam, &gt_cfg);
+            let (gt, _) = render_reference(cloud.as_ref(), &cam, &gt_cfg);
             let fb = base
                 .render_frame(&cam)
                 .expect("trajectory camera")

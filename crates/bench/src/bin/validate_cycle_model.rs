@@ -30,6 +30,7 @@ fn main() {
         frames: 10,
         scale: 0.01,
         speed: 1.0,
+        ..Default::default()
     }));
     let mean_table = (w.table_entries / w.occupied_tiles.max(1)) as u32;
     let tables = vec![mean_table; w.occupied_tiles as usize];

@@ -2,6 +2,7 @@
 
 use crate::{NeoError, NeoResult};
 use neo_math::Vec3;
+use neo_scene::StorageFormat;
 use neo_sort::dps::DpsConfig;
 use neo_sort::strategies::SorterConfig;
 use neo_sort::warm::WarmStartConfig;
@@ -102,6 +103,13 @@ pub struct RendererConfig {
     /// order across frames and repairs it instead of re-sorting. See
     /// [`RendererConfig::with_temporal_cache`].
     pub temporal_cache: Option<WarmStartConfig>,
+    /// Splat storage backend (default [`StorageFormat::AosF32`]): how the
+    /// engine lays out the scene's feature records, and therefore how
+    /// many bytes the traffic ledger charges per splat read. `SoaF32`
+    /// renders byte-identically to the default; `Compact` quantizes
+    /// (f16/u8/packed quaternions) for less than half the record size.
+    /// See [`RendererConfig::with_storage`].
+    pub storage: StorageFormat,
 }
 
 impl Default for RendererConfig {
@@ -116,6 +124,7 @@ impl Default for RendererConfig {
             deferred_depth_update: true,
             parallelism: Parallelism::Serial,
             temporal_cache: None,
+            storage: StorageFormat::AosF32,
         }
     }
 }
@@ -266,6 +275,25 @@ impl RendererConfig {
         self
     }
 
+    /// Selects the splat storage backend the engine builds the scene
+    /// into. [`StorageFormat::SoaF32`] stores the same f32 bits planar —
+    /// output stays byte-identical to the default AoS while the DRAM
+    /// stream model becomes plane-shaped. [`StorageFormat::Compact`]
+    /// quantizes to f16 means/scales/SH, u8 opacity, and packed
+    /// quaternions, cutting per-splat record bytes by more than half at a
+    /// small PSNR cost (measured by the `fig_formats` bench).
+    ///
+    /// ```
+    /// use neo_core::{RendererConfig, StorageFormat};
+    /// let cfg = RendererConfig::default().with_storage(StorageFormat::Compact);
+    /// assert_eq!(cfg.storage, StorageFormat::Compact);
+    /// ```
+    #[must_use]
+    pub fn with_storage(mut self, storage: StorageFormat) -> Self {
+        self.storage = storage;
+        self
+    }
+
     /// The clamped worker count a session will actually use per frame.
     #[must_use]
     pub fn effective_threads(&self) -> usize {
@@ -364,6 +392,17 @@ mod tests {
         assert!(!cfg.raster_fast_path);
         assert!(cfg.validate().is_ok(), "legacy loop is a valid config");
         assert!(cfg.with_raster_fast_path(true).raster_fast_path);
+    }
+
+    #[test]
+    fn storage_defaults_to_aos_and_chains() {
+        let cfg = RendererConfig::default();
+        assert_eq!(cfg.storage, StorageFormat::AosF32);
+        for format in StorageFormat::ALL {
+            let cfg = RendererConfig::default().with_storage(format);
+            assert_eq!(cfg.storage, format);
+            assert!(cfg.validate().is_ok(), "all storage formats are valid");
+        }
     }
 
     #[test]

@@ -46,10 +46,12 @@ use crate::{
     TileLoad,
 };
 use neo_pipeline::{
-    bin_to_tiles, project_cloud, FrameStats, Image, ProjectedGaussian, RenderConfig, ShardScratch,
-    Stage, TileGrid, TileRasterStats, TrafficLedger,
+    bin_to_tiles, project_storage, FrameStats, Image, ProjectedGaussian, RenderConfig,
+    ShardScratch, Stage, TileGrid, TileRasterStats, TrafficLedger,
 };
-use neo_scene::{Camera, FrameSampler, GaussianCloud};
+use neo_scene::{
+    Camera, CloudStorage, CompactCloud, FrameSampler, GaussianCloud, SoaCloud, StorageFormat,
+};
 use neo_sort::strategies::{SorterConfig, StrategyKind};
 use neo_sort::warm::{WarmStartConfig, WarmStartSorter};
 use neo_sort::{SortCost, SortingStrategy};
@@ -268,11 +270,11 @@ pub(crate) fn render_frame_core(
     state: &mut TileState,
     factory: &StrategyFactory,
     config: &RendererConfig,
-    cloud: &GaussianCloud,
+    storage: &dyn CloudStorage,
     cam: &Camera,
 ) -> FrameResult {
     let plan = ShardPlan::balanced(config.effective_threads());
-    render_frame_core_with_plan(state, factory, config, cloud, cam, &plan)
+    render_frame_core_with_plan(state, factory, config, storage, cam, &plan)
 }
 
 /// Renders one frame with an explicit shard plan.
@@ -288,16 +290,16 @@ pub(crate) fn render_frame_core_with_plan(
     state: &mut TileState,
     factory: &StrategyFactory,
     config: &RendererConfig,
-    cloud: &GaussianCloud,
+    storage: &dyn CloudStorage,
     cam: &Camera,
     plan: &ShardPlan,
 ) -> FrameResult {
     let grid = state.ensure_grid(cam, config.tile_size);
-    let projected = project_cloud(cam, cloud);
+    let projected = project_storage(cam, storage);
     let assignments = bin_to_tiles(&grid, &projected);
 
     // ID → projected-splat lookup for rasterization.
-    let mut by_id: Vec<Option<usize>> = vec![None; cloud.len()];
+    let mut by_id: Vec<Option<usize>> = vec![None; storage.len()];
     for (i, p) in projected.iter().enumerate() {
         by_id[p.id as usize] = Some(i);
     }
@@ -318,16 +320,20 @@ pub(crate) fn render_frame_core_with_plan(
     };
 
     let mut stats = FrameStats {
-        input: cloud.len(),
+        input: storage.len(),
         projected: projected.len(),
         duplicates: assignments.total_assignments(),
         occupied_tiles: occupied.len(),
         ..Default::default()
     };
-    let feature_bytes = cloud.feature_record_bytes() as u64;
-    stats
-        .traffic
-        .read(Stage::FeatureExtraction, cloud.len() as u64 * feature_bytes);
+    // Charge the *actual* per-record size of the configured storage
+    // backend: compact records are less than half the f32 size, and the
+    // ledger is how that saving reaches the DRAM traffic model.
+    let feature_bytes = storage.record_bytes() as u64;
+    stats.traffic.read(
+        Stage::FeatureExtraction,
+        storage.len() as u64 * feature_bytes,
+    );
 
     let raster_cfg = RenderConfig {
         tile_size: config.tile_size,
@@ -599,8 +605,17 @@ impl RenderEngineBuilder {
             Some(warm) => factory.warmed(warm),
             None => factory,
         };
+        // Build the configured storage backend once, at engine
+        // construction; sessions share it behind the Arc. The AoS format
+        // reuses the scene allocation directly.
+        let storage: Arc<dyn CloudStorage> = match self.config.storage {
+            StorageFormat::AosF32 => scene.clone(),
+            StorageFormat::SoaF32 => Arc::new(SoaCloud::from_cloud(&scene)),
+            StorageFormat::Compact => Arc::new(CompactCloud::from_cloud(&scene)),
+        };
         Ok(RenderEngine {
             scene,
+            storage,
             config: self.config,
             factory,
         })
@@ -617,6 +632,7 @@ impl RenderEngineBuilder {
 #[derive(Debug)]
 pub struct RenderEngine {
     scene: Arc<GaussianCloud>,
+    storage: Arc<dyn CloudStorage>,
     config: RendererConfig,
     factory: StrategyFactory,
 }
@@ -635,6 +651,7 @@ impl RenderEngine {
     pub fn session(&self) -> RenderSession {
         RenderSession {
             scene: Arc::clone(&self.scene),
+            storage: Arc::clone(&self.storage),
             config: self.config.clone(),
             factory: self.factory.clone(),
             state: TileState::default(),
@@ -644,6 +661,15 @@ impl RenderEngine {
     /// The shared scene.
     pub fn scene(&self) -> &Arc<GaussianCloud> {
         &self.scene
+    }
+
+    /// The storage backend the engine renders from ([`RendererConfig::storage`]).
+    ///
+    /// For [`StorageFormat::AosF32`] this is the scene `Arc` itself; for
+    /// the planar and compact formats it is a re-encoded copy built at
+    /// [`RenderEngineBuilder::build`] time.
+    pub fn storage(&self) -> &Arc<dyn CloudStorage> {
+        &self.storage
     }
 
     /// The validated configuration.
@@ -669,6 +695,7 @@ impl RenderEngine {
 #[derive(Debug)]
 pub struct RenderSession {
     scene: Arc<GaussianCloud>,
+    storage: Arc<dyn CloudStorage>,
     config: RendererConfig,
     factory: StrategyFactory,
     state: TileState,
@@ -688,7 +715,7 @@ impl RenderSession {
             &mut self.state,
             &self.factory,
             &self.config,
-            &self.scene,
+            self.storage.as_ref(),
             cam,
         ))
     }
@@ -738,7 +765,7 @@ impl RenderSession {
             &mut self.state,
             &self.factory,
             &self.config,
-            &self.scene,
+            self.storage.as_ref(),
             cam,
             plan,
         ))
@@ -800,6 +827,12 @@ impl RenderSession {
     /// The shared scene this session renders.
     pub fn scene(&self) -> &Arc<GaussianCloud> {
         &self.scene
+    }
+
+    /// The storage backend this session reads splats from — see
+    /// [`RenderEngine::storage`].
+    pub fn storage(&self) -> &Arc<dyn CloudStorage> {
+        &self.storage
     }
 
     /// The session's configuration.
@@ -1153,6 +1186,75 @@ mod tests {
                 .unwrap();
             assert_eq!(serial, sharded, "seed assignment raced (round {round})");
         }
+    }
+
+    #[test]
+    fn soa_storage_renders_byte_identically_to_aos() {
+        let scene = Arc::new(ScenePreset::Family.build_scaled(0.002));
+        let sampler = small_sampler();
+        let aos = RenderEngine::builder()
+            .scene(Arc::clone(&scene))
+            .config(RendererConfig::default().with_tile_size(32))
+            .build()
+            .unwrap();
+        let soa = RenderEngine::builder()
+            .scene(Arc::clone(&scene))
+            .config(
+                RendererConfig::default()
+                    .with_tile_size(32)
+                    .with_storage(StorageFormat::SoaF32),
+            )
+            .build()
+            .unwrap();
+        assert_eq!(soa.storage().format(), StorageFormat::SoaF32);
+        let mut a = aos.session();
+        let mut b = soa.session();
+        for i in 0..3 {
+            let cam = sampler.frame(i);
+            assert_eq!(
+                a.render_frame(&cam).unwrap(),
+                b.render_frame(&cam).unwrap(),
+                "SoA diverged from AoS on frame {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn aos_storage_is_the_scene_arc_itself() {
+        let engine = small_engine();
+        assert_eq!(engine.storage().format(), StorageFormat::AosF32);
+        assert_eq!(engine.storage().len(), engine.scene().len());
+        let session = engine.session();
+        assert_eq!(session.storage().format(), StorageFormat::AosF32);
+    }
+
+    #[test]
+    fn compact_storage_charges_smaller_feature_reads() {
+        let scene = Arc::new(ScenePreset::Family.build_scaled(0.002));
+        let cam = small_sampler().frame(0);
+        let render = |format: StorageFormat| {
+            RenderEngine::builder()
+                .scene(Arc::clone(&scene))
+                .config(
+                    RendererConfig::default()
+                        .with_tile_size(32)
+                        .with_storage(format),
+                )
+                .build()
+                .unwrap()
+                .session()
+                .render_frame(&cam)
+                .unwrap()
+        };
+        let aos = render(StorageFormat::AosF32);
+        let compact = render(StorageFormat::Compact);
+        let stage = Stage::FeatureExtraction;
+        let aos_read = aos.stats.traffic.reads(stage);
+        let compact_read = compact.stats.traffic.reads(stage);
+        assert!(
+            compact_read * 2 <= aos_read,
+            "compact feature reads {compact_read} not ≥2× below {aos_read}"
+        );
     }
 
     #[test]

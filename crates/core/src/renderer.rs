@@ -104,6 +104,10 @@ impl SplatRenderer {
     /// Gaussian IDs must be stable across frames (the same cloud, or at
     /// least stable indices) — reuse is keyed on IDs.
     ///
+    /// The legacy API takes the cloud per call, so it always renders from
+    /// f32 AoS records and ignores [`RendererConfig::storage`]; use
+    /// [`crate::RenderEngine`] to render from planar or compact storage.
+    ///
     /// Like the configuration clamps, degenerate cameras are absorbed
     /// rather than reported: a zero-pixel resolution (where the engine
     /// would return [`crate::NeoError::DegenerateCamera`]) yields an

@@ -24,6 +24,7 @@
 #![deny(missing_docs)]
 
 mod aabb;
+pub mod f16;
 mod mat;
 mod quat;
 pub mod sh;

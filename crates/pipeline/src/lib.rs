@@ -40,7 +40,7 @@ pub use binning::{bin_to_tiles, diff_tile_population, TileAssignments, TilePopul
 pub use culling::{cull_cloud, CullResult};
 pub use framebuffer::Image;
 pub use pipeline::{render_reference, RenderConfig, TileRasterStats};
-pub use projection::{project_cloud, project_gaussian, ProjectedGaussian};
+pub use projection::{project_cloud, project_gaussian, project_storage, ProjectedGaussian};
 pub use scratch::{RasterScratch, ShardScratch};
 pub use stats::{FrameStats, Stage, TrafficLedger};
 pub use tiles::{subtile_bitmap, TileGrid, SUBTILES_PER_TILE, SUBTILE_SIZE};

@@ -6,12 +6,12 @@
 
 use crate::binning::bin_to_tiles;
 use crate::framebuffer::Image;
-use crate::projection::{project_cloud, ProjectedGaussian};
+use crate::projection::{project_storage, ProjectedGaussian};
 use crate::scratch::RasterScratch;
 use crate::stats::{FrameStats, Stage};
 use crate::tiles::{subtile_bitmap, TileGrid, SUBTILE_SIZE};
 use neo_math::{Vec2, Vec3};
-use neo_scene::{Camera, GaussianCloud};
+use neo_scene::{Camera, CloudStorage};
 
 /// Default transmittance threshold below which a pixel is considered
 /// saturated and blending stops (the reference implementation's 1/255).
@@ -438,13 +438,17 @@ impl CutoffEllipse {
 ///
 /// Returns the image and the frame statistics, including a DRAM-traffic
 /// ledger computed with the same accounting rules the performance models
-/// use (entries are 8 bytes: 4-byte ID + 4-byte depth key).
+/// use (entries are 8 bytes: 4-byte ID + 4-byte depth key). Feature reads
+/// are charged at the storage backend's actual record size
+/// ([`CloudStorage::record_bytes`]) rather than a hardcoded f32 layout.
+///
+/// Accepts any storage backend; a plain `&GaussianCloud` coerces.
 pub fn render_reference(
-    cloud: &GaussianCloud,
+    cloud: &dyn CloudStorage,
     cam: &Camera,
     config: &RenderConfig,
 ) -> (Image, FrameStats) {
-    let projected = project_cloud(cam, cloud);
+    let projected = project_storage(cam, cloud);
     let grid = TileGrid::new(cam.width, cam.height, config.tile_size);
     let assignments = bin_to_tiles(&grid, &projected);
 
@@ -468,7 +472,7 @@ pub fn render_reference(
     // features are read once per Gaussian for projection, per-tile entries
     // are written out and re-read by sorting and rasterization.
     let entry_bytes = 8u64;
-    let feature_bytes = cloud.feature_record_bytes() as u64;
+    let feature_bytes = cloud.record_bytes() as u64;
     stats
         .traffic
         .read(Stage::FeatureExtraction, cloud.len() as u64 * feature_bytes);
@@ -516,7 +520,7 @@ pub fn render_reference(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use neo_scene::{Gaussian, Resolution};
+    use neo_scene::{Gaussian, GaussianCloud, Resolution};
 
     fn cam(w: u32, h: u32) -> Camera {
         Camera::look_at(

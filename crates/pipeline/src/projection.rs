@@ -8,7 +8,7 @@
 
 use crate::culling::in_frustum;
 use neo_math::{Mat3, Vec2, Vec3};
-use neo_scene::{Camera, Gaussian, GaussianCloud};
+use neo_scene::{Camera, CloudStorage, Gaussian, GaussianCloud};
 
 /// Low-pass dilation added to the 2D covariance diagonal (antialiasing),
 /// matching the reference implementation's 0.3 px².
@@ -146,6 +146,24 @@ pub fn project_cloud(cam: &Camera, cloud: &GaussianCloud) -> Vec<ProjectedGaussi
         .collect()
 }
 
+/// [`project_cloud`] over any [`CloudStorage`] backend: packed records
+/// are decoded on the fly, and the output order still matches storage
+/// order (IDs ascending).
+///
+/// For the AoS backend this performs exactly the same arithmetic on
+/// exactly the same f32 values as [`project_cloud`], so results are
+/// bit-identical.
+pub fn project_storage(cam: &Camera, storage: &dyn CloudStorage) -> Vec<ProjectedGaussian> {
+    let view = cam.view_matrix();
+    let mut out = Vec::new();
+    storage.visit(&mut |id, g| {
+        if let Some(p) = project_gaussian_with_view(cam, &view, id, g) {
+            out.push(p);
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +267,25 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].id, 0);
         assert_eq!(out[1].id, 2);
+    }
+
+    #[test]
+    fn project_storage_matches_project_cloud_exactly() {
+        let cam = test_camera();
+        let cloud = neo_scene::synth::SynthParams {
+            gaussian_count: 300,
+            ..Default::default()
+        }
+        .build();
+        let aos = project_cloud(&cam, &cloud);
+        assert_eq!(project_storage(&cam, &cloud), aos);
+        // The planar backend stores identical f32 bits → identical output.
+        let soa = neo_scene::SoaCloud::from_cloud(&cloud);
+        assert_eq!(project_storage(&cam, &soa), aos);
+        // The compact backend is lossy but must cull/project plausibly.
+        let compact = neo_scene::CompactCloud::from_cloud(&cloud);
+        let pc = project_storage(&cam, &compact);
+        let visible = aos.len() as f32;
+        assert!((pc.len() as f32 - visible).abs() <= visible * 0.02 + 2.0);
     }
 }

@@ -85,6 +85,19 @@ impl GaussianCloud {
         12 + 12 + 16 + 4 + sh_bytes
     }
 
+    /// Highest SH degree used by any Gaussian (0 for an empty cloud).
+    ///
+    /// Serialization and the packed storage backends homogenize mixed
+    /// clouds to this degree (zero-padding the missing coefficients) so
+    /// no coefficient is ever truncated.
+    pub fn max_sh_degree(&self) -> usize {
+        self.gaussians
+            .iter()
+            .map(|g| g.sh.degree)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Drops Gaussians failing [`Gaussian::is_valid`], returning how many
     /// were removed. IDs are reassigned (they are positional).
     pub fn retain_valid(&mut self) -> usize {
@@ -153,6 +166,18 @@ mod tests {
         let c: GaussianCloud = (0..1).map(|i| probe(i as f32)).collect();
         // degree-0 SH: 12 bytes; total = 44 + 12.
         assert_eq!(c.feature_record_bytes(), 56);
+    }
+
+    #[test]
+    fn max_sh_degree_scans_all_gaussians() {
+        let mut c = GaussianCloud::new();
+        assert_eq!(c.max_sh_degree(), 0);
+        c.push(probe(0.0)); // degree 0
+        let mut hi = probe(1.0);
+        hi.sh.degree = 2;
+        c.push(hi);
+        c.push(probe(2.0));
+        assert_eq!(c.max_sh_degree(), 2);
     }
 
     #[test]

@@ -1,17 +1,40 @@
 //! Compact binary (de)serialization of Gaussian clouds.
 //!
-//! The format (`NEOG` v1) is a dense little-endian record stream, close to
-//! how a renderer would lay out its off-chip feature table:
+//! Two wire versions share the `NEOG` magic:
 //!
 //! ```text
-//! magic   [u8; 4] = "NEOG"
-//! version u32     = 1
-//! count   u32
-//! degree  u8        (SH degree, 0..=3, uniform across the cloud)
-//! records count × { mean f32×3, scale f32×3, rot f32×4, opacity f32,
-//!                   sh f32×(3·basis_count(degree)) }
+//! v1 (AoS f32):
+//!   magic   [u8; 4] = "NEOG"
+//!   version u32     = 1
+//!   count   u32
+//!   degree  u8        (SH degree, 0..=3, homogenized to the cloud max)
+//!   records count × { mean f32×3, scale f32×3, rot f32×4, opacity f32,
+//!                     sh f32×(3·basis_count(degree)) }
+//!
+//! v2 (planar):
+//!   magic   [u8; 4] = "NEOG"
+//!   version u32     = 2
+//!   format  u8        (1 = soa-f32, 2 = compact; see `StorageFormat::tag`)
+//!   count   u32
+//!   degree  u8
+//!   planes  …         (see below)
 //! ```
+//!
+//! v2 `soa-f32` planes (all f32, each `count` long): mean x/y/z,
+//! scale x/y/z, rotation w/x/y/z, opacity, then `3·basis_count(degree)`
+//! SH planes channel-major. v2 `compact` planes: mean x/y/z and
+//! scale x/y/z as f16 (u16), rotation as smallest-three packed u32,
+//! opacity as u8, SH planes as f16. Compact payloads store quantized bits
+//! verbatim, so compact clouds round-trip losslessly.
+//!
+//! Decoding sanitizes records: a rotation that is non-finite or
+//! near-zero, or a non-finite opacity, is rejected; finite off-unit
+//! rotations are renormalized and finite out-of-range opacities clamped
+//! to `[0, 1]`, so every decoded cloud upholds the `Gaussian::is_valid`
+//! invariant the pipeline assumes (compact rotations/opacities are valid
+//! by construction).
 
+use crate::storage::{CloudStorage, CompactCloud, SoaCloud, StorageFormat};
 use crate::{Gaussian, GaussianCloud};
 use bytes::{Buf, BufMut};
 use neo_math::sh::{basis_count, ShCoefficients, MAX_COEFFS};
@@ -19,7 +42,38 @@ use neo_math::{Quat, Vec3};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"NEOG";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+/// Header size of v1 (v2 adds one format byte).
+const V1_HEADER: usize = 13;
+
+/// Rotations whose squared norm deviates from 1 by more than this are
+/// renormalized on decode; within it the stored bits pass through
+/// unchanged (preserving exact round-trips of already-unit quaternions).
+const QUAT_NORM_TOL: f32 = 1e-3;
+/// Below this squared norm a rotation carries no usable direction and the
+/// blob is rejected instead of renormalized.
+const QUAT_MIN_NORM_SQ: f32 = 1e-12;
+
+/// Errors produced when encoding a cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeCloudError {
+    /// The cloud holds more Gaussians than the u32 count header can
+    /// express; encoding would silently wrap the count.
+    TooManyGaussians(usize),
+}
+
+impl fmt::Display for EncodeCloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeCloudError::TooManyGaussians(n) => {
+                write!(f, "cloud has {n} Gaussians, more than a u32 count can hold")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeCloudError {}
 
 /// Errors produced when decoding a serialized cloud.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +82,8 @@ pub enum DecodeCloudError {
     BadMagic,
     /// The format version is not supported.
     UnsupportedVersion(u32),
+    /// The v2 storage-format tag is unknown.
+    BadFormat(u8),
     /// The SH degree field is out of range.
     BadDegree(u8),
     /// The buffer ended before all records were read.
@@ -38,6 +94,11 @@ pub enum DecodeCloudError {
     /// corrupted length field or a concatenation bug, so it is rejected
     /// rather than silently ignored.
     TrailingBytes(usize),
+    /// The record at this index stores a rotation with no usable
+    /// direction (non-finite components or a near-zero norm).
+    InvalidRotation(usize),
+    /// The record at this index stores a non-finite opacity.
+    InvalidOpacity(usize),
 }
 
 impl fmt::Display for DecodeCloudError {
@@ -47,10 +108,17 @@ impl fmt::Display for DecodeCloudError {
             DecodeCloudError::UnsupportedVersion(v) => {
                 write!(f, "unsupported NEOG version {v}")
             }
+            DecodeCloudError::BadFormat(t) => write!(f, "unknown NEOG v2 format tag {t}"),
             DecodeCloudError::BadDegree(d) => write!(f, "invalid SH degree {d}"),
             DecodeCloudError::Truncated => write!(f, "unexpected end of buffer"),
             DecodeCloudError::TrailingBytes(n) => {
                 write!(f, "{n} trailing byte(s) after the last record")
+            }
+            DecodeCloudError::InvalidRotation(i) => {
+                write!(f, "record {i} has a degenerate rotation quaternion")
+            }
+            DecodeCloudError::InvalidOpacity(i) => {
+                write!(f, "record {i} has a non-finite opacity")
             }
         }
     }
@@ -58,10 +126,74 @@ impl fmt::Display for DecodeCloudError {
 
 impl std::error::Error for DecodeCloudError {}
 
-/// Serializes a cloud to bytes.
+/// A decoded `NEOG` blob, still in its stored backend.
 ///
-/// Every Gaussian is written with the degree of the *first* Gaussian; mixed
-/// degrees are homogenized by zero-padding or truncation.
+/// [`decode_storage`] returns this so packed payloads are usable without
+/// an intermediate f32 expansion; [`StoredCloud::into_cloud`] converts to
+/// AoS when a plain [`GaussianCloud`] is wanted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoredCloud {
+    /// v1 payload (interleaved f32).
+    Aos(GaussianCloud),
+    /// v2 planar f32 payload.
+    Soa(SoaCloud),
+    /// v2 quantized payload.
+    Compact(CompactCloud),
+}
+
+impl StoredCloud {
+    /// The backend this blob was stored in.
+    pub fn format(&self) -> StorageFormat {
+        self.as_storage().format()
+    }
+
+    /// Borrows the payload as the pipeline-facing storage trait.
+    pub fn as_storage(&self) -> &dyn CloudStorage {
+        match self {
+            StoredCloud::Aos(c) => c,
+            StoredCloud::Soa(c) => c,
+            StoredCloud::Compact(c) => c,
+        }
+    }
+
+    /// Decodes to an AoS cloud (cheap move for v1 payloads).
+    pub fn into_cloud(self) -> GaussianCloud {
+        match self {
+            StoredCloud::Aos(c) => c,
+            StoredCloud::Soa(c) => c.to_cloud(),
+            StoredCloud::Compact(c) => c.to_cloud(),
+        }
+    }
+}
+
+/// Writes the common header, failing when `count` does not fit the u32
+/// count field (a wrapped count would decode "successfully" as the wrong
+/// cloud). `format` is `None` for v1, which has no format byte.
+fn write_header(
+    out: &mut Vec<u8>,
+    version: u32,
+    format: Option<StorageFormat>,
+    count: usize,
+    degree: usize,
+) -> Result<(), EncodeCloudError> {
+    let count32 = u32::try_from(count).map_err(|_| EncodeCloudError::TooManyGaussians(count))?;
+    out.put_slice(MAGIC);
+    out.put_u32_le(version);
+    if let Some(f) = format {
+        out.put_u8(f.tag());
+    }
+    out.put_u32_le(count32);
+    out.put_u8(degree as u8);
+    Ok(())
+}
+
+/// Serializes a cloud to `NEOG` v1 bytes.
+///
+/// Every Gaussian is written at the *maximum* SH degree present in the
+/// cloud, zero-padding lower-degree records, so no coefficient is ever
+/// truncated and encode→decode round-trips losslessly. (Decoded Gaussians
+/// of a mixed-degree cloud carry the homogenized degree; the padded
+/// coefficients are zero, which does not change evaluated colors.)
 ///
 /// ```
 /// use neo_scene::{io, GaussianCloud, Gaussian};
@@ -74,16 +206,27 @@ impl std::error::Error for DecodeCloudError {}
 /// assert_eq!(back.len(), 1);
 /// # Ok::<(), io::DecodeCloudError>(())
 /// ```
+///
+/// # Panics
+///
+/// Panics when the cloud holds ≥ 2³² Gaussians (the count header is a
+/// `u32`); use [`try_encode_cloud`] to handle that case fallibly.
 pub fn encode_cloud(cloud: &GaussianCloud) -> Vec<u8> {
-    let degree = cloud.gaussians().first().map(|g| g.sh.degree).unwrap_or(0);
+    try_encode_cloud(cloud).expect("cloud exceeds the u32 count header")
+}
+
+/// Fallible form of [`encode_cloud`].
+///
+/// # Errors
+///
+/// Returns [`EncodeCloudError::TooManyGaussians`] when the count does not
+/// fit the u32 header field.
+pub fn try_encode_cloud(cloud: &GaussianCloud) -> Result<Vec<u8>, EncodeCloudError> {
+    let degree = cloud.max_sh_degree();
     let n_coeffs = basis_count(degree);
     let record = (3 + 3 + 4 + 1 + 3 * n_coeffs) * 4;
-    let mut out = Vec::with_capacity(13 + cloud.len() * record);
-
-    out.put_slice(MAGIC);
-    out.put_u32_le(VERSION);
-    out.put_u32_le(cloud.len() as u32);
-    out.put_u8(degree as u8);
+    let mut out = Vec::with_capacity(V1_HEADER + cloud.len() * record);
+    write_header(&mut out, VERSION_V1, None, cloud.len(), degree)?;
 
     for (_, g) in cloud.iter() {
         for v in [
@@ -101,19 +244,139 @@ pub fn encode_cloud(cloud: &GaussianCloud) -> Vec<u8> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
-/// Deserializes a cloud previously produced by [`encode_cloud`].
+/// Serializes a cloud in the chosen storage format: v1 for
+/// [`StorageFormat::AosF32`], v2 planes otherwise. Quantization for
+/// [`StorageFormat::Compact`] happens here (via
+/// [`CompactCloud::from_cloud`]).
+///
+/// # Errors
+///
+/// Returns [`EncodeCloudError::TooManyGaussians`] when the count does not
+/// fit the u32 header field.
+pub fn try_encode_cloud_as(
+    cloud: &GaussianCloud,
+    format: StorageFormat,
+) -> Result<Vec<u8>, EncodeCloudError> {
+    match format {
+        StorageFormat::AosF32 => try_encode_cloud(cloud),
+        StorageFormat::SoaF32 => encode_storage(&StoredCloud::Soa(SoaCloud::from_cloud(cloud))),
+        StorageFormat::Compact => {
+            encode_storage(&StoredCloud::Compact(CompactCloud::from_cloud(cloud)))
+        }
+    }
+}
+
+/// Serializes an already-materialized storage backend without
+/// re-quantizing: compact payloads are written bit-for-bit from the
+/// stored planes.
+///
+/// # Errors
+///
+/// Returns [`EncodeCloudError::TooManyGaussians`] when the count does not
+/// fit the u32 header field.
+pub fn encode_storage(stored: &StoredCloud) -> Result<Vec<u8>, EncodeCloudError> {
+    match stored {
+        StoredCloud::Aos(cloud) => try_encode_cloud(cloud),
+        StoredCloud::Soa(soa) => {
+            let mut out = Vec::with_capacity(
+                V1_HEADER + 1 + soa.len * StorageFormat::SoaF32.record_bytes(soa.degree),
+            );
+            write_header(
+                &mut out,
+                VERSION_V2,
+                Some(StorageFormat::SoaF32),
+                soa.len,
+                soa.degree,
+            )?;
+            for plane in soa.mean.iter().chain(&soa.scale).chain(&soa.rot) {
+                for &v in plane {
+                    out.put_f32_le(v);
+                }
+            }
+            for &v in &soa.opacity {
+                out.put_f32_le(v);
+            }
+            for &v in &soa.sh {
+                out.put_f32_le(v);
+            }
+            Ok(out)
+        }
+        StoredCloud::Compact(c) => {
+            let mut out = Vec::with_capacity(
+                V1_HEADER + 1 + c.len * StorageFormat::Compact.record_bytes(c.degree),
+            );
+            write_header(
+                &mut out,
+                VERSION_V2,
+                Some(StorageFormat::Compact),
+                c.len,
+                c.degree,
+            )?;
+            for plane in c.mean.iter().chain(&c.scale) {
+                for &v in plane {
+                    out.put_u16_le(v);
+                }
+            }
+            for &v in &c.rot {
+                out.put_u32_le(v);
+            }
+            out.put_slice(&c.opacity);
+            for &v in &c.sh {
+                out.put_u16_le(v);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Validates and repairs one decoded record's rotation and opacity.
+fn sanitize_record(
+    index: usize,
+    rotation: Quat,
+    opacity: f32,
+) -> Result<(Quat, f32), DecodeCloudError> {
+    let n2 = rotation.norm_squared();
+    if !n2.is_finite() || n2 < QUAT_MIN_NORM_SQ {
+        return Err(DecodeCloudError::InvalidRotation(index));
+    }
+    let rotation = if (n2 - 1.0).abs() > QUAT_NORM_TOL {
+        rotation.normalized()
+    } else {
+        rotation
+    };
+    if !opacity.is_finite() {
+        return Err(DecodeCloudError::InvalidOpacity(index));
+    }
+    Ok((rotation, opacity.clamp(0.0, 1.0)))
+}
+
+/// Deserializes a cloud previously produced by any of the encoders,
+/// expanding packed payloads to AoS f32. Use [`decode_storage`] to keep
+/// the stored backend.
 ///
 /// # Errors
 ///
 /// Returns a [`DecodeCloudError`] when the header is malformed, the
-/// buffer is shorter than the declared record count requires (including
-/// counts whose byte size overflows `usize`), or bytes remain after the
-/// last record ([`DecodeCloudError::TrailingBytes`]).
-pub fn decode_cloud(mut buf: &[u8]) -> Result<GaussianCloud, DecodeCloudError> {
-    if buf.remaining() < 13 {
+/// buffer length does not match the declared record count (including
+/// counts whose byte size overflows `usize`), bytes remain after the
+/// last record, or a record fails sanitization
+/// ([`DecodeCloudError::InvalidRotation`] /
+/// [`DecodeCloudError::InvalidOpacity`]).
+pub fn decode_cloud(buf: &[u8]) -> Result<GaussianCloud, DecodeCloudError> {
+    decode_storage(buf).map(StoredCloud::into_cloud)
+}
+
+/// Deserializes a `NEOG` blob into its stored backend without format
+/// conversion.
+///
+/// # Errors
+///
+/// Same conditions as [`decode_cloud`].
+pub fn decode_storage(mut buf: &[u8]) -> Result<StoredCloud, DecodeCloudError> {
+    if buf.remaining() < V1_HEADER {
         return Err(DecodeCloudError::Truncated);
     }
     let mut magic = [0u8; 4];
@@ -122,28 +385,49 @@ pub fn decode_cloud(mut buf: &[u8]) -> Result<GaussianCloud, DecodeCloudError> {
         return Err(DecodeCloudError::BadMagic);
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(DecodeCloudError::UnsupportedVersion(version));
+    match version {
+        VERSION_V1 => decode_v1(buf),
+        VERSION_V2 => decode_v2(buf),
+        other => Err(DecodeCloudError::UnsupportedVersion(other)),
+    }
+}
+
+/// Reads the `count`/`degree` trailer of a header and bounds-checks the
+/// payload size `count * record_bytes` against the remaining buffer.
+fn read_counts(
+    buf: &mut &[u8],
+    record_bytes_for: impl Fn(usize) -> usize,
+) -> Result<(usize, usize), DecodeCloudError> {
+    if buf.remaining() < 5 {
+        return Err(DecodeCloudError::Truncated);
     }
     let count = buf.get_u32_le() as usize;
     let degree = buf.get_u8();
     if degree > 3 {
         return Err(DecodeCloudError::BadDegree(degree));
     }
-    let n_coeffs = basis_count(degree as usize);
-    let record = (3 + 3 + 4 + 1 + 3 * n_coeffs) * 4;
+    let degree = degree as usize;
     // `count * record` can wrap on 32-bit `usize` (count comes straight
     // from the wire), which would make a truncated buffer look big
     // enough; a wrapped size also certainly exceeds any real buffer.
     let needed = count
-        .checked_mul(record)
+        .checked_mul(record_bytes_for(degree))
         .ok_or(DecodeCloudError::Truncated)?;
     if buf.remaining() < needed {
         return Err(DecodeCloudError::Truncated);
     }
+    if buf.remaining() > needed {
+        return Err(DecodeCloudError::TrailingBytes(buf.remaining() - needed));
+    }
+    Ok((count, degree))
+}
+
+fn decode_v1(mut buf: &[u8]) -> Result<StoredCloud, DecodeCloudError> {
+    let (count, degree) = read_counts(&mut buf, |d| StorageFormat::AosF32.record_bytes(d))?;
+    let n_coeffs = basis_count(degree);
 
     let mut cloud = GaussianCloud::new();
-    for _ in 0..count {
+    for index in 0..count {
         let mean = Vec3::new(buf.get_f32_le(), buf.get_f32_le(), buf.get_f32_le());
         let scale = Vec3::new(buf.get_f32_le(), buf.get_f32_le(), buf.get_f32_le());
         let rotation = Quat::new(
@@ -153,6 +437,7 @@ pub fn decode_cloud(mut buf: &[u8]) -> Result<GaussianCloud, DecodeCloudError> {
             buf.get_f32_le(),
         );
         let opacity = buf.get_f32_le();
+        let (rotation, opacity) = sanitize_record(index, rotation, opacity)?;
         let mut coeffs = [[0.0f32; MAX_COEFFS]; 3];
         for coeffs_c in coeffs.iter_mut() {
             for coeff in coeffs_c.iter_mut().take(n_coeffs) {
@@ -164,16 +449,82 @@ pub fn decode_cloud(mut buf: &[u8]) -> Result<GaussianCloud, DecodeCloudError> {
             scale,
             rotation,
             opacity,
-            sh: ShCoefficients {
-                coeffs,
-                degree: degree as usize,
-            },
+            sh: ShCoefficients { coeffs, degree },
         });
     }
-    if buf.remaining() > 0 {
-        return Err(DecodeCloudError::TrailingBytes(buf.remaining()));
+    Ok(StoredCloud::Aos(cloud))
+}
+
+fn read_f32_plane(buf: &mut &[u8], count: usize) -> Vec<f32> {
+    (0..count).map(|_| buf.get_f32_le()).collect()
+}
+
+fn read_u16_plane(buf: &mut &[u8], count: usize) -> Vec<u16> {
+    (0..count).map(|_| buf.get_u16_le()).collect()
+}
+
+fn decode_v2(mut buf: &[u8]) -> Result<StoredCloud, DecodeCloudError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeCloudError::Truncated);
     }
-    Ok(cloud)
+    let tag = buf.get_u8();
+    let format = StorageFormat::from_tag(tag).ok_or(DecodeCloudError::BadFormat(tag))?;
+    match format {
+        // v2 never carries AoS payloads; that's what v1 is.
+        StorageFormat::AosF32 => Err(DecodeCloudError::BadFormat(tag)),
+        StorageFormat::SoaF32 => {
+            let (count, degree) = read_counts(&mut buf, |d| StorageFormat::SoaF32.record_bytes(d))?;
+            let n = basis_count(degree);
+            let mut p = || read_f32_plane(&mut buf, count);
+            let mean = [p(), p(), p()];
+            let scale = [p(), p(), p()];
+            let mut rot = [p(), p(), p(), p()];
+            let mut opacity = p();
+            let sh = read_f32_plane(&mut buf, count * 3 * n);
+            for index in 0..count {
+                let q = Quat::new(rot[0][index], rot[1][index], rot[2][index], rot[3][index]);
+                let (q, o) = sanitize_record(index, q, opacity[index])?;
+                rot[0][index] = q.w;
+                rot[1][index] = q.x;
+                rot[2][index] = q.y;
+                rot[3][index] = q.z;
+                opacity[index] = o;
+            }
+            Ok(StoredCloud::Soa(SoaCloud {
+                len: count,
+                degree,
+                mean,
+                scale,
+                rot,
+                opacity,
+                sh,
+            }))
+        }
+        StorageFormat::Compact => {
+            let (count, degree) =
+                read_counts(&mut buf, |d| StorageFormat::Compact.record_bytes(d))?;
+            let n = basis_count(degree);
+            let mut p = || read_u16_plane(&mut buf, count);
+            let mean = [p(), p(), p()];
+            let scale = [p(), p(), p()];
+            let rot: Vec<u32> = (0..count).map(|_| buf.get_u32_le()).collect();
+            let mut opacity = vec![0u8; count];
+            buf.copy_to_slice(&mut opacity);
+            let sh = read_u16_plane(&mut buf, count * 3 * n);
+            // Every bit pattern is a valid compact record (any u32
+            // unpacks to a unit quaternion; u8 opacity is always in
+            // range), so no sanitization pass is needed.
+            Ok(StoredCloud::Compact(CompactCloud {
+                len: count,
+                degree,
+                mean,
+                scale,
+                rot,
+                opacity,
+                sh,
+            }))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -181,13 +532,18 @@ mod tests {
     use super::*;
     use crate::synth::SynthParams;
 
-    #[test]
-    fn roundtrip_preserves_cloud() {
-        let cloud = SynthParams {
-            gaussian_count: 200,
+    fn synth_cloud(n: usize, degree: usize) -> GaussianCloud {
+        SynthParams {
+            gaussian_count: n,
+            sh_degree: degree,
             ..Default::default()
         }
-        .build();
+        .build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_cloud() {
+        let cloud = synth_cloud(200, 1);
         let bytes = encode_cloud(&cloud);
         let back = decode_cloud(&bytes).unwrap();
         assert_eq!(cloud, back);
@@ -201,6 +557,152 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_all_formats() {
+        for degree in 0..=3 {
+            let cloud = synth_cloud(40, degree);
+            for format in StorageFormat::ALL {
+                let bytes = try_encode_cloud_as(&cloud, format).unwrap();
+                let stored = decode_storage(&bytes).unwrap();
+                assert_eq!(stored.format(), format, "degree {degree}");
+                assert_eq!(stored.as_storage().len(), cloud.len());
+                assert_eq!(stored.as_storage().sh_degree(), degree);
+                match format {
+                    StorageFormat::AosF32 => assert_eq!(stored.clone().into_cloud(), cloud),
+                    StorageFormat::SoaF32 => assert_eq!(stored.clone().into_cloud(), cloud),
+                    StorageFormat::Compact => {
+                        // Lossy vs the f32 source, but lossless as stored.
+                        let direct = CompactCloud::from_cloud(&cloud);
+                        assert_eq!(stored, StoredCloud::Compact(direct));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_storage_preserves_compact_bits() {
+        let cloud = synth_cloud(25, 2);
+        let compact = CompactCloud::from_cloud(&cloud);
+        let bytes = encode_storage(&StoredCloud::Compact(compact.clone())).unwrap();
+        match decode_storage(&bytes).unwrap() {
+            StoredCloud::Compact(back) => assert_eq!(back, compact),
+            other => panic!("wrong backend {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_degree_cloud_roundtrips_at_max_degree() {
+        // Regression: encoding used to homogenize to the *first* record's
+        // degree, silently truncating higher-degree coefficients.
+        let mut cloud = synth_cloud(3, 0);
+        let mut hi = cloud.gaussians()[0].clone();
+        hi.sh.degree = 2;
+        hi.sh.coeffs[0][5] = 0.625; // exactly representable, survives f16 too
+        hi.sh.coeffs[2][8] = -0.125;
+        cloud.push(hi);
+        let back = decode_cloud(&encode_cloud(&cloud)).unwrap();
+        assert_eq!(back.len(), cloud.len());
+        let last = &back.gaussians()[3];
+        assert_eq!(last.sh.degree, 2);
+        assert_eq!(last.sh.coeffs[0][5], 0.625);
+        assert_eq!(last.sh.coeffs[2][8], -0.125);
+        // Low-degree records are zero-padded, never truncated.
+        assert!(back.gaussians()[0].sh.coeffs[0][5] == 0.0);
+        // The padded records compare equal on every stored coefficient.
+        for (orig, dec) in cloud.gaussians().iter().zip(back.gaussians()) {
+            assert_eq!(orig.sh.coeffs, dec.sh.coeffs);
+        }
+    }
+
+    #[test]
+    fn header_writer_rejects_count_overflow() {
+        let mut out = Vec::new();
+        let too_many = u32::MAX as usize + 1;
+        assert_eq!(
+            write_header(&mut out, VERSION_V1, None, too_many, 0),
+            Err(EncodeCloudError::TooManyGaussians(too_many))
+        );
+        // Nothing is written when the count check fails.
+        assert!(out.is_empty());
+        let mut ok = Vec::new();
+        write_header(&mut ok, VERSION_V1, None, 7, 2).unwrap();
+        assert_eq!(ok.len(), V1_HEADER);
+        assert_eq!(&ok[..4], MAGIC);
+        assert_eq!(u32::from_le_bytes(ok[8..12].try_into().unwrap()), 7);
+        assert_eq!(ok[12], 2); // degree byte is last
+    }
+
+    #[test]
+    fn decode_renormalizes_off_unit_quaternions() {
+        let mut cloud = GaussianCloud::new();
+        cloud.push(Gaussian {
+            rotation: Quat::new(2.0, 0.0, 0.0, 0.0), // norm 2: off-unit
+            ..Default::default()
+        });
+        let bytes = encode_cloud(&cloud);
+        let back = decode_cloud(&bytes).unwrap();
+        let q = back.gaussians()[0].rotation;
+        assert!((q.norm_squared() - 1.0).abs() < 1e-5);
+        assert!((q.w - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn decode_rejects_degenerate_rotation() {
+        for bad in [
+            Quat::new(0.0, 0.0, 0.0, 0.0),
+            Quat::new(f32::NAN, 0.0, 0.0, 1.0),
+            Quat::new(f32::INFINITY, 0.0, 0.0, 0.0),
+        ] {
+            let mut cloud = GaussianCloud::new();
+            cloud.push(Gaussian {
+                rotation: bad,
+                ..Default::default()
+            });
+            assert_eq!(
+                decode_cloud(&encode_cloud(&cloud)),
+                Err(DecodeCloudError::InvalidRotation(0)),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_clamps_or_rejects_bad_opacity() {
+        let mut cloud = GaussianCloud::new();
+        cloud.push(Gaussian {
+            opacity: 1.75, // finite but out of range: clamped
+            ..Default::default()
+        });
+        let back = decode_cloud(&encode_cloud(&cloud)).unwrap();
+        assert_eq!(back.gaussians()[0].opacity, 1.0);
+        assert!(back.gaussians()[0].is_valid());
+
+        let mut cloud = GaussianCloud::new();
+        cloud.push(Gaussian {
+            opacity: f32::NAN,
+            ..Default::default()
+        });
+        assert_eq!(
+            decode_cloud(&encode_cloud(&cloud)),
+            Err(DecodeCloudError::InvalidOpacity(0))
+        );
+    }
+
+    #[test]
+    fn soa_blob_sanitized_too() {
+        let mut cloud = GaussianCloud::new();
+        cloud.push(Gaussian {
+            opacity: -3.5,
+            rotation: Quat::new(0.0, 3.0, 0.0, 0.0),
+            ..Default::default()
+        });
+        let bytes = try_encode_cloud_as(&cloud, StorageFormat::SoaF32).unwrap();
+        let back = decode_cloud(&bytes).unwrap();
+        assert_eq!(back.gaussians()[0].opacity, 0.0);
+        assert!((back.gaussians()[0].rotation.norm_squared() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         let mut bytes = encode_cloud(&GaussianCloud::new());
         bytes[0] = b'X';
@@ -209,39 +711,28 @@ mod tests {
 
     #[test]
     fn truncated_buffer_rejected() {
-        let cloud = SynthParams {
-            gaussian_count: 10,
-            ..Default::default()
+        let cloud = synth_cloud(10, 1);
+        for format in StorageFormat::ALL {
+            let bytes = try_encode_cloud_as(&cloud, format).unwrap();
+            let cut = &bytes[..bytes.len() - 5];
+            assert_eq!(decode_cloud(cut), Err(DecodeCloudError::Truncated));
+            assert_eq!(decode_cloud(&bytes[..4]), Err(DecodeCloudError::Truncated));
         }
-        .build();
-        let bytes = encode_cloud(&cloud);
-        let cut = &bytes[..bytes.len() - 5];
-        assert_eq!(decode_cloud(cut), Err(DecodeCloudError::Truncated));
-        assert_eq!(decode_cloud(&bytes[..4]), Err(DecodeCloudError::Truncated));
     }
 
     #[test]
     fn trailing_bytes_rejected() {
-        let cloud = SynthParams {
-            gaussian_count: 3,
-            ..Default::default()
+        let cloud = synth_cloud(3, 1);
+        for format in StorageFormat::ALL {
+            let mut bytes = try_encode_cloud_as(&cloud, format).unwrap();
+            bytes.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+            assert_eq!(
+                decode_cloud(&bytes),
+                Err(DecodeCloudError::TrailingBytes(3)),
+                "{}",
+                format.name()
+            );
         }
-        .build();
-        let mut bytes = encode_cloud(&cloud);
-        bytes.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
-        assert_eq!(
-            decode_cloud(&bytes),
-            Err(DecodeCloudError::TrailingBytes(3))
-        );
-        // A whole extra record's worth of bytes is trailing garbage too:
-        // the declared count wins.
-        let record = (bytes.len() - 3 - 13) / 3;
-        let mut doubled = encode_cloud(&cloud);
-        doubled.extend_from_slice(&vec![0u8; record]);
-        assert_eq!(
-            decode_cloud(&doubled),
-            Err(DecodeCloudError::TrailingBytes(record))
-        );
     }
 
     #[test]
@@ -251,7 +742,7 @@ mod tests {
         // multiply used to wrap and accept the short buffer.
         let mut bytes = Vec::new();
         bytes.extend_from_slice(MAGIC);
-        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&VERSION_V1.to_le_bytes());
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         bytes.push(0); // degree
         bytes.extend_from_slice(&[0u8; 64]); // far fewer than declared
@@ -259,18 +750,32 @@ mod tests {
     }
 
     #[test]
-    fn bad_version_rejected() {
+    fn bad_version_and_format_rejected() {
         let mut bytes = encode_cloud(&GaussianCloud::new());
         bytes[4] = 9;
         assert!(matches!(
             decode_cloud(&bytes),
             Err(DecodeCloudError::UnsupportedVersion(9))
         ));
+
+        let cloud = synth_cloud(2, 0);
+        let mut v2 = try_encode_cloud_as(&cloud, StorageFormat::Compact).unwrap();
+        v2[8] = 7; // format tag
+        assert_eq!(decode_cloud(&v2), Err(DecodeCloudError::BadFormat(7)));
+        v2[8] = 0; // AoS tag is v1-only
+        assert_eq!(decode_cloud(&v2), Err(DecodeCloudError::BadFormat(0)));
     }
 
     #[test]
     fn error_display_is_informative() {
-        let e = DecodeCloudError::UnsupportedVersion(3);
-        assert!(e.to_string().contains('3'));
+        assert!(DecodeCloudError::UnsupportedVersion(3)
+            .to_string()
+            .contains('3'));
+        assert!(DecodeCloudError::InvalidRotation(5)
+            .to_string()
+            .contains('5'));
+        assert!(EncodeCloudError::TooManyGaussians(4_294_967_296)
+            .to_string()
+            .contains("4294967296"));
     }
 }

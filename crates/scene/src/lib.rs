@@ -28,10 +28,12 @@ mod cloud;
 mod gaussian;
 pub mod io;
 pub mod presets;
+pub mod storage;
 pub mod synth;
 mod trajectory;
 
 pub use camera::{Camera, Resolution};
 pub use cloud::GaussianCloud;
 pub use gaussian::Gaussian;
+pub use storage::{CloudStorage, CompactCloud, SoaCloud, StorageFormat};
 pub use trajectory::{CameraPath, FrameSampler};

@@ -1,7 +1,7 @@
 //! Workload capture: run the functional pipeline on reduced scenes and
 //! extrapolate the counts to full scene size.
 
-use neo_core::{RenderEngine, RendererConfig};
+use neo_core::{RenderEngine, RendererConfig, StorageFormat};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 use neo_sim::WorkloadFrame;
 
@@ -21,6 +21,9 @@ pub struct CaptureConfig {
     pub scale: f64,
     /// Camera-speed multiplier (Figure 17b).
     pub speed: f32,
+    /// Splat storage backend; sets the per-record feature-fetch bytes the
+    /// simulator charges ([`WorkloadFrame::feature_bytes`]).
+    pub storage: StorageFormat,
 }
 
 impl Default for CaptureConfig {
@@ -31,6 +34,7 @@ impl Default for CaptureConfig {
             frames: 60,
             scale: 0.01,
             speed: 1.0,
+            storage: StorageFormat::AosF32,
         }
     }
 }
@@ -52,10 +56,17 @@ pub fn capture_workload(cfg: &CaptureConfig) -> Vec<WorkloadFrame> {
 
     let engine = RenderEngine::builder()
         .scene(cfg.scene.build_scaled(cfg.scale))
-        .config(RendererConfig::default().without_image())
+        .config(
+            RendererConfig::default()
+                .without_image()
+                .with_storage(cfg.storage),
+        )
         .build()
         .expect("default capture config is valid and preset scenes are non-empty");
     let cloud = std::sync::Arc::clone(engine.scene());
+    // Actual per-record size of the configured backend (not the f32 AoS
+    // size) — this is what the engine's ledger charged per splat read.
+    let feature_bytes = engine.storage().record_bytes() as u64;
     let sampler =
         FrameSampler::new(cfg.scene.trajectory(), 30.0, cfg.resolution).with_speed(cfg.speed);
     let mut session = engine.session();
@@ -80,7 +91,7 @@ pub fn capture_workload(cfg: &CaptureConfig) -> Vec<WorkloadFrame> {
             outgoing: s(fr.outgoing),
             table_entries: (fr.total_table_entries() as f64 * inv).round() as u64,
             blend_ops: (pixels as f64 * neo_sim::BLEND_OVERDRAW) as u64,
-            feature_bytes: cloud.feature_record_bytes() as u64,
+            feature_bytes,
         });
     }
     out
@@ -123,6 +134,7 @@ mod tests {
             frames: 4,
             scale: 0.002,
             speed: 1.0,
+            storage: StorageFormat::AosF32,
         }
     }
 
@@ -166,6 +178,21 @@ mod tests {
         assert!(
             fast_churn > slow_churn,
             "8× camera speed must increase churn: {fast_churn} vs {slow_churn}"
+        );
+    }
+
+    #[test]
+    fn compact_storage_shrinks_feature_bytes() {
+        let aos = capture_workload(&quick_cfg());
+        let compact = capture_workload(&CaptureConfig {
+            storage: StorageFormat::Compact,
+            ..quick_cfg()
+        });
+        assert!(
+            compact[0].feature_bytes * 2 <= aos[0].feature_bytes,
+            "compact records {} not ≥2× below AoS {}",
+            compact[0].feature_bytes,
+            aos[0].feature_bytes
         );
     }
 

@@ -38,6 +38,7 @@ pub fn scene_workload_with(
         frames,
         scale: CAPTURE_SCALE,
         speed,
+        ..Default::default()
     })
 }
 

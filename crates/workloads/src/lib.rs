@@ -22,6 +22,7 @@
 //!     frames: 3,
 //!     scale: 0.002,
 //!     speed: 1.0,
+//!     ..Default::default()
 //! };
 //! let frames = capture_workload(&cfg);
 //! assert_eq!(frames.len(), 3);

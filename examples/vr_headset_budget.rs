@@ -19,6 +19,7 @@ fn main() {
         frames: 20,
         scale: 0.01,
         speed: 1.0,
+        ..Default::default()
     }));
 
     let orin = OrinAgx::new();

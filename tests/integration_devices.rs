@@ -13,6 +13,7 @@ fn captured(scene: ScenePreset, res: Resolution) -> Vec<neo_sim::WorkloadFrame> 
         frames: 8,
         scale: 0.005,
         speed: 1.0,
+        ..Default::default()
     })
 }
 

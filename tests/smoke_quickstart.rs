@@ -32,7 +32,7 @@ fn quickstart_one_frame_matches_reference() {
         assert!(px.x.is_finite() && px.y.is_finite() && px.z.is_finite());
     }
 
-    let (reference, ref_stats) = render_reference(&cloud, &cam, &RenderConfig::default());
+    let (reference, ref_stats) = render_reference(cloud.as_ref(), &cam, &RenderConfig::default());
     assert!(ref_stats.projected > 0, "scene must be visible in frame 0");
 
     // The strategies sort the same splats to the same order on frame 0, so
