@@ -5,6 +5,7 @@
 //! pieces: aligned text tables, JSON result records, and the
 //! device-evaluation helpers the binaries share.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use neo_scene::{presets::ScenePreset, Resolution};

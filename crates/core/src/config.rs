@@ -53,7 +53,9 @@ impl Parallelism {
     pub fn effective_threads(self) -> usize {
         match self {
             Parallelism::Serial => 1,
-            Parallelism::Threads(n) => (n.max(1) as usize).min(available_parallelism()),
+            Parallelism::Threads(n) => {
+                neo_math::num::usize_from_u32(n.max(1)).min(available_parallelism())
+            }
             Parallelism::Auto => available_parallelism(),
         }
     }

@@ -204,6 +204,7 @@ fn run_shard(
     for &(tile_index, entries) in occupied {
         let slot = sorters[tile_index - base]
             .as_mut()
+            // neo-lint: allow(r2, "invariant: render_frame_core_with_plan creates every occupied tile's strategy before sharding; a miss is a caller bug worth halting on")
             .expect("strategies are pre-created in tile order before sharding");
         let frame = slot.next_frame;
         slot.next_frame += 1;
@@ -214,16 +215,19 @@ fn run_shard(
         out.outgoing += order.outgoing;
         out.traffic.read(Stage::Sorting, order.cost.bytes_read);
         out.traffic.write(Stage::Sorting, order.cost.bytes_written);
+        // Diagnostics counters: every quantity is bounded by the u32
+        // Gaussian-ID space, so saturation is unreachable; `unwrap_or`
+        // keeps the conversion total without a panic path.
         out.tile_loads.push(TileLoad {
-            tile: tile_index as u32,
-            table_len: order.order.len() as u32,
-            incoming: order.incoming as u32,
-            outgoing: order.outgoing as u32,
+            tile: u32::try_from(tile_index).unwrap_or(u32::MAX),
+            table_len: u32::try_from(order.order.len()).unwrap_or(u32::MAX),
+            incoming: u32::try_from(order.incoming).unwrap_or(u32::MAX),
+            outgoing: u32::try_from(order.outgoing).unwrap_or(u32::MAX),
         });
         if let Some(reuse) = order.reuse {
             if reuse.warm {
                 out.temporal.warm_tiles += 1;
-                out.temporal.reused_entries += reuse.reused as u64;
+                out.temporal.reused_entries += neo_math::num::u64_from_usize(reuse.reused);
                 out.temporal.repair_moves += reuse.repair_moves;
             } else {
                 out.temporal.cold_tiles += 1;
@@ -235,7 +239,7 @@ fn run_shard(
         // non-intersecting by the ITU, and skipped).
         out.traffic.read(
             Stage::Rasterization,
-            order.order.len() as u64 * ctx.feature_bytes,
+            neo_math::num::u64_from_usize(order.order.len()) * ctx.feature_bytes,
         );
 
         if ctx.render_image {
@@ -247,7 +251,7 @@ fn run_shard(
                 .filter(|e| e.valid)
                 .filter_map(|e| {
                     ctx.by_id
-                        .get(e.id as usize)
+                        .get(neo_math::num::usize_from_u32(e.id))
                         .copied()
                         .flatten()
                         .map(|i| &ctx.projected[i])
@@ -301,7 +305,7 @@ pub(crate) fn render_frame_core_with_plan(
     // ID → projected-splat lookup for rasterization.
     let mut by_id: Vec<Option<usize>> = vec![None; storage.len()];
     for (i, p) in projected.iter().enumerate() {
-        by_id[p.id as usize] = Some(i);
+        by_id[neo_math::num::usize_from_u32(p.id)] = Some(i);
     }
 
     // Occupied tiles in ascending tile-index order.
@@ -329,10 +333,10 @@ pub(crate) fn render_frame_core_with_plan(
     // Charge the *actual* per-record size of the configured storage
     // backend: compact records are less than half the f32 size, and the
     // ledger is how that saving reaches the DRAM traffic model.
-    let feature_bytes = storage.record_bytes() as u64;
+    let feature_bytes = neo_math::num::u64_from_usize(storage.record_bytes());
     stats.traffic.read(
         Stage::FeatureExtraction,
-        storage.len() as u64 * feature_bytes,
+        neo_math::num::u64_from_usize(storage.len()) * feature_bytes,
     );
 
     let raster_cfg = RenderConfig {
@@ -386,6 +390,7 @@ pub(crate) fn render_frame_core_with_plan(
                 let mut rasterize = |tile_index: usize, blend: &[&ProjectedGaussian]| {
                     let img = image
                         .as_mut()
+                        // neo-lint: allow(r2, "invariant: run_shard only calls the rasterize sink when ctx.render_image is set, and render_image is what populated `image`")
                         .expect("rasterize sink is only called when an image is rendered");
                     scratch.rasterize_direct(img, &grid, tile_index, blend, &raster_cfg)
                 };
@@ -417,6 +422,7 @@ pub(crate) fn render_frame_core_with_plan(
                 let (window, tail) = rest.split_at_mut(next_base - base);
                 rest = tail;
                 let occ = &occupied[range.clone()];
+                // neo-lint: allow(r2, "invariant: `scratches` is resized to ranges.len() a few lines above; one scratch per shard by construction")
                 let scratch = scratch_iter.next().expect("scratch sized to shard count");
                 let ctx = &ctx;
                 let window_base = base;
@@ -431,6 +437,7 @@ pub(crate) fn render_frame_core_with_plan(
             }
             handles
                 .into_iter()
+                // neo-lint: allow(r2, "deliberate panic propagation: a worker panic must abort the frame, not yield a partial image")
                 .map(|h| h.join().expect("render worker panicked"))
                 .collect()
         });
@@ -465,7 +472,7 @@ pub(crate) fn render_frame_core_with_plan(
 
     stats.traffic.write(
         Stage::Rasterization,
-        cam.width as u64 * cam.height as u64 * 4,
+        u64::from(cam.width) * u64::from(cam.height) * 4,
     );
 
     state.frames_rendered += 1;

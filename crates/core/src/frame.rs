@@ -116,7 +116,7 @@ impl FrameResult {
     /// Total table entries across tiles.
     #[must_use]
     pub fn total_table_entries(&self) -> u64 {
-        self.tile_loads.iter().map(|t| t.table_len as u64).sum()
+        self.tile_loads.iter().map(|t| u64::from(t.table_len)).sum()
     }
 }
 

@@ -62,6 +62,7 @@
 //! The deprecated [`SplatRenderer`] remains as a thin wrapper over the
 //! same render core for older call sites.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod config;

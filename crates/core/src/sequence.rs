@@ -30,8 +30,8 @@ impl SequenceStats {
         self.frames += 1;
         self.traffic += frame.stats.traffic;
         self.sort_cost += frame.sort_cost;
-        self.incoming += frame.incoming as u64;
-        self.outgoing += frame.outgoing as u64;
+        self.incoming += neo_math::num::u64_from_usize(frame.incoming);
+        self.outgoing += neo_math::num::u64_from_usize(frame.outgoing);
         self.blend_ops += frame.stats.blend_ops;
     }
 

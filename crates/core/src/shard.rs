@@ -89,17 +89,21 @@ impl ShardPlan {
         match self {
             ShardPlan::Balanced { shards } => {
                 let s = (*shards).clamp(1, n);
-                let total: u64 = loads.iter().map(|&l| l as u64).sum();
+                let total: u64 = loads
+                    .iter()
+                    .map(|&l| neo_math::num::u64_from_usize(l))
+                    .sum();
                 let mut ranges = Vec::with_capacity(s);
                 let mut start = 0usize;
                 let mut cum = 0u64;
                 let mut i = 0usize;
                 for k in 1..s {
-                    let target = total * k as u64 / s as u64;
+                    let target =
+                        total * neo_math::num::u64_from_usize(k) / neo_math::num::u64_from_usize(s);
                     // Leave at least one tile for each remaining shard.
                     let max_end = n - (s - k);
                     while i < max_end && (i < start + 1 || cum < target) {
-                        cum += loads[i] as u64;
+                        cum += neo_math::num::u64_from_usize(loads[i]);
                         i += 1;
                     }
                     ranges.push(start..i);

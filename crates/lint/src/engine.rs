@@ -1,0 +1,145 @@
+//! Per-file lint driver: lex → scope → rules → pragma matching.
+
+use crate::lexer::tokenize;
+use crate::pragma::{self, Pragma, PragmaScope};
+use crate::report::{FileReport, Finding};
+use crate::rules::{run_rules, RawFinding, RuleId};
+use crate::scope::{classify, test_regions};
+
+/// Lint one file's source text under its workspace-relative path (the
+/// path drives crate/test scoping — see [`crate::scope::classify`]).
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str) -> FileReport {
+    let tokens = tokenize(src);
+    let in_test = test_regions(&tokens);
+    let scope = classify(rel_path);
+    let raw = run_rules(scope, &tokens, &in_test);
+    let (pragmas, bad) = pragma::collect(&tokens);
+
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: usize| -> String {
+        let text = lines
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or("")
+            .trim();
+        let mut s: String = text.chars().take(160).collect();
+        if text.chars().count() > 160 {
+            s.push('…');
+        }
+        s
+    };
+
+    let mut used = vec![false; pragmas.len()];
+    let mut report = FileReport::default();
+    for f in raw {
+        let matched = pragmas.iter().enumerate().find(|(_, p)| suppresses(p, &f));
+        let finding = Finding {
+            rule: f.rule,
+            file: rel_path.to_string(),
+            line: f.line,
+            col: f.col,
+            snippet: snippet(f.line),
+            message: f.message,
+        };
+        if let Some((idx, _)) = matched {
+            used[idx] = true;
+            report.suppressed.push(finding);
+        } else {
+            report.findings.push(finding);
+        }
+    }
+
+    for b in bad {
+        report.findings.push(Finding {
+            rule: RuleId::Pragma,
+            file: rel_path.to_string(),
+            line: b.line,
+            col: b.col,
+            snippet: snippet(b.line),
+            message: b.message,
+        });
+    }
+    for (p, &was_used) in pragmas.iter().zip(&used) {
+        if !was_used {
+            report.findings.push(Finding {
+                rule: RuleId::Pragma,
+                file: rel_path.to_string(),
+                line: p.line,
+                col: 1,
+                snippet: snippet(p.line),
+                message: format!(
+                    "unused suppression: no `{}` finding matches this pragma; delete it so the \
+                     allow-inventory stays honest",
+                    p.rule.id()
+                ),
+            });
+        }
+    }
+
+    report.findings.sort_by_key(|a| (a.line, a.col));
+    report
+}
+
+fn suppresses(p: &Pragma, f: &RawFinding) -> bool {
+    p.rule == f.rule
+        && match p.scope {
+            PragmaScope::File => true,
+            PragmaScope::Line => p.target_line == f.line,
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/sort/src/x.rs";
+
+    #[test]
+    fn pragma_suppresses_same_line() {
+        let src = "fn f(n: u64) -> usize { n as usize } // neo-lint: allow(r1, \"n <= tile count, bounded at construction\")\n";
+        let rep = lint_source(LIB, src);
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn pragma_above_suppresses_next_line() {
+        let src = "// neo-lint: allow(r2, \"join propagates worker panic\")\nfn f() { h.join().unwrap(); }\n";
+        let rep = lint_source(LIB, src);
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+    }
+
+    #[test]
+    fn wrong_rule_pragma_does_not_suppress_and_reports_unused() {
+        let src = "fn f(n: u64) -> usize { n as usize } // neo-lint: allow(r2, \"mismatched\")\n";
+        let rep = lint_source(LIB, src);
+        // The r1 finding stays, and the r2 pragma is reported unused.
+        assert!(rep.findings.iter().any(|f| f.rule == RuleId::R1));
+        assert!(rep.findings.iter().any(|f| f.rule == RuleId::Pragma));
+    }
+
+    #[test]
+    fn unused_pragma_is_a_finding() {
+        let rep = lint_source(LIB, "// neo-lint: allow(r1, \"nothing here\")\nfn f() {}\n");
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(rep.findings[0].rule, RuleId::Pragma);
+    }
+
+    #[test]
+    fn file_scope_pragma_covers_file_level_findings() {
+        let src = "// neo-lint: allow-file(r7, \"crate intentionally exempt\")\npub mod x;\n";
+        let rep = lint_source("crates/sort/src/lib.rs", src);
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn findings_carry_snippets_and_positions() {
+        let rep = lint_source(LIB, "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n");
+        assert_eq!(rep.findings.len(), 1);
+        let f = &rep.findings[0];
+        assert_eq!((f.line, f.rule), (2, RuleId::R2));
+        assert_eq!(f.snippet, "x.unwrap()");
+    }
+}

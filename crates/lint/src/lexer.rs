@@ -1,0 +1,570 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The linter does not need a full parse — only a token stream in which
+//! comments, string literals, character literals, and lifetimes are
+//! classified so the rules never fire on prose or on text inside
+//! strings. The lexer handles the token shapes that actually occur in
+//! this workspace: identifiers/keywords, integer and float literals
+//! (with suffixes, exponents, and `0x`/`0o`/`0b` radices), `"…"` /
+//! `r"…"` / `r#"…"#` / `b"…"` / `br#"…"#` / `c"…"` strings, `'x'` chars
+//! vs `'a` lifetimes, nested `/* … */` block comments, and the handful
+//! of multi-character operators the rules care about (`==`, `!=`, …).
+//!
+//! Positions are 1-based `line:col` in characters, matching what
+//! editors and CI annotations expect.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `as`, `unwrap`, …).
+    Ident,
+    /// Integer literal, including radix prefixes and suffixes (`0xFF`, `3u32`).
+    IntLit,
+    /// Float literal (`1.0`, `1e-3`, `2f32`, `1.`).
+    FloatLit,
+    /// Any string literal form; contents are not tokenized further.
+    Str,
+    /// Character literal (`'x'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// `// …` comment (doc comments included); `text` keeps the body.
+    LineComment,
+    /// `/* … */` comment (nesting folded in); `text` keeps the body.
+    BlockComment,
+    /// Punctuation / operator; `text` holds it (`"=="`, `"("`, `"::"`).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Token text (empty for string/char literals — contents are opaque).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// True when this token is a comment (and thus not code).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True for doc comments (`///`, `//!`, `/**`, `/*!`). Doc comments
+    /// are rendered documentation: they carry prose (including pragma
+    /// *examples*), never live pragmas or tracked TODOs.
+    #[must_use]
+    pub fn is_doc_comment(&self) -> bool {
+        match self.kind {
+            TokenKind::LineComment => self.text.starts_with("///") || self.text.starts_with("//!"),
+            TokenKind::BlockComment => self.text.starts_with("/**") || self.text.starts_with("/*!"),
+            _ => false,
+        }
+    }
+}
+
+/// Multi-character operators that must lex as one token so the rules do
+/// not confuse `!=` with a macro bang or `<=`/`=>` with `=`.
+const MULTI_PUNCT: [&str; 18] = [
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "=>", "->", "::", "&&", "||", "+=", "-=",
+    "*=", "/=", "..",
+];
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            src,
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, pat: &str) -> bool {
+        pat.chars()
+            .enumerate()
+            .all(|(k, p)| self.peek(k) == Some(p))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Unterminated constructs (string/comment at EOF) are
+/// closed at end of input rather than reported: the linter runs on code
+/// that already compiles, so recovery precision does not matter.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if cur.starts_with("//") {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.push(Token {
+                kind: TokenKind::LineComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if cur.starts_with("/*") {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(ch) = cur.peek(0) {
+                if cur.starts_with("/*") {
+                    depth += 1;
+                    text.push_str("/*");
+                    cur.bump();
+                    cur.bump();
+                } else if cur.starts_with("*/") {
+                    depth -= 1;
+                    text.push_str("*/");
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::BlockComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if let Some(tok) = lex_string_like(&mut cur, line, col) {
+            out.push(tok);
+            continue;
+        }
+        if c == '\'' {
+            out.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Punctuation: greedily match the multi-char operators first.
+        let matched = MULTI_PUNCT.iter().find(|p| cur.starts_with(p)).copied();
+        if let Some(p) = matched {
+            for _ in 0..p.chars().count() {
+                cur.bump();
+            }
+            out.push(Token {
+                kind: TokenKind::Punct,
+                text: p.to_string(),
+                line,
+                col,
+            });
+        } else {
+            cur.bump();
+            out.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+    let _ = cur.src;
+    out
+}
+
+/// Lex `"…"` and its prefixed/raw variants if the cursor is at one.
+fn lex_string_like(cur: &mut Cursor<'_>, line: usize, col: usize) -> Option<Token> {
+    // Possible openers: "  r"  r#"  b"  br#"  c"  cr#"  (any # count).
+    let mut ahead = 0usize;
+    let mut raw = false;
+    match cur.peek(0)? {
+        '"' => {}
+        'r' | 'b' | 'c' => {
+            ahead = 1;
+            if (cur.peek(0) == Some('b') || cur.peek(0) == Some('c')) && cur.peek(1) == Some('r') {
+                ahead = 2;
+            }
+            let mut hashes = 0usize;
+            while cur.peek(ahead + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(ahead + hashes) != Some('"') {
+                return None;
+            }
+            // `b"…"` (no r) is a plain escaped string; any `r` makes it raw.
+            raw = cur.peek(0) == Some('r') || cur.peek(1) == Some('r');
+            if hashes > 0 && !raw {
+                return None;
+            }
+            ahead += hashes;
+        }
+        _ => return None,
+    }
+    // Count opening hashes for raw strings to find the matching closer.
+    let mut open_hashes = 0usize;
+    for k in 0..ahead {
+        if cur.peek(k) == Some('#') {
+            open_hashes += 1;
+        }
+    }
+    // Consume prefix + opening quote.
+    for _ in 0..=ahead {
+        cur.bump();
+    }
+    if raw {
+        loop {
+            match cur.bump() {
+                None => break,
+                Some('"') => {
+                    let mut k = 0usize;
+                    while k < open_hashes && cur.peek(k) == Some('#') {
+                        k += 1;
+                    }
+                    if k == open_hashes {
+                        for _ in 0..open_hashes {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    } else {
+        loop {
+            match cur.bump() {
+                None | Some('"') => break,
+                Some('\\') => {
+                    cur.bump();
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Some(Token {
+        kind: TokenKind::Str,
+        text: String::new(),
+        line,
+        col,
+    })
+}
+
+/// Lex a `'`-introduced token: char literal or lifetime.
+fn lex_quote(cur: &mut Cursor<'_>, line: usize, col: usize) -> Token {
+    cur.bump(); // the opening quote
+    if cur.peek(0) == Some('\\') {
+        // Escaped char literal: consume until closing quote.
+        cur.bump();
+        cur.bump(); // the escaped char (enough for \n, \', \\; \u{..} below)
+        while let Some(ch) = cur.peek(0) {
+            cur.bump();
+            if ch == '\'' {
+                break;
+            }
+        }
+        return Token {
+            kind: TokenKind::Char,
+            text: String::new(),
+            line,
+            col,
+        };
+    }
+    // `'x'` is a char; `'a`, `'static` are lifetimes.
+    if cur.peek(1) == Some('\'') && cur.peek(0).is_some_and(|c| c != '\'') {
+        cur.bump();
+        cur.bump();
+        return Token {
+            kind: TokenKind::Char,
+            text: String::new(),
+            line,
+            col,
+        };
+    }
+    let mut text = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if !is_ident_continue(ch) {
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::Lifetime,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Lex a numeric literal starting at an ASCII digit.
+fn lex_number(cur: &mut Cursor<'_>, line: usize, col: usize) -> Token {
+    let mut text = String::new();
+    let mut float = false;
+    let radix_prefixed =
+        cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+    if radix_prefixed {
+        text.push(cur.bump().unwrap_or('0'));
+        text.push(cur.bump().unwrap_or('x'));
+        while let Some(ch) = cur.peek(0) {
+            if ch.is_ascii_alphanumeric() || ch == '_' {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token {
+            kind: TokenKind::IntLit,
+            text,
+            line,
+            col,
+        };
+    }
+    while let Some(ch) = cur.peek(0) {
+        if ch.is_ascii_digit() || ch == '_' {
+            text.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // `1.5`, `1.` are floats; `1.max(2)`, `1..n`, `x.0` stay integers.
+    if cur.peek(0) == Some('.') {
+        let after = cur.peek(1);
+        let fractional = after.is_none_or(|a| !(is_ident_start(a) || a == '.'));
+        if fractional {
+            float = true;
+            text.push('.');
+            cur.bump();
+            while let Some(ch) = cur.peek(0) {
+                if ch.is_ascii_digit() || ch == '_' {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let (sign, digit_at) = match cur.peek(1) {
+            Some('+' | '-') => (true, 2),
+            _ => (false, 1),
+        };
+        if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            text.push(cur.bump().unwrap_or('e'));
+            if sign {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+            while let Some(ch) = cur.peek(0) {
+                if ch.is_ascii_digit() || ch == '_' {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, …) decides float-ness for `2f32`.
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let mut suffix = String::new();
+        while let Some(ch) = cur.peek(0) {
+            if !is_ident_continue(ch) {
+                break;
+            }
+            suffix.push(ch);
+            cur.bump();
+        }
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+        text.push_str(&suffix);
+    }
+    let kind = if float {
+        TokenKind::FloatLit
+    } else {
+        TokenKind::IntLit
+    };
+    Token {
+        kind,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".to_string()));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn comments_are_classified_not_dropped() {
+        let toks = tokenize("code(); // TODO trailing\n/* block\nstill block */ more");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::LineComment && t.text.contains("TODO")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::BlockComment));
+        let more = toks
+            .iter()
+            .find(|t| t.text == "more")
+            .expect("ident after block comment");
+        assert_eq!(more.line, 3);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = tokenize(r#"let s = "a.unwrap() as usize"; let r = r"panic!";"#);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "unwrap"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn raw_hashed_and_byte_strings() {
+        let toks = tokenize("let s = r#\"has \"quotes\" inside\"#; let b = b\"bytes\";");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+        assert!(!toks.iter().any(|t| t.text == "quotes"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn number_shapes() {
+        assert_eq!(kinds("1.5")[0].0, TokenKind::FloatLit);
+        assert_eq!(kinds("1e-3")[0].0, TokenKind::FloatLit);
+        assert_eq!(kinds("2f32")[0].0, TokenKind::FloatLit);
+        assert_eq!(kinds("1.")[0].0, TokenKind::FloatLit);
+        assert_eq!(kinds("0xFF_u32")[0].0, TokenKind::IntLit);
+        assert_eq!(kinds("3usize")[0].0, TokenKind::IntLit);
+        // `1.max(2)` is an int method call, `x.0` a tuple access.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::IntLit, "1".to_string()));
+        assert_eq!(toks[2].1, "max");
+    }
+
+    #[test]
+    fn multi_char_operators_fuse() {
+        let toks = kinds("a != b; c == 1.0; d <= e; f -> g;");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(puncts.contains(&"!="));
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"<="));
+        assert!(puncts.contains(&"->"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = tokenize("/* outer /* inner */ still */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].text, "code");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = tokenize("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

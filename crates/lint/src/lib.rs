@@ -1,0 +1,84 @@
+//! `neo-lint` — the determinism & robustness static-analysis pass.
+//!
+//! The workspace's determinism contract (ARCHITECTURE.md
+//! §"Determinism contract") used to be enforced only dynamically: the
+//! parity suites catch a violation after the fact, on the inputs they
+//! happen to exercise. This crate turns the prose contract into a
+//! machine-checkable artifact that runs on every commit: a hand-rolled
+//! lexer (no `syn` — the build environment is offline and the linter
+//! must stay dependency-free) feeds a small rule engine encoding the
+//! contract plus the bug classes this project has actually shipped:
+//!
+//! | rule | slug | catches |
+//! |------|------|---------|
+//! | `r1` | `bare-int-cast` | silently-truncating `as` casts in size/index math |
+//! | `r2` | `panic-path` | `unwrap`/`expect`/`panic!`/`assert!` in library code |
+//! | `r3` | `nan-unsafe-order` | unwrapped `partial_cmp`, float-literal `==` |
+//! | `r4` | `nondeterminism-source` | HashMap/HashSet, clocks, unseeded RNG on the render path |
+//! | `r5` | `shared-mut-accum` | `static mut`, atomics in contract crates |
+//! | `r6` | `masked-arithmetic` | `wrapping_*`/`overflowing_*`/`unchecked_*` |
+//! | `r7` | `missing-forbid-unsafe` | contract crate roots without `#![forbid(unsafe_code)]` |
+//! | `r8` | `untracked-todo` | TODO/FIXME with no issue reference |
+//!
+//! Findings are suppressed — one code line or one file at a time — by
+//! an inline pragma carrying a mandatory reason:
+//!
+//! ```text
+//! // neo-lint: allow(r6, "Fibonacci-hash mixing: wraparound is the algorithm")
+//! ```
+//!
+//! Malformed and *unused* pragmas are findings themselves, so the
+//! suppression inventory cannot rot. See [`rules::RuleId::describe`]
+//! for per-rule rationale, and the `neo-lint` binary for the CLI
+//! (`cargo run -p neo-lint -- --workspace`).
+//!
+//! ```
+//! let report = neo_lint::lint_source(
+//!     "crates/pipeline/src/x.rs",
+//!     "fn f(n: u64) -> usize { n as usize }",
+//! );
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule.id(), "r1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod scope;
+pub mod walk;
+
+pub use engine::lint_source;
+pub use report::{FileReport, Finding, WorkspaceReport};
+pub use rules::RuleId;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Lint every lintable file under `root` (a workspace checkout),
+/// optionally restricted to the named crates (`neo-sort` / `sort`).
+///
+/// Returns the aggregated report; findings are sorted by file, then
+/// line/column, so output is deterministic.
+pub fn lint_workspace(root: &Path, crates: Option<&[String]>) -> io::Result<WorkspaceReport> {
+    let files = walk::workspace_files(root)?;
+    let mut report = WorkspaceReport::default();
+    for rel in files {
+        if let Some(filter) = crates {
+            if !filter.iter().any(|c| walk::in_crate(&rel, c)) {
+                continue;
+            }
+        }
+        let src = fs::read_to_string(root.join(&rel))?;
+        let file_report = lint_source(&rel, &src);
+        report.files_scanned += 1;
+        report.findings.extend(file_report.findings);
+        report.suppressed.extend(file_report.suppressed);
+    }
+    Ok(report)
+}

@@ -1,0 +1,237 @@
+//! Suppression pragmas.
+//!
+//! A finding is silenced by an inline pragma comment with a **mandatory
+//! reason string**:
+//!
+//! ```text
+//! let n = count as usize; // neo-lint: allow(r1, "count is <= u16::MAX by construction")
+//! // neo-lint: allow(r2, "worker panic must propagate to the caller")
+//! let out = handle.join().expect("render worker panicked");
+//! ```
+//!
+//! A trailing pragma covers its own line; a pragma on its own line
+//! covers the next code line (consecutive pragma/comment-only lines
+//! stack onto the first code line below). `allow-file(<rule>, "…")`
+//! covers the whole file — reserved for file-level findings such as a
+//! missing crate attribute (R7).
+//!
+//! Malformed pragmas (unknown rule, missing reason) and pragmas that
+//! suppress nothing are themselves findings: a suppression that has
+//! stopped matching anything is stale and must be deleted, so the
+//! pragma inventory can never rot.
+
+use crate::lexer::Token;
+use crate::rules::RuleId;
+
+/// Reach of one parsed pragma.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PragmaScope {
+    /// Covers one code line (its own, or the next code line below).
+    Line,
+    /// Covers the entire file.
+    File,
+}
+
+/// One successfully parsed `neo-lint: allow(...)`.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule being suppressed.
+    pub rule: RuleId,
+    /// Line- or file-scoped reach.
+    pub scope: PragmaScope,
+    /// The mandatory justification string.
+    pub reason: String,
+    /// Line the pragma comment sits on.
+    pub line: usize,
+    /// Code line this pragma suppresses findings on (`Line` scope).
+    pub target_line: usize,
+}
+
+/// A pragma-shaped comment that does not parse, with a human message.
+#[derive(Debug, Clone)]
+pub struct BadPragma {
+    /// Line of the offending comment.
+    pub line: usize,
+    /// Column of the offending comment.
+    pub col: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Scan the token stream for pragma comments and resolve their target
+/// lines. `code_lines` must contain every line holding at least one
+/// non-comment token.
+#[must_use]
+pub fn collect(tokens: &[Token]) -> (Vec<Pragma>, Vec<BadPragma>) {
+    let mut code_lines: Vec<usize> = tokens
+        .iter()
+        .filter(|t| !t.is_comment())
+        .map(|t| t.line)
+        .collect();
+    code_lines.sort_unstable();
+    code_lines.dedup();
+
+    let mut pragmas = Vec::new();
+    let mut bad = Vec::new();
+    for tok in tokens
+        .iter()
+        .filter(|t| t.is_comment() && !t.is_doc_comment())
+    {
+        let Some(at) = tok.text.find("neo-lint:") else {
+            continue;
+        };
+        let rest = &tok.text[at + "neo-lint:".len()..];
+        let mut found_any = false;
+        let mut cursor = rest;
+        while let Some(open) = cursor.find("allow") {
+            let clause = &cursor[open..];
+            match parse_allow(clause) {
+                Ok((rule, scope, reason, consumed)) => {
+                    found_any = true;
+                    let target_line = if code_lines.binary_search(&tok.line).is_ok() {
+                        tok.line
+                    } else {
+                        // Pragma-only line: cover the first code line
+                        // below (stacked pragmas resolve identically).
+                        code_lines
+                            .iter()
+                            .copied()
+                            .find(|&l| l > tok.line)
+                            .unwrap_or(tok.line)
+                    };
+                    pragmas.push(Pragma {
+                        rule,
+                        scope,
+                        reason,
+                        line: tok.line,
+                        target_line,
+                    });
+                    cursor = &clause[consumed..];
+                }
+                Err(msg) => {
+                    bad.push(BadPragma {
+                        line: tok.line,
+                        col: tok.col,
+                        message: msg,
+                    });
+                    found_any = true;
+                    break;
+                }
+            }
+        }
+        if !found_any {
+            bad.push(BadPragma {
+                line: tok.line,
+                col: tok.col,
+                message: "`neo-lint:` comment without an `allow(<rule>, \"<reason>\")` clause"
+                    .to_string(),
+            });
+        }
+    }
+    (pragmas, bad)
+}
+
+/// Parse one `allow(...)` / `allow-file(...)` clause at the start of
+/// `s` (which begins with `allow`). Returns (rule, scope, reason,
+/// bytes consumed).
+fn parse_allow(s: &str) -> Result<(RuleId, PragmaScope, String, usize), String> {
+    let (scope, head_len) = if s.starts_with("allow-file") {
+        (PragmaScope::File, "allow-file".len())
+    } else {
+        (PragmaScope::Line, "allow".len())
+    };
+    let after = s[head_len..].trim_start();
+    if !after.starts_with('(') {
+        return Err("expected `(` after `allow`".to_string());
+    }
+    let body = &after[1..];
+    let Some(comma) = body.find(',') else {
+        return Err(
+            "expected `allow(<rule>, \"<reason>\")` — reason string is mandatory".to_string(),
+        );
+    };
+    let rule_name = body[..comma].trim();
+    let Some(rule) = RuleId::parse(rule_name) else {
+        return Err(format!("unknown rule `{rule_name}` in pragma"));
+    };
+    let rest = body[comma + 1..].trim_start();
+    if !rest.starts_with('"') {
+        return Err("pragma reason must be a quoted string".to_string());
+    }
+    let Some(endq) = rest[1..].find('"') else {
+        return Err("unterminated pragma reason string".to_string());
+    };
+    let reason = rest[1..1 + endq].trim().to_string();
+    if reason.is_empty() {
+        return Err("pragma reason must not be empty".to_string());
+    }
+    let after_reason = rest[1 + endq + 1..].trim_start();
+    if !after_reason.starts_with(')') {
+        return Err("expected `)` closing the pragma".to_string());
+    }
+    // Bytes consumed relative to the start of `s`, including the `)`.
+    let consumed = s.len() - after_reason.len() + 1;
+    Ok((rule, scope, reason, consumed.min(s.len())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    #[test]
+    fn trailing_pragma_targets_own_line() {
+        let src = "let x = a as usize; // neo-lint: allow(r1, \"bounded by grid size\")\n";
+        let (p, bad) = collect(&tokenize(src));
+        assert!(bad.is_empty());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rule, RuleId::R1);
+        assert_eq!(p[0].target_line, 1);
+    }
+
+    #[test]
+    fn standalone_pragma_targets_next_code_line() {
+        let src = "// neo-lint: allow(r2, \"invariant: pool is non-empty\")\n// more prose\nlet x = q.pop().unwrap();\n";
+        let (p, _) = collect(&tokenize(src));
+        assert_eq!(p[0].target_line, 3);
+    }
+
+    #[test]
+    fn file_scope_and_two_clauses() {
+        let src = "// neo-lint: allow-file(r7, \"shim crate\") allow(r8, \"tracked\")\ncode();\n";
+        let (p, bad) = collect(&tokenize(src));
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].scope, PragmaScope::File);
+        assert_eq!(p[1].scope, PragmaScope::Line);
+    }
+
+    #[test]
+    fn missing_reason_is_reported() {
+        let (p, bad) = collect(&tokenize("// neo-lint: allow(r1)\ncode();\n"));
+        assert!(p.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn empty_reason_is_reported() {
+        let (_, bad) = collect(&tokenize("// neo-lint: allow(r1, \"  \")\ncode();\n"));
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_reported() {
+        let (_, bad) = collect(&tokenize("// neo-lint: allow(r99, \"nope\")\n"));
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn rule_slugs_parse_too() {
+        let (p, bad) = collect(&tokenize(
+            "// neo-lint: allow(bare-int-cast, \"why\")\ncode();\n",
+        ));
+        assert!(bad.is_empty());
+        assert_eq!(p[0].rule, RuleId::R1);
+    }
+}

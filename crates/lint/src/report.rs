@@ -1,0 +1,177 @@
+//! Finding types and report rendering (human text + JSON).
+//!
+//! The JSON writer is hand-rolled: the linter is dependency-free by
+//! design so it can never be blocked on the crates it polices.
+
+use crate::rules::RuleId;
+use std::fmt::Write as _;
+
+/// One reportable lint finding, located and snippeted.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based column in chars.
+    pub col: usize,
+    /// The trimmed offending source line.
+    pub snippet: String,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line:col [id slug] message` single-line rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{} [{} {}] {}\n    | {}",
+            self.file,
+            self.line,
+            self.col,
+            self.rule.id(),
+            self.rule.slug(),
+            self.message,
+            self.snippet
+        )
+    }
+}
+
+/// Lint outcome for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileReport {
+    /// Active (unsuppressed) findings.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a pragma, kept for reporting/auditing.
+    pub suppressed: Vec<Finding>,
+}
+
+/// Lint outcome for a whole tree.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceReport {
+    /// Number of files lexed and checked.
+    pub files_scanned: usize,
+    /// Active (unsuppressed) findings across all files.
+    pub findings: Vec<Finding>,
+    /// Pragma-silenced findings across all files.
+    pub suppressed: Vec<Finding>,
+}
+
+impl WorkspaceReport {
+    /// True when no unsuppressed finding remains.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Per-rule count of active findings, in rule order.
+    #[must_use]
+    pub fn counts(&self) -> Vec<(RuleId, usize)> {
+        let mut rules: Vec<RuleId> = self.findings.iter().map(|f| f.rule).collect();
+        rules.sort();
+        rules.dedup();
+        rules
+            .into_iter()
+            .map(|r| (r, self.findings.iter().filter(|f| f.rule == r).count()))
+            .collect()
+    }
+
+    /// Render the JSON report (`results/lint_report.json` schema v1).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"neo-lint-report/v1\",\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"suppressed\": {},", self.suppressed.len());
+        let _ = writeln!(s, "  \"findings_total\": {},", self.findings.len());
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                s,
+                "    {{\"rule\": \"{}\", \"slug\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+                 \"col\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+                f.rule.id(),
+                f.rule.slug(),
+                escape(&f.file),
+                f.line,
+                f.col,
+                escape(&f.message),
+                escape(&f.snippet)
+            );
+        }
+        s.push_str(if self.findings.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: RuleId::R1,
+            file: "crates/scene/src/io.rs".to_string(),
+            line: 404,
+            col: 17,
+            snippet: "let count = buf.get_u32_le() as usize;".to_string(),
+            message: "bare `as usize` cast".to_string(),
+        }
+    }
+
+    #[test]
+    fn render_is_clickable() {
+        let r = finding().render();
+        assert!(r.starts_with("crates/scene/src/io.rs:404:17 [r1 bare-int-cast]"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut rep = WorkspaceReport {
+            files_scanned: 3,
+            ..Default::default()
+        };
+        let mut f = finding();
+        f.message = "quote \" backslash \\ newline \n done".to_string();
+        rep.findings.push(f);
+        let json = rep.to_json();
+        assert!(json.contains("\\\" backslash \\\\ newline \\n done"));
+        assert!(json.contains("\"findings_total\": 1"));
+        assert!(json.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let json = WorkspaceReport::default().to_json();
+        assert!(json.contains("\"findings\": []"));
+    }
+}

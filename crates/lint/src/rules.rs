@@ -1,0 +1,583 @@
+//! The rule engine: eight token-level rules encoding the determinism
+//! contract (ARCHITECTURE.md §"Determinism contract") and the bug
+//! classes this project has actually shipped and fixed (NaN-unsafe
+//! ordering, silently-truncating casts, panicking library paths).
+//!
+//! Rules are deliberately syntactic: with no type information they
+//! over-approximate, and the escape hatch is an explicit, *reasoned*
+//! pragma (`// neo-lint: allow(<rule>, "<reason>")`) rather than rule
+//! cleverness. See each rule's docs for scope and rationale.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scope::{CrateClass, FileRole, FileScope};
+
+/// Stable identifier of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Bare `as` integer cast in library code.
+    R1,
+    /// Panicking path (`unwrap`/`expect`/`panic!`/`assert!`) in library code.
+    R2,
+    /// NaN-unsafe float ordering.
+    R3,
+    /// Nondeterminism source on the render path.
+    R4,
+    /// Shared mutable accumulation (`static mut`, atomics).
+    R5,
+    /// Masked (`wrapping_*`/`unchecked_*`) arithmetic.
+    R6,
+    /// Missing `#![forbid(unsafe_code)]` on a contract crate root.
+    R7,
+    /// TODO/FIXME without an issue reference.
+    R8,
+    /// Meta-rule for pragma hygiene: malformed, unknown-rule, or unused
+    /// suppressions. Not itself suppressible.
+    Pragma,
+}
+
+impl RuleId {
+    /// Every real rule, in order (excludes the pragma meta-rule).
+    pub const ALL: [RuleId; 8] = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R5,
+        RuleId::R6,
+        RuleId::R7,
+        RuleId::R8,
+    ];
+
+    /// Short id (`r1` … `r8`, `pragma`).
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::R1 => "r1",
+            RuleId::R2 => "r2",
+            RuleId::R3 => "r3",
+            RuleId::R4 => "r4",
+            RuleId::R5 => "r5",
+            RuleId::R6 => "r6",
+            RuleId::R7 => "r7",
+            RuleId::R8 => "r8",
+            RuleId::Pragma => "pragma",
+        }
+    }
+
+    /// Human-readable slug, also accepted in pragmas.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            RuleId::R1 => "bare-int-cast",
+            RuleId::R2 => "panic-path",
+            RuleId::R3 => "nan-unsafe-order",
+            RuleId::R4 => "nondeterminism-source",
+            RuleId::R5 => "shared-mut-accum",
+            RuleId::R6 => "masked-arithmetic",
+            RuleId::R7 => "missing-forbid-unsafe",
+            RuleId::R8 => "untracked-todo",
+            RuleId::Pragma => "pragma",
+        }
+    }
+
+    /// One-line description for `--list-rules` and reports.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::R1 => {
+                "bare `as` cast to an integer type in library code; use `try_from`/`checked_*` \
+                 (truncating casts shipped the u32 count-header and record-size wraparound bugs)"
+            }
+            RuleId::R2 => {
+                "panicking path (`unwrap`/`expect`/`panic!`/`assert!`) in non-test library code; \
+                 propagate an error or justify the invariant with a pragma"
+            }
+            RuleId::R3 => {
+                "NaN-unsafe float ordering: unwrapped `partial_cmp` or `==`/`!=` against a float \
+                 literal; use `total_cmp` / an explicit epsilon (the bitonic +inf pad sentinel \
+                 bug class)"
+            }
+            RuleId::R4 => {
+                "nondeterminism source in a render-path crate: HashMap/HashSet (seeded iteration \
+                 order), Instant/SystemTime, thread identity, or unseeded RNG"
+            }
+            RuleId::R5 => {
+                "shared mutable accumulation (`static mut`, atomics) in a contract crate; the \
+                 contract requires order-independent integer merges on one thread"
+            }
+            RuleId::R6 => {
+                "masked arithmetic (`wrapping_*`/`overflowing_*`/`unchecked_*`) outside an \
+                 annotated site; wraparound must be an explicit, justified choice"
+            }
+            RuleId::R7 => "contract crate root missing `#![forbid(unsafe_code)]`",
+            RuleId::R8 => {
+                "TODO/FIXME comment without an issue reference (`#NNN`, an ISSUE tag, or a link)"
+            }
+            RuleId::Pragma => "malformed, unknown, or unused `neo-lint:` suppression pragma",
+        }
+    }
+
+    /// Parse a rule name as written in a pragma: `r1` … `r8` or a slug.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RuleId> {
+        let s = s.trim().to_ascii_lowercase();
+        RuleId::ALL
+            .into_iter()
+            .find(|r| r.id() == s || r.slug() == s)
+    }
+}
+
+/// A rule hit before pragma matching and snippet attachment.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based column in chars.
+    pub col: usize,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// Cast targets R1 flags. `f32`/`f64` targets are value conversions,
+/// not size/index arithmetic, and stay legal.
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Macros R2 flags (a `debug_assert!` is not a release panic path).
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Identifiers R4 flags in render-path crates.
+const NONDET_IDENTS: [&str; 6] = [
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+];
+
+/// Run every applicable token-level rule on one file.
+#[must_use]
+pub fn run_rules(scope: FileScope, tokens: &[Token], in_test: &[bool]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let contract = matches!(scope.class, CrateClass::Contract { .. });
+    let render_path = matches!(scope.class, CrateClass::Contract { render_path: true });
+    let lib_code = scope.role == FileRole::Source;
+
+    for (k, &i) in sig.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let tok = &tokens[i];
+        let prev = k.checked_sub(1).map(|p| &tokens[sig[p]]);
+        let next = sig.get(k + 1).map(|&n| &tokens[n]);
+
+        if contract && lib_code {
+            check_r1(tok, prev, next, &mut out);
+            check_r2(tok, prev, next, &mut out);
+            check_r3(tok, prev, next, k, &sig, tokens, &mut out);
+            check_r5(tok, next, &mut out);
+            check_r6(tok, &mut out);
+        }
+        if render_path && lib_code {
+            check_r4(tok, &mut out);
+        }
+    }
+
+    if scope.contract_lib_root && !has_forbid_unsafe(tokens, &sig) {
+        out.push(RawFinding {
+            rule: RuleId::R7,
+            line: 1,
+            col: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]`; the contract crates pin the \
+                      no-unsafe invariant at the crate boundary"
+                .to_string(),
+        });
+    }
+
+    // R8 runs on plain comments, in every scanned file including
+    // tests. Doc comments are exempt: they are rendered prose (this
+    // very rule's own documentation names the markers), not work
+    // markers.
+    for tok in tokens
+        .iter()
+        .filter(|t| t.is_comment() && !t.is_doc_comment())
+    {
+        check_r8(tok, &mut out);
+    }
+
+    out
+}
+
+fn check_r1(tok: &Token, prev: Option<&Token>, next: Option<&Token>, out: &mut Vec<RawFinding>) {
+    if tok.kind != TokenKind::Ident || tok.text != "as" {
+        return;
+    }
+    let Some(next) = next else { return };
+    if next.kind != TokenKind::Ident || !INT_TYPES.contains(&next.text.as_str()) {
+        return;
+    }
+    // A literal operand (`0xFFFF as usize`) is compile-time checked.
+    if prev.is_some_and(|p| p.kind == TokenKind::IntLit) {
+        return;
+    }
+    out.push(RawFinding {
+        rule: RuleId::R1,
+        line: tok.line,
+        col: tok.col,
+        message: format!(
+            "bare `as {}` cast; use `{}::try_from(..)`/`checked_*` or justify losslessness with \
+             a pragma",
+            next.text, next.text
+        ),
+    });
+}
+
+fn check_r2(tok: &Token, prev: Option<&Token>, next: Option<&Token>, out: &mut Vec<RawFinding>) {
+    if tok.kind != TokenKind::Ident {
+        return;
+    }
+    let method_call = prev.is_some_and(|p| p.kind == TokenKind::Punct && p.text == ".")
+        && next.is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(");
+    if method_call && (tok.text == "unwrap" || tok.text == "expect") {
+        out.push(RawFinding {
+            rule: RuleId::R2,
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`.{}()` in library code; propagate the error (`?`, `ok_or`) or document the \
+                 invariant with `expect` + a pragma",
+                tok.text
+            ),
+        });
+        return;
+    }
+    if PANIC_MACROS.contains(&tok.text.as_str())
+        && next.is_some_and(|n| n.kind == TokenKind::Punct && n.text == "!")
+        && !prev.is_some_and(|p| p.kind == TokenKind::Punct && (p.text == "." || p.text == "::"))
+    {
+        out.push(RawFinding {
+            rule: RuleId::R2,
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`{}!` in library code; return an error variant or justify with a pragma",
+                tok.text
+            ),
+        });
+    }
+}
+
+fn check_r3(
+    tok: &Token,
+    prev: Option<&Token>,
+    next: Option<&Token>,
+    k: usize,
+    sig: &[usize],
+    tokens: &[Token],
+    out: &mut Vec<RawFinding>,
+) {
+    if tok.kind == TokenKind::Ident && tok.text == "partial_cmp" {
+        // `partial_cmp(..).unwrap()` (or `.expect(..)`) within the same
+        // chain: scan a short window of following tokens.
+        let unwrapped = sig[k + 1..]
+            .iter()
+            .take(14)
+            .map(|&n| &tokens[n])
+            .take_while(|t| !(t.kind == TokenKind::Punct && (t.text == ";" || t.text == "{")))
+            .any(|t| t.kind == TokenKind::Ident && (t.text == "unwrap" || t.text == "expect"));
+        if unwrapped {
+            out.push(RawFinding {
+                rule: RuleId::R3,
+                line: tok.line,
+                col: tok.col,
+                message: "unwrapped `partial_cmp` panics on NaN and breaks total ordering; use \
+                          `total_cmp` or an explicit NaN policy"
+                    .to_string(),
+            });
+        }
+        return;
+    }
+    if tok.kind == TokenKind::Punct && (tok.text == "==" || tok.text == "!=") {
+        let float_side = prev.is_some_and(|p| p.kind == TokenKind::FloatLit)
+            || next.is_some_and(|n| n.kind == TokenKind::FloatLit);
+        if float_side {
+            out.push(RawFinding {
+                rule: RuleId::R3,
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`{}` against a float literal is NaN-/rounding-unsafe; compare with an \
+                     epsilon, `to_bits()`, or justify exactness with a pragma",
+                    tok.text
+                ),
+            });
+        }
+    }
+}
+
+fn check_r4(tok: &Token, out: &mut Vec<RawFinding>) {
+    if tok.kind == TokenKind::Ident && NONDET_IDENTS.contains(&tok.text.as_str()) {
+        let hint = match tok.text.as_str() {
+            "HashMap" | "HashSet" => {
+                "iteration order is seeded per process; use BTreeMap/BTreeSet or sorted vecs"
+            }
+            "Instant" | "SystemTime" => "wall-clock reads make output time-dependent",
+            _ => "unseeded randomness breaks replayability; use a seeded rng",
+        };
+        out.push(RawFinding {
+            rule: RuleId::R4,
+            line: tok.line,
+            col: tok.col,
+            message: format!("`{}` in a render-path crate: {hint}", tok.text),
+        });
+    }
+}
+
+fn check_r5(tok: &Token, next: Option<&Token>, out: &mut Vec<RawFinding>) {
+    if tok.kind != TokenKind::Ident {
+        return;
+    }
+    if tok.text == "static" && next.is_some_and(|n| n.kind == TokenKind::Ident && n.text == "mut") {
+        out.push(RawFinding {
+            rule: RuleId::R5,
+            line: tok.line,
+            col: tok.col,
+            message: "`static mut` shared accumulation; the contract requires per-worker state \
+                      merged in deterministic order"
+                .to_string(),
+        });
+        return;
+    }
+    if tok.text.starts_with("Atomic") && tok.text.len() > "Atomic".len() {
+        out.push(RawFinding {
+            rule: RuleId::R5,
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`{}` in a contract crate; cross-thread accumulation order is scheduling-\
+                 dependent (contract §3: no atomics)",
+                tok.text
+            ),
+        });
+    }
+}
+
+fn check_r6(tok: &Token, out: &mut Vec<RawFinding>) {
+    if tok.kind != TokenKind::Ident {
+        return;
+    }
+    let masked = tok.text.starts_with("wrapping_")
+        || tok.text.starts_with("overflowing_")
+        || tok.text.starts_with("unchecked_")
+        || tok.text == "unwrap_unchecked"
+        || tok.text == "Wrapping";
+    if masked {
+        out.push(RawFinding {
+            rule: RuleId::R6,
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`{}` masks overflow; if wraparound is intended (e.g. a mixing hash), say so \
+                 with a pragma",
+                tok.text
+            ),
+        });
+    }
+}
+
+/// Does the token stream contain `#![forbid(unsafe_code)]`?
+fn has_forbid_unsafe(tokens: &[Token], sig: &[usize]) -> bool {
+    let texts: Vec<&str> = sig.iter().map(|&i| tokens[i].text.as_str()).collect();
+    let want = ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    texts.windows(want.len()).any(|w| w == want)
+}
+
+fn check_r8(tok: &Token, out: &mut Vec<RawFinding>) {
+    let text = &tok.text;
+    let Some(at) = text.find("TODO").or_else(|| text.find("FIXME")) else {
+        return;
+    };
+    let tracked = has_issue_ref(text) || text.contains("http") || text.contains("ISSUE");
+    if !tracked {
+        out.push(RawFinding {
+            rule: RuleId::R8,
+            line: tok.line,
+            col: tok.col + at,
+            message: "TODO/FIXME without an issue reference; add `#NNN`, an ISSUE tag, or a link \
+                      so it cannot silently rot"
+                .to_string(),
+        });
+    }
+}
+
+/// True when the comment contains `#` immediately followed by a digit.
+fn has_issue_ref(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    bytes
+        .windows(2)
+        .any(|w| w[0] == b'#' && w[1].is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::scope::classify;
+
+    fn lint(path: &str, src: &str) -> Vec<RawFinding> {
+        let toks = tokenize(src);
+        let mask = crate::scope::test_regions(&toks);
+        run_rules(classify(path), &toks, &mask)
+    }
+
+    const LIB: &str = "crates/pipeline/src/x.rs";
+
+    #[test]
+    fn r1_flags_bare_casts_not_literals_or_floats() {
+        let f = lint(LIB, "fn f(n: u64) -> usize { n as usize }");
+        assert_eq!(f.iter().filter(|f| f.rule == RuleId::R1).count(), 1);
+        assert!(lint(LIB, "const N: usize = 0xFF as usize;")
+            .iter()
+            .all(|f| f.rule != RuleId::R1));
+        assert!(lint(LIB, "fn f(n: u32) -> f32 { n as f32 }")
+            .iter()
+            .all(|f| f.rule != RuleId::R1));
+        assert!(lint(LIB, "use std::io::Read as R;")
+            .iter()
+            .all(|f| f.rule != RuleId::R1));
+    }
+
+    #[test]
+    fn r2_flags_panic_paths_not_variants() {
+        let f = lint(LIB, "fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        assert_eq!(f.iter().filter(|f| f.rule == RuleId::R2).count(), 1);
+        assert!(lint(LIB, "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }")
+            .iter()
+            .all(|f| f.rule != RuleId::R2));
+        assert!(lint(LIB, "fn f() { debug_assert!(true); }")
+            .iter()
+            .all(|f| f.rule != RuleId::R2));
+        assert_eq!(
+            lint(LIB, "fn f() { assert!(cond); panic!(\"boom\"); }")
+                .iter()
+                .filter(|f| f.rule == RuleId::R2)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn r2_silent_in_tests_and_noncontract() {
+        assert!(lint(LIB, "#[cfg(test)]\nmod t { fn f() { x.unwrap(); } }").is_empty());
+        assert!(lint("crates/sim/src/x.rs", "fn f() { x.unwrap(); }").is_empty());
+        assert!(lint("tests/e2e.rs", "fn f() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn r3_flags_unwrapped_partial_cmp_and_float_eq() {
+        let f = lint(
+            LIB,
+            "fn f(v: &mut [f32]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+        );
+        assert!(f.iter().any(|f| f.rule == RuleId::R3));
+        assert!(lint(
+            LIB,
+            "fn f(v: &mut [f32]) { v.sort_by(|a, b| a.total_cmp(b)); }"
+        )
+        .iter()
+        .all(|f| f.rule != RuleId::R3));
+        assert!(lint(LIB, "fn f(x: f32) -> bool { x == 0.0 }")
+            .iter()
+            .any(|f| f.rule == RuleId::R3));
+        assert!(lint(LIB, "fn f(x: u32) -> bool { x == 0 }")
+            .iter()
+            .all(|f| f.rule != RuleId::R3));
+    }
+
+    #[test]
+    fn r4_flags_render_path_only() {
+        assert!(lint(LIB, "use std::collections::HashMap;")
+            .iter()
+            .any(|f| f.rule == RuleId::R4));
+        assert!(lint(LIB, "let t = Instant::now();")
+            .iter()
+            .any(|f| f.rule == RuleId::R4));
+        // metrics is contract but off the render path.
+        assert!(
+            lint("crates/metrics/src/x.rs", "use std::collections::HashMap;")
+                .iter()
+                .all(|f| f.rule != RuleId::R4)
+        );
+        assert!(lint(LIB, "use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn r5_flags_shared_mut_state() {
+        assert!(lint(LIB, "static mut COUNT: u32 = 0;")
+            .iter()
+            .any(|f| f.rule == RuleId::R5));
+        assert!(lint(LIB, "use std::sync::atomic::AtomicU64;")
+            .iter()
+            .any(|f| f.rule == RuleId::R5));
+        assert!(lint(LIB, "static NAME: &str = \"x\";").is_empty());
+    }
+
+    #[test]
+    fn r6_flags_masked_arithmetic() {
+        assert!(lint(LIB, "fn f(x: u64) -> u64 { x.wrapping_mul(3) }")
+            .iter()
+            .any(|f| f.rule == RuleId::R6));
+        assert!(lint(LIB, "fn f(x: u64) -> Option<u64> { x.checked_mul(3) }").is_empty());
+    }
+
+    #[test]
+    fn r7_wants_forbid_unsafe_on_contract_roots() {
+        assert!(lint("crates/sort/src/lib.rs", "pub mod x;")
+            .iter()
+            .any(|f| f.rule == RuleId::R7));
+        assert!(lint(
+            "crates/sort/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod x;"
+        )
+        .is_empty());
+        // Non-root and non-contract files are exempt.
+        assert!(lint("crates/sort/src/warm.rs", "pub fn f() {}").is_empty());
+        assert!(lint("crates/sim/src/lib.rs", "pub mod x;").is_empty());
+    }
+
+    #[test]
+    fn r8_flags_untracked_todos_everywhere() {
+        assert!(lint("crates/sim/src/x.rs", "// TODO make this faster\n")
+            .iter()
+            .any(|f| f.rule == RuleId::R8));
+        assert!(lint("tests/e2e.rs", "// FIXME flaky\n")
+            .iter()
+            .any(|f| f.rule == RuleId::R8));
+        assert!(lint(LIB, "// TODO(#42): follow-up\n").is_empty());
+        assert!(lint(LIB, "// TODO tracked in ISSUE.md satellite 3\n").is_empty());
+    }
+
+    #[test]
+    fn rule_id_round_trips() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.id()), Some(r));
+            assert_eq!(RuleId::parse(r.slug()), Some(r));
+        }
+        assert_eq!(RuleId::parse("r99"), None);
+    }
+}

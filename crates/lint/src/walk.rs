@@ -1,0 +1,78 @@
+//! Workspace traversal: find every `.rs` file the lint owns.
+//!
+//! Scanned: the umbrella crate (`src/`, `tests/`, `examples/`) and
+//! every `crates/*` member. Skipped: `crates/shims/*` (vendored
+//! API-compatible stand-ins for external dependencies — not our code),
+//! build output (`target/`), and lint fixtures (`fixtures/` — they
+//! contain deliberate violations).
+//!
+//! Traversal order is sorted at every level so reports are
+//! byte-identical run to run — the linter honors the determinism
+//! contract it enforces.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names that are never descended into.
+const SKIP_DIRS: [&str; 5] = ["target", "fixtures", "shims", ".git", "results"];
+
+/// Collect workspace-relative paths (forward slashes) of all lintable
+/// `.rs` files under `root`, sorted.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            visit(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn visit(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            visit(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Does `rel_path` belong to crate `name` (accepts `neo-sort`, `sort`)?
+#[must_use]
+pub fn in_crate(rel_path: &str, name: &str) -> bool {
+    let dir = name.strip_prefix("neo-").unwrap_or(name);
+    if dir == "neo" {
+        // The umbrella crate owns everything outside `crates/`.
+        return !rel_path.starts_with("crates/");
+    }
+    rel_path.starts_with(&format!("crates/{dir}/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_filter_matches_both_spellings() {
+        assert!(in_crate("crates/sort/src/lib.rs", "neo-sort"));
+        assert!(in_crate("crates/sort/src/lib.rs", "sort"));
+        assert!(!in_crate("crates/sort/src/lib.rs", "scene"));
+        assert!(in_crate("src/lib.rs", "neo"));
+        assert!(!in_crate("crates/sort/src/lib.rs", "neo"));
+    }
+}

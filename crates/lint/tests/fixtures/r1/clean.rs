@@ -1,0 +1,4 @@
+// Fixture: checked conversion; truncation becomes a visible fallback.
+pub fn widen(n: u64) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}

@@ -1,0 +1,4 @@
+// Fixture: the cast is justified inline with a reasoned pragma.
+pub fn widen(n: u32) -> usize {
+    n as usize // neo-lint: allow(r1, "u32 -> usize is lossless on every supported target")
+}

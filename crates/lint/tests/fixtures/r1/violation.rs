@@ -1,0 +1,5 @@
+// Fixture: bare `as usize` on a runtime value silently truncates on
+// 32-bit targets and wraps negative inputs.
+pub fn widen(n: u64) -> usize {
+    n as usize
+}

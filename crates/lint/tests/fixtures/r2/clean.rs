@@ -1,0 +1,4 @@
+// Fixture: the absence of a first element is propagated, not panicked.
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}

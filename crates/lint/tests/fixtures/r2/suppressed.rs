@@ -1,0 +1,5 @@
+// Fixture: the panic is a documented precondition, stated in a pragma.
+pub fn first(v: &[u32]) -> u32 {
+    // neo-lint: allow(r2, "documented `# Panics` contract: callers pass a non-empty slice")
+    v.first().copied().unwrap()
+}

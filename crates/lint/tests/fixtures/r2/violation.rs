@@ -1,0 +1,4 @@
+// Fixture: `.unwrap()` in library code panics on the empty slice.
+pub fn first(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,4 @@
+// Fixture: epsilon comparison instead of float-literal equality.
+pub fn is_zero(x: f32) -> bool {
+    x.abs() < 1e-6
+}

@@ -1,0 +1,4 @@
+// Fixture: exactness is justified — the value is assigned, never computed.
+pub fn is_sentinel(x: f32) -> bool {
+    x == 1.0 // neo-lint: allow(r3, "exact sentinel: 1.0 is stored verbatim, never the result of arithmetic")
+}

@@ -1,0 +1,4 @@
+// Fixture: `==` against a float literal is NaN-/rounding-unsafe.
+pub fn is_zero(x: f32) -> bool {
+    x == 0.0
+}

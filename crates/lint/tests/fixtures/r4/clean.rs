@@ -1,0 +1,5 @@
+// Fixture: BTreeMap iterates in key order on every run.
+use std::collections::BTreeMap;
+
+/// Deterministic id -> count index.
+pub type Index = BTreeMap<u32, u64>;

@@ -1,0 +1,2 @@
+// Fixture: the hash map is justified — its order is never observed.
+use std::collections::HashMap; // neo-lint: allow(r4, "scratch map drained through a sorted Vec; iteration order never escapes")

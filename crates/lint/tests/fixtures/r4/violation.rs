@@ -1,0 +1,2 @@
+// Fixture: HashMap iteration order is seeded per process.
+use std::collections::HashMap;

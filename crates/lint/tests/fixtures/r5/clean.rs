@@ -1,0 +1,6 @@
+// Fixture: per-worker counters merged on one thread, in shard order.
+pub fn merge(total: &mut [u64], shard: &[u64]) {
+    for (t, s) in total.iter_mut().zip(shard) {
+        *t += *s;
+    }
+}

@@ -1,0 +1,2 @@
+// Fixture: the atomic is justified — a monotone watchdog flag, not data.
+use std::sync::atomic::AtomicU64; // neo-lint: allow(r5, "watchdog heartbeat counter; never feeds an image or a report")

@@ -1,0 +1,2 @@
+// Fixture: atomic accumulation order depends on thread scheduling.
+use std::sync::atomic::AtomicU64;

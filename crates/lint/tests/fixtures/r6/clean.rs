@@ -1,0 +1,4 @@
+// Fixture: overflow surfaces as None instead of wrapping silently.
+pub fn mix(x: u64) -> Option<u64> {
+    x.checked_mul(3)
+}

@@ -1,0 +1,4 @@
+// Fixture: wraparound is the algorithm, and the pragma says so.
+pub fn mix(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15) // neo-lint: allow(r6, "Fibonacci-hash mixing: the wraparound of the golden-ratio multiply IS the hash")
+}

@@ -1,0 +1,4 @@
+// Fixture: unannotated wrapping arithmetic hides overflow bugs.
+pub fn mix(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}

@@ -1,0 +1,3 @@
+//! Fixture crate root: the no-unsafe invariant is pinned at the boundary.
+#![forbid(unsafe_code)]
+pub mod empty;

@@ -1,0 +1,3 @@
+//! Fixture crate root: file-scoped suppression of the crate-root rule.
+// neo-lint: allow-file(r7, "fixture: demonstrates file-scoped suppression of a crate-attribute finding")
+pub mod empty;

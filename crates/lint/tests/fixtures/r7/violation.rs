@@ -1,0 +1,2 @@
+//! Fixture crate root: a contract crate without `#![forbid(unsafe_code)]`.
+pub mod empty;

@@ -1,0 +1,3 @@
+// Fixture: the marker carries an issue number and stays auditable.
+pub fn stub() {}
+// TODO(#42): tracked follow-up

@@ -1,0 +1,3 @@
+// Fixture: the marker is suppressed with a stated reason.
+// neo-lint: allow(r8, "fixture: demonstrates suppressing a work marker on the next code line")
+pub fn stub() {} // TODO revisit

@@ -1,0 +1,3 @@
+// Fixture: a work marker with no issue reference silently rots.
+pub fn stub() {}
+// TODO make this faster

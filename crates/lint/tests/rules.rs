@@ -1,0 +1,150 @@
+//! Fixture-driven integration tests: every rule has a violating, a
+//! clean, and a suppressed fixture under `tests/fixtures/<rule>/`.
+//!
+//! The fixture files are loaded as text (`include_str!`) and linted
+//! under synthetic workspace paths, so the corpus never has to compile
+//! and the walk layer (which skips `fixtures/` directories) never sees
+//! the deliberate violations.
+
+use neo_lint::{lint_source, RuleId};
+
+/// Synthetic path that puts a fixture in a render-path contract crate.
+const CONTRACT_PATH: &str = "crates/pipeline/src/fixture.rs";
+/// Synthetic path that makes a fixture a contract crate root (for R7).
+const CRATE_ROOT_PATH: &str = "crates/scene/src/lib.rs";
+
+/// (rule, lint path, violation, clean, suppressed) per fixture triple.
+fn corpus() -> Vec<(
+    RuleId,
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+)> {
+    vec![
+        (
+            RuleId::R1,
+            CONTRACT_PATH,
+            include_str!("fixtures/r1/violation.rs"),
+            include_str!("fixtures/r1/clean.rs"),
+            include_str!("fixtures/r1/suppressed.rs"),
+        ),
+        (
+            RuleId::R2,
+            CONTRACT_PATH,
+            include_str!("fixtures/r2/violation.rs"),
+            include_str!("fixtures/r2/clean.rs"),
+            include_str!("fixtures/r2/suppressed.rs"),
+        ),
+        (
+            RuleId::R3,
+            CONTRACT_PATH,
+            include_str!("fixtures/r3/violation.rs"),
+            include_str!("fixtures/r3/clean.rs"),
+            include_str!("fixtures/r3/suppressed.rs"),
+        ),
+        (
+            RuleId::R4,
+            CONTRACT_PATH,
+            include_str!("fixtures/r4/violation.rs"),
+            include_str!("fixtures/r4/clean.rs"),
+            include_str!("fixtures/r4/suppressed.rs"),
+        ),
+        (
+            RuleId::R5,
+            CONTRACT_PATH,
+            include_str!("fixtures/r5/violation.rs"),
+            include_str!("fixtures/r5/clean.rs"),
+            include_str!("fixtures/r5/suppressed.rs"),
+        ),
+        (
+            RuleId::R6,
+            CONTRACT_PATH,
+            include_str!("fixtures/r6/violation.rs"),
+            include_str!("fixtures/r6/clean.rs"),
+            include_str!("fixtures/r6/suppressed.rs"),
+        ),
+        (
+            RuleId::R7,
+            CRATE_ROOT_PATH,
+            include_str!("fixtures/r7/violation.rs"),
+            include_str!("fixtures/r7/clean.rs"),
+            include_str!("fixtures/r7/suppressed.rs"),
+        ),
+        (
+            RuleId::R8,
+            CONTRACT_PATH,
+            include_str!("fixtures/r8/violation.rs"),
+            include_str!("fixtures/r8/clean.rs"),
+            include_str!("fixtures/r8/suppressed.rs"),
+        ),
+    ]
+}
+
+#[test]
+fn violation_fixtures_trigger_exactly_their_rule() {
+    for (rule, path, violation, _, _) in corpus() {
+        let rep = lint_source(path, violation);
+        assert!(
+            rep.findings.iter().any(|f| f.rule == rule),
+            "{rule:?}: violation fixture produced no {rule:?} finding: {:?}",
+            rep.findings
+        );
+        assert!(
+            rep.findings.iter().all(|f| f.rule == rule),
+            "{rule:?}: violation fixture leaked findings of other rules: {:?}",
+            rep.findings
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_are_silent() {
+    for (rule, path, _, clean, _) in corpus() {
+        let rep = lint_source(path, clean);
+        assert!(
+            rep.findings.is_empty(),
+            "{rule:?}: clean fixture is not clean: {:?}",
+            rep.findings
+        );
+        assert!(
+            rep.suppressed.is_empty(),
+            "{rule:?}: clean fixture should need no pragmas: {:?}",
+            rep.suppressed
+        );
+    }
+}
+
+#[test]
+fn suppressed_fixtures_silence_without_leaking() {
+    for (rule, path, _, _, suppressed) in corpus() {
+        let rep = lint_source(path, suppressed);
+        assert!(
+            rep.findings.is_empty(),
+            "{rule:?}: suppressed fixture still has live findings (misplaced or unused pragma): {:?}",
+            rep.findings
+        );
+        assert!(
+            rep.suppressed.iter().any(|f| f.rule == rule),
+            "{rule:?}: suppressed fixture recorded no suppressed {rule:?} finding: {:?}",
+            rep.suppressed
+        );
+    }
+}
+
+#[test]
+fn violation_fixtures_are_rule_scoped_not_global() {
+    // The same violating source in a non-contract crate stays silent
+    // for the contract rules (R8 is hygiene and applies everywhere).
+    for (rule, _, violation, _, _) in corpus() {
+        if rule == RuleId::R8 {
+            continue;
+        }
+        let rep = lint_source("crates/sim/src/fixture.rs", violation);
+        assert!(
+            rep.findings.iter().all(|f| f.rule != rule),
+            "{rule:?}: fired outside the contract crates: {:?}",
+            rep.findings
+        );
+    }
+}

@@ -26,7 +26,9 @@ pub const F16_MAX_F32: f32 = 65504.0;
 /// ```
 pub fn f32_to_f16_bits(value: f32) -> u16 {
     let bits = value.to_bits();
+    // neo-lint: allow(r1, "the & 0x8000 mask leaves only bit 15, which fits u16 exactly")
     let sign = ((bits >> 16) & 0x8000) as u16;
+    // neo-lint: allow(r1, "the & 0xFF mask pins the exponent to 8 bits; i32 holds it with room for the bias arithmetic below")
     let exp = ((bits >> 23) & 0xFF) as i32;
     let man = bits & 0x007F_FFFF;
 
@@ -46,7 +48,9 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
             return sign;
         }
         let man = man | 0x0080_0000; // restore the implicit leading 1
+                                     // neo-lint: allow(r1, "half_exp is in -10..=0 here, so 14 - half_exp is 14..=24: positive and in u32 range")
         let shift = (14 - half_exp) as u32; // 14..=24
+                                            // neo-lint: allow(r1, "man has 24 significant bits and shift >= 14, so the result fits in 10 bits")
         let half_man = (man >> shift) as u16;
         let round_bit = 1u32 << (shift - 1);
         // Round to nearest, ties to even: bump when the round bit is set
@@ -57,6 +61,7 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
         return sign | half_man;
     }
 
+    // neo-lint: allow(r1, "half_exp is in 1..=30 here (5 exponent bits) and man >> 13 leaves 10 mantissa bits; both fit u16")
     let out = sign | ((half_exp as u16) << 10) | (man >> 13) as u16;
     let round_bit = 0x0000_1000u32;
     if man & round_bit != 0 && man & (3 * round_bit - 1) != 0 {
@@ -90,9 +95,9 @@ pub fn f32_to_f16_bits_saturating(value: f32) -> u16 {
 /// assert_eq!(f16_bits_to_f32(0x0001), 2.0f32.powi(-24)); // smallest subnormal
 /// ```
 pub fn f16_bits_to_f32(bits: u16) -> f32 {
-    let sign = ((bits & 0x8000) as u32) << 16;
-    let exp = ((bits >> 10) & 0x1F) as u32;
-    let man = (bits & 0x03FF) as u32;
+    let sign = u32::from(bits & 0x8000) << 16;
+    let exp = u32::from((bits >> 10) & 0x1F);
+    let man = u32::from(bits & 0x03FF);
 
     if exp == 0x1F {
         return f32::from_bits(sign | 0x7F80_0000 | (man << 13));

@@ -21,11 +21,13 @@
 //! assert!((v - Vec3::new(0.0, 0.0, -1.0)).length() < 1e-5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod aabb;
 pub mod f16;
 mod mat;
+pub mod num;
 mod quat;
 pub mod sh;
 mod util;

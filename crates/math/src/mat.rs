@@ -99,6 +99,7 @@ impl Mat3 {
             0 => self.x_axis,
             1 => self.y_axis,
             2 => self.z_axis,
+            // neo-lint: allow(r2, "slice-indexing semantics: an out-of-bounds accessor index is a caller bug, matching `[]` on arrays")
             _ => panic!("column {col} out of bounds for Mat3"),
         };
         col_v[row]

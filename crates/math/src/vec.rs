@@ -194,6 +194,7 @@ macro_rules! impl_vec_common {
             fn index(&self, index: usize) -> &f32 {
                 match index {
                     $($idx => &self.$field,)+
+                    // neo-lint: allow(r2, "Index trait contract: out-of-bounds `[]` panics, matching slices and arrays")
                     _ => panic!("index {index} out of bounds for {}", stringify!($name)),
                 }
             }

@@ -21,6 +21,7 @@
 //! assert!(neo_metrics::lpips_proxy(&a, &b) < 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use neo_math::Vec3;
@@ -79,7 +80,10 @@ pub fn ssim(a: &Image, b: &Image) -> f64 {
     assert_dims(a, b);
     const C1: f64 = 0.01 * 0.01;
     const C2: f64 = 0.03 * 0.03;
-    let (w, h) = (a.width() as usize, a.height() as usize);
+    let (w, h) = (
+        neo_math::num::usize_from_u32(a.width()),
+        neo_math::num::usize_from_u32(a.height()),
+    );
     let win = 8usize.min(w).min(h);
     let stride = (win / 2).max(1);
 
@@ -145,7 +149,10 @@ fn downsample(img: &Image) -> Image {
 
 /// Mean absolute difference of horizontal+vertical luminance gradients.
 fn gradient_difference(a: &Image, b: &Image) -> f64 {
-    let (w, h) = (a.width() as usize, a.height() as usize);
+    let (w, h) = (
+        neo_math::num::usize_from_u32(a.width()),
+        neo_math::num::usize_from_u32(a.height()),
+    );
     if w < 2 || h < 2 {
         return 0.0;
     }
@@ -194,6 +201,7 @@ pub fn lpips_proxy(a: &Image, b: &Image) -> f64 {
 }
 
 fn assert_dims(a: &Image, b: &Image) {
+    // neo-lint: allow(r2, "documented `# Panics` contract of every metric: comparing differently-sized images is a caller bug")
     assert!(
         a.width() == b.width() && a.height() == b.height(),
         "image dimensions differ: {}x{} vs {}x{}",

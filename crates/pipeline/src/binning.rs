@@ -7,7 +7,6 @@
 
 use crate::projection::ProjectedGaussian;
 use crate::tiles::TileGrid;
-use std::collections::HashSet;
 
 /// Membership diff between one tile's populations in consecutive frames
 /// — the measurement the warm-start temporal sorting cache acts on.
@@ -67,9 +66,28 @@ impl TilePopulationDiff {
 /// assert!((d.retention() - 2.0 / 3.0).abs() < 1e-12);
 /// ```
 pub fn diff_tile_population(prev: &[(u32, f32)], cur: &[(u32, f32)]) -> TilePopulationDiff {
-    let prev_ids: HashSet<u32> = prev.iter().map(|&(id, _)| id).collect();
-    let cur_ids: HashSet<u32> = cur.iter().map(|&(id, _)| id).collect();
-    let retained = prev_ids.intersection(&cur_ids).count();
+    // Sorted-vec set intersection instead of HashSet: same O(n log n)
+    // bound, and iteration order (hence any future use of the sets
+    // themselves) is deterministic per the architecture contract.
+    let mut prev_ids: Vec<u32> = prev.iter().map(|&(id, _)| id).collect();
+    let mut cur_ids: Vec<u32> = cur.iter().map(|&(id, _)| id).collect();
+    prev_ids.sort_unstable();
+    prev_ids.dedup();
+    cur_ids.sort_unstable();
+    cur_ids.dedup();
+    let mut retained = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < prev_ids.len() && j < cur_ids.len() {
+        match prev_ids[i].cmp(&cur_ids[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                retained += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
     TilePopulationDiff {
         retained,
         departed: prev_ids.len() - retained,

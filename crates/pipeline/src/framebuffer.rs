@@ -1,5 +1,6 @@
 //! RGB framebuffer with `f32` channels.
 
+use neo_math::num::usize_from_u32;
 use neo_math::Vec3;
 
 /// An RGB image with `f32` channels in `[0, 1]`.
@@ -17,11 +18,12 @@ impl Image {
     ///
     /// Panics when either dimension is zero.
     pub fn new(width: u32, height: u32, background: Vec3) -> Self {
+        // neo-lint: allow(r2, "documented `# Panics` contract: zero-sized images are a caller bug")
         assert!(width > 0 && height > 0, "image dimensions must be positive");
         Self {
             width,
             height,
-            data: vec![background; (width * height) as usize],
+            data: vec![background; usize_from_u32(width) * usize_from_u32(height)],
         }
     }
 
@@ -42,8 +44,9 @@ impl Image {
     /// Panics when out of bounds.
     #[inline]
     pub fn get(&self, x: u32, y: u32) -> Vec3 {
+        // neo-lint: allow(r2, "documented `# Panics` contract, same semantics as slice indexing")
         assert!(x < self.width && y < self.height, "pixel out of bounds");
-        self.data[(y * self.width + x) as usize]
+        self.data[usize_from_u32(y * self.width + x)]
     }
 
     /// Sets pixel `(x, y)`.
@@ -53,8 +56,9 @@ impl Image {
     /// Panics when out of bounds.
     #[inline]
     pub fn set(&mut self, x: u32, y: u32, c: Vec3) {
+        // neo-lint: allow(r2, "documented `# Panics` contract, same semantics as slice indexing")
         assert!(x < self.width && y < self.height, "pixel out of bounds");
-        self.data[(y * self.width + x) as usize] = c;
+        self.data[usize_from_u32(y * self.width + x)] = c;
     }
 
     /// Raw pixel slice, row-major.
@@ -91,17 +95,21 @@ impl Image {
     pub fn blit_region(&mut self, x0: u32, y0: u32, w: u32, h: u32, block: &[Vec3]) {
         // Widened arithmetic: u32 sums would wrap in release builds and
         // let an out-of-bounds rect slip past the check.
+        // neo-lint: allow(r2, "documented `# Panics` contract: the widened bounds check IS the guard")
         assert!(
-            x0 as u64 + w as u64 <= self.width as u64 && y0 as u64 + h as u64 <= self.height as u64,
+            u64::from(x0) + u64::from(w) <= u64::from(self.width)
+                && u64::from(y0) + u64::from(h) <= u64::from(self.height),
             "blit rect {w}x{h}+{x0}+{y0} exceeds {}x{} image",
             self.width,
             self.height
         );
-        assert_eq!(block.len(), w as usize * h as usize, "block size mismatch");
+        let (w, h) = (usize_from_u32(w), usize_from_u32(h));
+        // neo-lint: allow(r2, "documented `# Panics` contract: mis-sized blocks are a caller bug")
+        assert_eq!(block.len(), w * h, "block size mismatch");
         for row in 0..h {
-            let dst = (y0 + row) as usize * self.width as usize + x0 as usize;
-            let src = row as usize * w as usize;
-            self.data[dst..dst + w as usize].copy_from_slice(&block[src..src + w as usize]);
+            let dst = (usize_from_u32(y0) + row) * usize_from_u32(self.width) + usize_from_u32(x0);
+            let src = row * w;
+            self.data[dst..dst + w].copy_from_slice(&block[src..src + w]);
         }
     }
 
@@ -114,10 +122,12 @@ impl Image {
     /// Converts to 8-bit RGB, clamping to `[0, 1]`.
     pub fn to_rgb8(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.data.len() * 3);
+        // neo-lint: allow(r1, "f32->u8 after clamp to [0,1], scale by 255, round: in 0..=255 by construction; floats have no try_from")
+        let quantize = |v: f32| (v.clamp(0.0, 1.0) * 255.0).round() as u8;
         for p in &self.data {
-            out.push((p.x.clamp(0.0, 1.0) * 255.0).round() as u8);
-            out.push((p.y.clamp(0.0, 1.0) * 255.0).round() as u8);
-            out.push((p.z.clamp(0.0, 1.0) * 255.0).round() as u8);
+            out.push(quantize(p.x));
+            out.push(quantize(p.y));
+            out.push(quantize(p.z));
         }
         out
     }

@@ -25,6 +25,7 @@
 //! assert!(stats.projected > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod binning;

@@ -10,6 +10,7 @@ use crate::projection::{project_storage, ProjectedGaussian};
 use crate::scratch::RasterScratch;
 use crate::stats::{FrameStats, Stage};
 use crate::tiles::{subtile_bitmap, TileGrid, SUBTILE_SIZE};
+use neo_math::num::{u64_from_usize, usize_from_u32};
 use neo_math::{Vec2, Vec3};
 use neo_scene::{Camera, CloudStorage};
 
@@ -113,15 +114,18 @@ pub fn rasterize_tile_with_scratch(
     ordered: &[&ProjectedGaussian],
     config: &RenderConfig,
 ) -> TileRasterStats {
+    // neo-lint: allow(r1, "tile_index ranges over grid.tile_count(), a product of u32 tile coordinates; a valid index always fits u32")
     let tx = (tile_index as u32) % grid.tiles_x();
+    // neo-lint: allow(r1, "tile_index ranges over grid.tile_count(), a product of u32 tile coordinates; a valid index always fits u32")
     let ty = (tile_index as u32) / grid.tiles_x();
     let (x0, y0, x1, y1) = grid.tile_rect(tx, ty);
     let mut stats = TileRasterStats::default();
 
     // Per-pixel transmittance and accumulated color for this tile, in
     // buffers reused across tiles and frames.
-    let w = (x1 - x0) as usize;
-    let h = (y1 - y0) as usize;
+    let (tile_w, tile_h) = (x1 - x0, y1 - y0);
+    let w = usize_from_u32(tile_w);
+    let h = usize_from_u32(tile_h);
     let eps = config.transmittance_eps;
     scratch.width = w;
     scratch.height = h;
@@ -130,11 +134,11 @@ pub fn rasterize_tile_with_scratch(
     scratch.color.clear();
     scratch.color.resize(w * h, config.background);
     scratch.row_live.clear();
-    scratch.row_live.resize(h, w as u32);
+    scratch.row_live.resize(h, tile_w);
     let transmittance = &mut scratch.transmittance;
     let color = &mut scratch.color;
     let row_live = &mut scratch.row_live;
-    let mut live_pixels = (w * h) as i64;
+    let mut live_pixels = i64::from(tile_w) * i64::from(tile_h);
     let per_edge = grid.subtiles_per_edge();
 
     for p in ordered {
@@ -173,7 +177,7 @@ pub fn rasterize_tile_with_scratch(
                 continue;
             };
             for py in ellipse.y_lo..ellipse.y_hi {
-                if row_live[(py - y0) as usize] == 0 {
+                if row_live[usize_from_u32(py - y0)] == 0 {
                     continue;
                 }
                 if let Some((lo, hi)) = ellipse.row_span(py, x0, x1) {
@@ -226,7 +230,7 @@ pub fn rasterize_tile_with_scratch(
     // counting we initialize color to ZERO-equivalent: fix up here.
     for py in y0..y1 {
         for px in x0..x1 {
-            let li = ((py - y0) as usize) * w + (px - x0) as usize;
+            let li = usize_from_u32(py - y0) * w + usize_from_u32(px - x0);
             let t = transmittance[li];
             color[li] = color[li] - config.background + config.background * t;
         }
@@ -262,10 +266,10 @@ fn blend_row_span(
     live_pixels: &mut i64,
 ) {
     let (x0, y0) = origin;
-    let row = (py - y0) as usize;
+    let row = usize_from_u32(py - y0);
     for px in px_range {
         stats.pixel_visits += 1;
-        let li = row * w + (px - x0) as usize;
+        let li = row * w + usize_from_u32(px - x0);
         let t = transmittance[li];
         if t < eps {
             continue;
@@ -386,7 +390,9 @@ impl CutoffEllipse {
         }
         // Extremal dy on the ellipse boundary: dy² ≤ 2τ·a / (a·c − b²).
         let dy_max = (2.0 * tau * a / det).sqrt() + CUTOFF_PX_SLACK;
+        // neo-lint: allow(r1, "f64->u32 after clamp into [y0, y1], both u32 tile bounds; in range by construction and floats have no try_from")
         let y_lo = (cy - 0.5 - dy_max).floor().clamp(y0 as f64, y1 as f64) as u32;
+        // neo-lint: allow(r1, "f64->u32 after clamp into [y_lo, y1], both u32 tile bounds; in range by construction and floats have no try_from")
         let y_hi = ((cy - 0.5 + dy_max).ceil() + 1.0).clamp(y_lo as f64, y1 as f64) as u32;
         Some(Self {
             cx,
@@ -426,8 +432,10 @@ impl CutoffEllipse {
         let dx_hi = (mid + half) / self.a;
         let lo = (self.cx + dx_lo - 0.5 - CUTOFF_PX_SLACK)
             .floor()
+            // neo-lint: allow(r1, "f64->u32 after clamp into [x0, x1], both u32 tile bounds; in range by construction and floats have no try_from")
             .clamp(x0 as f64, x1 as f64) as u32;
         let hi = ((self.cx + dx_hi - 0.5 + CUTOFF_PX_SLACK).ceil() + 1.0)
+            // neo-lint: allow(r1, "f64->u32 after clamp into [lo, x1], both u32 tile bounds; in range by construction and floats have no try_from")
             .clamp(lo as f64, x1 as f64) as u32;
         (lo < hi).then_some((lo, hi))
     }
@@ -456,7 +464,7 @@ pub fn render_reference(
     let max_id = cloud.len();
     let mut by_id: Vec<Option<usize>> = vec![None; max_id];
     for (i, p) in projected.iter().enumerate() {
-        by_id[p.id as usize] = Some(i);
+        by_id[usize_from_u32(p.id)] = Some(i);
     }
 
     let mut image = Image::new(cam.width, cam.height, config.background);
@@ -472,13 +480,14 @@ pub fn render_reference(
     // features are read once per Gaussian for projection, per-tile entries
     // are written out and re-read by sorting and rasterization.
     let entry_bytes = 8u64;
-    let feature_bytes = cloud.record_bytes() as u64;
-    stats
-        .traffic
-        .read(Stage::FeatureExtraction, cloud.len() as u64 * feature_bytes);
+    let feature_bytes = u64_from_usize(cloud.record_bytes());
+    stats.traffic.read(
+        Stage::FeatureExtraction,
+        u64_from_usize(cloud.len()) * feature_bytes,
+    );
     stats.traffic.write(
         Stage::Sorting,
-        assignments.total_assignments() as u64 * entry_bytes,
+        u64_from_usize(assignments.total_assignments()) * entry_bytes,
     );
 
     let mut scratch = RasterScratch::new();
@@ -486,20 +495,21 @@ pub fn render_reference(
         // Sort from scratch: stable sort by depth.
         let mut order: Vec<&ProjectedGaussian> = entries
             .iter()
-            .filter_map(|&(id, _)| by_id[id as usize].map(|i| &projected[i]))
+            .filter_map(|&(id, _)| by_id[usize_from_u32(id)].map(|i| &projected[i]))
             .collect();
         order.sort_by(|a, b| a.depth.total_cmp(&b.depth));
 
         // Sorting reads + writes the tile's entry list (single logical
         // pass; multi-pass costs are modelled in neo-sim, not here).
-        let tile_bytes = entries.len() as u64 * entry_bytes;
+        let tile_bytes = u64_from_usize(entries.len()) * entry_bytes;
         stats.traffic.read(Stage::Sorting, tile_bytes);
         stats.traffic.write(Stage::Sorting, tile_bytes);
 
         // Rasterization fetches each listed Gaussian's 2D features.
-        stats
-            .traffic
-            .read(Stage::Rasterization, entries.len() as u64 * feature_bytes);
+        stats.traffic.read(
+            Stage::Rasterization,
+            u64_from_usize(entries.len()) * feature_bytes,
+        );
 
         let tile_stats =
             rasterize_tile_with_scratch(&mut scratch, &grid, tile_index, &order, config);
@@ -511,7 +521,7 @@ pub fn render_reference(
     // Final pixel writes.
     stats.traffic.write(
         Stage::Rasterization,
-        cam.width as u64 * cam.height as u64 * 4,
+        u64::from(cam.width) * u64::from(cam.height) * 4,
     );
 
     (image, stats)

@@ -19,6 +19,7 @@ use crate::framebuffer::Image;
 use crate::pipeline::{rasterize_tile_with_scratch, RenderConfig, TileRasterStats};
 use crate::projection::ProjectedGaussian;
 use crate::tiles::TileGrid;
+use neo_math::num::usize_from_u32;
 use neo_math::Vec3;
 
 /// Per-tile rasterization working buffers, reused across tiles and
@@ -115,8 +116,9 @@ impl RasterScratch {
     /// shape) or the rect is out of the image's bounds.
     pub fn blit_to(&self, image: &mut Image, grid: &TileGrid, tile_index: usize) {
         let (x0, y0, x1, y1) = grid.tile_rect_at(tile_index);
+        // neo-lint: allow(r2, "documented `# Panics` contract: a mismatched block/rect shape would blit garbage pixels")
         assert!(
-            self.width == (x1 - x0) as usize && self.height == (y1 - y0) as usize,
+            self.width == usize_from_u32(x1 - x0) && self.height == usize_from_u32(y1 - y0),
             "scratch block {}x{} does not match tile rect {}x{}",
             self.width,
             self.height,
@@ -267,8 +269,10 @@ impl ShardScratch {
             image.blit_region(
                 x0,
                 y0,
-                span.width as u32,
-                span.height as u32,
+                // Tile dims come from u32 rects, so the round-trip through
+                // usize cannot saturate.
+                u32::try_from(span.width).unwrap_or(u32::MAX),
+                u32::try_from(span.height).unwrap_or(u32::MAX),
                 &self.blocks[span.offset..span.offset + len],
             );
         }

@@ -32,7 +32,7 @@ impl Resolution {
     /// Total pixel count.
     pub fn pixels(self) -> u64 {
         let (w, h) = self.dims();
-        w as u64 * h as u64
+        u64::from(w) * u64::from(h)
     }
 
     /// Short label used in experiment output ("HD", "FHD", ...).

@@ -44,6 +44,8 @@ use std::fmt;
 const MAGIC: &[u8; 4] = b"NEOG";
 const VERSION_V1: u32 = 1;
 const VERSION_V2: u32 = 2;
+/// Highest SH degree the one-byte header field (and the renderer) accepts.
+const MAX_SH_DEGREE: u8 = 3;
 /// Header size of v1 (v2 adds one format byte).
 const V1_HEADER: usize = 13;
 
@@ -61,6 +63,10 @@ pub enum EncodeCloudError {
     /// The cloud holds more Gaussians than the u32 count header can
     /// express; encoding would silently wrap the count.
     TooManyGaussians(usize),
+    /// The cloud's SH degree does not fit the header's `u8` degree
+    /// field / exceeds the supported maximum; encoding would silently
+    /// truncate it (the same wraparound bug class as the count header).
+    UnsupportedDegree(usize),
 }
 
 impl fmt::Display for EncodeCloudError {
@@ -68,6 +74,12 @@ impl fmt::Display for EncodeCloudError {
         match self {
             EncodeCloudError::TooManyGaussians(n) => {
                 write!(f, "cloud has {n} Gaussians, more than a u32 count can hold")
+            }
+            EncodeCloudError::UnsupportedDegree(d) => {
+                write!(
+                    f,
+                    "SH degree {d} does not fit the header (max {MAX_SH_DEGREE})"
+                )
             }
         }
     }
@@ -177,13 +189,17 @@ fn write_header(
     degree: usize,
 ) -> Result<(), EncodeCloudError> {
     let count32 = u32::try_from(count).map_err(|_| EncodeCloudError::TooManyGaussians(count))?;
+    let degree8 = u8::try_from(degree).map_err(|_| EncodeCloudError::UnsupportedDegree(degree))?;
+    if degree8 > MAX_SH_DEGREE {
+        return Err(EncodeCloudError::UnsupportedDegree(degree));
+    }
     out.put_slice(MAGIC);
     out.put_u32_le(version);
     if let Some(f) = format {
         out.put_u8(f.tag());
     }
     out.put_u32_le(count32);
-    out.put_u8(degree as u8);
+    out.put_u8(degree8);
     Ok(())
 }
 
@@ -212,6 +228,7 @@ fn write_header(
 /// Panics when the cloud holds ≥ 2³² Gaussians (the count header is a
 /// `u32`); use [`try_encode_cloud`] to handle that case fallibly.
 pub fn encode_cloud(cloud: &GaussianCloud) -> Vec<u8> {
+    // neo-lint: allow(r2, "documented `# Panics` contract of the legacy infallible API; try_encode_cloud is the fallible path")
     try_encode_cloud(cloud).expect("cloud exceeds the u32 count header")
 }
 
@@ -401,12 +418,12 @@ fn read_counts(
     if buf.remaining() < 5 {
         return Err(DecodeCloudError::Truncated);
     }
-    let count = buf.get_u32_le() as usize;
+    let count = neo_math::num::usize_from_u32(buf.get_u32_le());
     let degree = buf.get_u8();
-    if degree > 3 {
+    if degree > MAX_SH_DEGREE {
         return Err(DecodeCloudError::BadDegree(degree));
     }
-    let degree = degree as usize;
+    let degree = usize::from(degree);
     // `count * record` can wrap on 32-bit `usize` (count comes straight
     // from the wire), which would make a truncated buffer look big
     // enough; a wrapped size also certainly exceeds any real buffer.

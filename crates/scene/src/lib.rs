@@ -21,6 +21,7 @@
 //! assert_eq!(cam.width, 1280);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod camera;

@@ -181,6 +181,7 @@ pub fn pack_quat(q: Quat) -> u32 {
         }
     }
     let flip = comps[largest] < 0.0;
+    // neo-lint: allow(r1, "largest indexes a 4-array, so it is 0..=3 and fits any integer type")
     let mut out = (largest as u32) << 30;
     let mut slot = 0u32;
     for (i, &c) in comps.iter().enumerate() {
@@ -189,7 +190,9 @@ pub fn pack_quat(q: Quat) -> u32 {
         }
         let v = if flip { -c } else { c };
         // A unit quaternion's non-largest components lie in [-1/√2, 1/√2].
+        // neo-lint: allow(r1, "operand is clamped to [-1, 1] and scaled to ±511 before the f32→i32 cast, which is exact in that range (NaN casts to 0)")
         let fixed = ((v * std::f32::consts::SQRT_2).clamp(-1.0, 1.0) * 511.0).round() as i32 + 512;
+        // neo-lint: allow(r1, "clamped to [0, 1023] on the line above, so the i32→u32 cast cannot wrap")
         out |= (fixed.clamp(0, 1023) as u32) << (20 - 10 * slot);
         slot += 1;
     }
@@ -200,7 +203,7 @@ pub fn pack_quat(q: Quat) -> u32 {
 /// (the largest component is reconstructed from the other three, then the
 /// result is renormalized). Total for any `u32` input.
 pub fn unpack_quat(bits: u32) -> Quat {
-    let largest = (bits >> 30) as usize;
+    let largest = neo_math::num::usize_from_u32(bits >> 30);
     let mut comps = [0.0f32; 4];
     let mut sum_sq = 0.0f32;
     let mut slot = 0u32;
@@ -208,6 +211,7 @@ pub fn unpack_quat(bits: u32) -> Quat {
         if i == largest {
             continue;
         }
+        // neo-lint: allow(r1, "masked to 10 bits, so the u32→i32 cast cannot wrap")
         let fixed = ((bits >> (20 - 10 * slot)) & 0x3FF) as i32 - 512;
         let v = fixed as f32 / (511.0 * std::f32::consts::SQRT_2);
         *c = v;
@@ -221,6 +225,7 @@ pub fn unpack_quat(bits: u32) -> Quat {
 fn quantize_opacity(o: f32) -> u8 {
     // NaN clamps to 0.0 (`f32::clamp` propagates NaN, but `as u8`
     // saturates NaN to 0), so the result is always in range.
+    // neo-lint: allow(r1, "operand is clamped to [0, 255] before the f32→u8 cast; NaN saturates to 0 by the cast's own semantics")
     (o.clamp(0.0, 1.0) * 255.0).round() as u8
 }
 
@@ -348,13 +353,18 @@ impl CloudStorage for SoaCloud {
     }
 
     fn get(&self, id: u32) -> Option<Gaussian> {
-        ((id as usize) < self.len).then(|| self.decode(id as usize))
+        let j = neo_math::num::usize_from_u32(id);
+        (j < self.len).then(|| self.decode(j))
     }
 
     fn visit(&self, f: &mut dyn FnMut(u32, &Gaussian)) {
-        for j in 0..self.len {
+        // IDs are `u32` by the storage API contract: a cloud with more
+        // than u32::MAX splats is unaddressable through `get` as well,
+        // and the id/index zip below simply ends at the last
+        // addressable record instead of wrapping.
+        for (id, j) in (0u32..=u32::MAX).zip(0..self.len) {
             let g = self.decode(j);
-            f(j as u32, &g);
+            f(id, &g);
         }
     }
 }
@@ -459,13 +469,16 @@ impl CloudStorage for CompactCloud {
     }
 
     fn get(&self, id: u32) -> Option<Gaussian> {
-        ((id as usize) < self.len).then(|| self.decode(id as usize))
+        let j = neo_math::num::usize_from_u32(id);
+        (j < self.len).then(|| self.decode(j))
     }
 
     fn visit(&self, f: &mut dyn FnMut(u32, &Gaussian)) {
-        for j in 0..self.len {
+        // See `SoaCloud::visit`: the id/index zip ends at the last
+        // u32-addressable record instead of wrapping.
+        for (id, j) in (0u32..=u32::MAX).zip(0..self.len) {
             let g = self.decode(j);
-            f(j as u32, &g);
+            f(id, &g);
         }
     }
 }

@@ -62,9 +62,12 @@ impl SynthParams {
     /// Returns a copy with the Gaussian count scaled by `factor`
     /// (clamped to at least 1). Used to run reduced-size experiments.
     pub fn scaled(mut self, factor: f64) -> Self {
+        // neo-lint: allow(r2, "builder precondition: a non-positive scale factor is a caller bug with no sensible recovery")
         assert!(factor > 0.0, "scale factor must be positive");
+        // neo-lint: allow(r1, "f64->usize saturating cast is the intended rounding; counts are clamped to >= 1 below and floats have no try_from")
         self.gaussian_count = ((self.gaussian_count as f64 * factor) as usize).max(1);
         // Keep per-cluster density roughly constant.
+        // neo-lint: allow(r1, "f64->usize saturating cast is the intended rounding; counts are clamped to >= 1 below and floats have no try_from")
         self.cluster_count = ((self.cluster_count as f64 * factor.sqrt()) as usize).max(1);
         self
     }
@@ -103,7 +106,9 @@ fn log_uniform(rng: &mut impl Rng, lo: f32, hi: f32) -> f32 {
 /// Deterministic: equal parameters (including seed) produce identical
 /// clouds on every platform.
 pub fn generate(params: &SynthParams) -> GaussianCloud {
+    // neo-lint: allow(r2, "generator precondition: out-of-range SynthParams are a caller bug, and silently clamping would change the generated scene")
     assert!(params.sh_degree <= 3, "sh_degree must be 0..=3");
+    // neo-lint: allow(r2, "generator precondition: out-of-range SynthParams are a caller bug, and silently clamping would change the generated scene")
     assert!(
         (0.0..=1.0).contains(&params.background_fraction),
         "background_fraction must be in [0, 1]"

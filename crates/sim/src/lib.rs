@@ -33,6 +33,7 @@
 //! assert!(tn.fps() > tg.fps(), "Neo must outperform GSCore at QHD");
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod asic;

@@ -101,14 +101,14 @@ pub fn dynamic_partial_sort(
     for pass in 0..config.passes {
         // Alternate boundary phase across *passes* too, so multi-pass
         // configurations converge faster.
-        let phase = frame_index + pass as u64;
+        let phase = frame_index + u64::from(pass);
         let ranges = chunk_ranges(table.len(), phase, config.chunk_size);
         for (start, end) in ranges {
             let (sorted, c) = chunk_sort_keeping(&table.entries()[start..end]);
             debug_assert_eq!(sorted.len(), end - start);
             table.entries_mut()[start..end].copy_from_slice(&sorted);
             cost += c;
-            let bytes = ((end - start) * ENTRY_BYTES) as u64;
+            let bytes = neo_math::num::u64_from_usize((end - start) * ENTRY_BYTES);
             cost.bytes_read += bytes;
             cost.bytes_written += bytes;
         }

@@ -46,13 +46,14 @@ pub fn hierarchical_sort(
     entries: &[TableEntry],
     config: &HierarchicalConfig,
 ) -> (Vec<TableEntry>, SortCost) {
+    // neo-lint: allow(r2, "documented `# Panics` contract: >16 bucket bits no longer models on-chip metadata")
     assert!(config.bucket_bits <= 16, "bucket_bits must be ≤ 16");
     let mut cost = SortCost::new();
     if entries.is_empty() {
         return (Vec::new(), cost);
     }
     let n_buckets = 1usize << config.bucket_bits;
-    let table_bytes = (entries.len() * ENTRY_BYTES) as u64;
+    let table_bytes = neo_math::num::u64_from_usize(entries.len() * ENTRY_BYTES);
 
     // Coarse pass: bucket by the top bits of the order-preserving depth
     // key. One read + one write of the table.
@@ -62,7 +63,7 @@ pub fn hierarchical_sort(
         let b = if config.bucket_bits == 0 {
             0
         } else {
-            (depth_key >> (32 - config.bucket_bits)) as usize
+            neo_math::num::usize_from_u32(depth_key >> (32 - config.bucket_bits))
         };
         buckets[b].push(*e);
         cost.moves += 1;
@@ -84,7 +85,10 @@ pub fn hierarchical_sort(
             let overflow = (bucket.len() as f64 / config.chunk_size as f64)
                 .log2()
                 .ceil();
-            extra_pass_bytes += (bucket.len() * ENTRY_BYTES) as u64 * overflow as u64;
+            // neo-lint: allow(r1, "overflow = ceil(log2(len/chunk)) is a small non-negative f64; the saturating f64->u64 cast is exact and floats have no try_from")
+            let extra_passes = overflow as u64;
+            extra_pass_bytes +=
+                neo_math::num::u64_from_usize(bucket.len() * ENTRY_BYTES) * extra_passes;
         }
         let (sorted, c) = chunk_sort_keeping(&bucket);
         cost += c;

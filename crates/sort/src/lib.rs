@@ -38,6 +38,7 @@
 //! assert!(table.inversions() < 1000 * 999 / 4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod bitonic;

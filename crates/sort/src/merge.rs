@@ -86,7 +86,7 @@ pub fn merge_runs(runs: &[&[TableEntry]]) -> (Vec<TableEntry>, SortCost) {
         0 => return (Vec::new(), cost),
         1 => {
             let out: Vec<_> = runs[0].iter().copied().filter(|e| e.valid).collect();
-            cost.moves += out.len() as u64;
+            cost.moves += neo_math::num::u64_from_usize(out.len());
             return (out, cost);
         }
         _ => {}

@@ -47,18 +47,19 @@ pub fn radix_sort(entries: &[TableEntry]) -> (Vec<TableEntry>, SortCost) {
     // low word — LSD over the low word first preserves depth-major order.
     let key64 = |e: &TableEntry| -> u64 {
         let (depth_key, id) = e.key();
-        ((depth_key as u64) << 32) | id as u64
+        (u64::from(depth_key) << 32) | u64::from(id)
     };
 
     let mut src: Vec<TableEntry> = entries.to_vec();
     let mut dst: Vec<TableEntry> = Vec::with_capacity(n);
-    let pass_bytes = (n * ENTRY_BYTES) as u64;
+    let pass_bytes = neo_math::num::u64_from_usize(n * ENTRY_BYTES);
 
     for pass in 0..RADIX64_PASSES {
         let shift = pass * 8;
         // Counting pass (histogram) is on-chip; scatter is the DRAM pass.
         let mut counts = [0usize; 256];
         for e in &src {
+            // neo-lint: allow(r1, "the & 0xFF mask pins the digit to 0..=255; it cannot truncate")
             counts[((key64(e) >> shift) & 0xFF) as usize] += 1;
         }
         let mut offsets = [0usize; 256];
@@ -70,6 +71,7 @@ pub fn radix_sort(entries: &[TableEntry]) -> (Vec<TableEntry>, SortCost) {
         dst.clear();
         dst.resize(n, src[0]);
         for e in &src {
+            // neo-lint: allow(r1, "the & 0xFF mask pins the digit to 0..=255; it cannot truncate")
             let d = ((key64(e) >> shift) & 0xFF) as usize;
             dst[offsets[d]] = *e;
             offsets[d] += 1;

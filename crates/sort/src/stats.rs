@@ -6,7 +6,10 @@
 //!   tile's depth ordering between consecutive frames (Figure 7 reports
 //!   the 90th/95th/99th percentiles).
 
-use std::collections::HashMap;
+// BTree collections keep every derived iteration order a pure function
+// of the keys (architecture contract §4); hash maps are seeded per
+// process.
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Fraction of `prev` IDs that also appear in `cur` (1.0 when `prev` is
 /// empty — an empty tile retains everything vacuously).
@@ -14,7 +17,7 @@ pub fn retention(prev: &[u32], cur: &[u32]) -> f64 {
     if prev.is_empty() {
         return 1.0;
     }
-    let cur_set: std::collections::HashSet<u32> = cur.iter().copied().collect();
+    let cur_set: BTreeSet<u32> = cur.iter().copied().collect();
     let shared = prev.iter().filter(|id| cur_set.contains(id)).count();
     shared as f64 / prev.len() as f64
 }
@@ -26,7 +29,7 @@ pub fn retention(prev: &[u32], cur: &[u32]) -> f64 {
 /// (so insertions/removals do not inflate displacements), and the absolute
 /// rank difference is returned per shared ID.
 pub fn order_differences(prev: &[u32], cur: &[u32]) -> Vec<usize> {
-    let cur_ranks: HashMap<u32, usize> = cur.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let cur_ranks: BTreeMap<u32, usize> = cur.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     // Shared IDs in prev order with their positions in cur.
     let shared_prev: Vec<u32> = prev
         .iter()
@@ -35,7 +38,7 @@ pub fn order_differences(prev: &[u32], cur: &[u32]) -> Vec<usize> {
         .collect();
     let mut shared_cur: Vec<u32> = shared_prev.clone();
     shared_cur.sort_by_key(|id| cur_ranks[id]);
-    let cur_shared_rank: HashMap<u32, usize> = shared_cur
+    let cur_shared_rank: BTreeMap<u32, usize> = shared_cur
         .iter()
         .enumerate()
         .map(|(i, &id)| (id, i))
@@ -56,7 +59,9 @@ pub fn order_differences(prev: &[u32], cur: &[u32]) -> Vec<usize> {
 /// we define `p = 0.0` as the minimum sample (rank 1). The upper clamp is
 /// defensive against float round-up at `p = 100.0`.
 fn nearest_rank_index(n: usize, p: f64) -> usize {
+    // neo-lint: allow(r2, "documented `# Panics` contract: out-of-range percentile is a caller bug")
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    // neo-lint: allow(r1, "f64->usize is a saturating cast and the clamp(1, n) pins the rank in range; floats have no try_from")
     (((p / 100.0) * n as f64).ceil() as usize).clamp(1, n) - 1
 }
 
@@ -75,6 +80,7 @@ fn nearest_rank_index(n: usize, p: f64) -> usize {
 /// Panics when `p` is outside `[0, 100]`.
 pub fn percentile(samples: &[usize], p: f64) -> usize {
     if samples.is_empty() {
+        // neo-lint: allow(r2, "documented `# Panics` contract: out-of-range percentile is a caller bug")
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
         return 0;
     }
@@ -95,6 +101,7 @@ pub fn percentile(samples: &[usize], p: f64) -> usize {
 /// Panics when `p` is outside `[0, 100]`.
 pub fn percentile_f64(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
+        // neo-lint: allow(r2, "documented `# Panics` contract: out-of-range percentile is a caller bug")
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
         return 0.0;
     }

@@ -25,7 +25,9 @@ use crate::hierarchical::{hierarchical_sort, HierarchicalConfig};
 use crate::merge::{chunk_sort, merge_filtering};
 use crate::radix::radix_sort;
 use crate::{GaussianTable, SortCost, TableEntry, ENTRY_BYTES};
-use std::collections::{HashMap, HashSet, VecDeque};
+// BTree collections keep membership/lookup structures deterministic
+// (architecture contract §4); hash maps are seeded per process.
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Number of read+write passes a GPU radix sort makes over the key array
 /// (64-bit composite keys, 8-bit digits — the CUB configuration 3DGS
@@ -136,6 +138,7 @@ impl StrategyKind {
     /// interval); validate first when the parameters are untrusted.
     #[must_use]
     pub fn build(self, config: SorterConfig) -> Box<dyn SortingStrategy> {
+        // neo-lint: allow(r2, "documented `# Panics` contract: validate() is the fallible path for untrusted parameters")
         assert!(self.validate().is_ok(), "invalid strategy: {self:?}");
         match self {
             StrategyKind::FullResort => Box::new(FullResortStrategy::new()),
@@ -333,6 +336,7 @@ impl PeriodicStrategy {
     ///
     /// Panics when `interval` is zero.
     pub fn new(interval: u32) -> Self {
+        // neo-lint: allow(r2, "documented `# Panics` contract: a zero refresh interval would divide by zero every frame")
         assert!(interval > 0, "periodic interval must be positive");
         Self {
             interval,
@@ -358,7 +362,7 @@ impl SortingStrategy for PeriodicStrategy {
     }
 
     fn order(&mut self, current: &[(u32, f32)]) -> FrameOrder {
-        if self.frame.is_multiple_of(self.interval as u64) {
+        if self.frame.is_multiple_of(u64::from(self.interval)) {
             let entries: Vec<TableEntry> = current
                 .iter()
                 .map(|&(id, d)| TableEntry::new(id, d))
@@ -438,7 +442,7 @@ impl SortingStrategy for BackgroundStrategy {
         self.total_cost += cost;
         self.pending.push_back(fresh);
         // ...but rendering consumes the sort finished `lag` frames ago.
-        while self.pending.len() > self.lag as usize + 1 {
+        while self.pending.len() > neo_math::num::usize_from_u32(self.lag) + 1 {
             self.pending.pop_front();
         }
         // During warm-up fewer than `lag` sorts exist; use the oldest.
@@ -519,7 +523,7 @@ impl SortingStrategy for ReuseUpdateStrategy {
         cost += dynamic_partial_sort(&mut self.table, self.frame, &self.config.dps);
 
         // ❷ Insertion: collect newly visible Gaussians and chunk-sort them.
-        let valid_ids: HashSet<u32> = self
+        let valid_ids: BTreeSet<u32> = self
             .table
             .entries()
             .iter()
@@ -534,7 +538,7 @@ impl SortingStrategy for ReuseUpdateStrategy {
         let incoming = incoming_entries.len();
         let (incoming_sorted, c_in) = chunk_sort(&incoming_entries);
         cost += c_in;
-        let incoming_bytes = (incoming * ENTRY_BYTES) as u64;
+        let incoming_bytes = neo_math::num::u64_from_usize(incoming * ENTRY_BYTES);
         cost.bytes_read += incoming_bytes;
         cost.bytes_written += incoming_bytes;
 
@@ -552,7 +556,7 @@ impl SortingStrategy for ReuseUpdateStrategy {
         // ❹ Deferred depth update + outgoing detection, performed "during
         // rasterization": stored depths become this frame's depths, and
         // entries that no longer intersect the tile lose their valid bit.
-        let current_map: HashMap<u32, f32> = current.iter().copied().collect();
+        let current_map: BTreeMap<u32, f32> = current.iter().copied().collect();
         let mut outgoing = 0;
         for e in self.table.entries_mut() {
             match current_map.get(&e.id) {

@@ -171,7 +171,7 @@ impl GaussianTable {
                     buf.push(left[i]);
                     i += 1;
                 } else {
-                    inv += (left.len() - i) as u64;
+                    inv += neo_math::num::u64_from_usize(left.len() - i);
                     buf.push(right[j]);
                     j += 1;
                 }
@@ -201,7 +201,7 @@ impl GaussianTable {
 
     /// Size of the table in off-chip bytes.
     pub fn byte_size(&self) -> u64 {
-        (self.entries.len() * ENTRY_BYTES) as u64
+        neo_math::num::u64_from_usize(self.entries.len() * ENTRY_BYTES)
     }
 }
 

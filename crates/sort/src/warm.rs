@@ -95,6 +95,7 @@ impl IdMap {
 
     #[inline]
     fn home(&self, id: u32) -> usize {
+        // neo-lint: allow(r6, "Fibonacci-hash mixing: the wraparound of the golden-ratio multiply IS the hash") allow(r1, "the >> 32 of a u64 leaves 32 bits, then & mask narrows further; cannot truncate")
         ((u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize & self.mask
     }
 
@@ -446,7 +447,8 @@ impl WarmStartSorter {
         // Bounded insertion repair: temporal coherence keeps displacements
         // tiny, so this is near-linear; the move budget converts the
         // adversarial quadratic case into a cold-sort fallback instead.
-        let budget = retained.len() as u64 * u64::from(self.config.repair_budget_factor);
+        let budget = neo_math::num::u64_from_usize(retained.len())
+            * u64::from(self.config.repair_budget_factor);
         let mut repair_moves = 0u64;
         let mut repair_compares = 0u64;
         for i in 1..retained.len() {
@@ -488,14 +490,15 @@ impl WarmStartSorter {
         let mut cost = SortCost::new();
         cost.compares = repair_compares + cost_in.compares + cost_merge.compares;
         cost.moves = repair_moves + cost_in.moves + cost_merge.moves;
-        cost.bytes_read = self.cache.byte_size() + (incoming * ENTRY_BYTES) as u64;
-        cost.bytes_written = (merged.len() * ENTRY_BYTES) as u64;
+        cost.bytes_read =
+            self.cache.byte_size() + neo_math::num::u64_from_usize(incoming * ENTRY_BYTES);
+        cost.bytes_written = neo_math::num::u64_from_usize(merged.len() * ENTRY_BYTES);
         cost.passes = 1;
 
         self.stats.warm_frames += 1;
-        self.stats.reused_entries += retained.len() as u64;
-        self.stats.inserted_entries += incoming as u64;
-        self.stats.dropped_entries += outgoing as u64;
+        self.stats.reused_entries += neo_math::num::u64_from_usize(retained.len());
+        self.stats.inserted_entries += neo_math::num::u64_from_usize(incoming);
+        self.stats.dropped_entries += neo_math::num::u64_from_usize(outgoing);
         self.stats.repair_moves += repair_moves;
         let reuse = TileReuse {
             warm: true,
@@ -544,7 +547,7 @@ impl WarmStartSorter {
         match self.retention_against_cache(&current_map) {
             Some((retention, retained)) if retention >= self.config.retention_threshold => {
                 self.stats.warm_frames += 1;
-                self.stats.reused_entries += retained as u64;
+                self.stats.reused_entries += neo_math::num::u64_from_usize(retained);
             }
             Some(_) => {
                 self.stats.fallbacks += 1;

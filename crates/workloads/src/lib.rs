@@ -29,6 +29,7 @@
 //! assert!(frames[0].duplicates > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod capture;

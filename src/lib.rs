@@ -14,6 +14,7 @@
 //! * [`neo_metrics`] — PSNR / SSIM / LPIPS-proxy
 //! * [`neo_workloads`] — workload capture and experiment presets
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub use neo_core;
