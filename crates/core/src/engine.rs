@@ -42,8 +42,8 @@
 //! ```
 
 use crate::{
-    FrameResult, NeoError, NeoResult, RendererConfig, SequenceStats, ShardPlan, TemporalCacheStats,
-    TileLoad,
+    FrameResult, NeoError, NeoResult, RendererConfig, SequenceStats, SessionId, ShardPlan,
+    TemporalCacheStats, TileLoad,
 };
 use neo_pipeline::{
     bin_to_tiles, project_storage, FrameStats, Image, ProjectedGaussian, RenderConfig,
@@ -656,7 +656,22 @@ impl RenderEngine {
     /// never observe each other and may run on different threads.
     #[must_use]
     pub fn session(&self) -> RenderSession {
+        self.session_with_id(SessionId::ANONYMOUS)
+    }
+
+    /// Creates an independent rendering session carrying an explicit
+    /// identity ([`RenderSession::id`]).
+    ///
+    /// The engine deliberately does not mint ids from an internal counter
+    /// — that would make identity depend on the scheduling of concurrent
+    /// `session()` calls. Callers that need stable identity (the
+    /// `neo-serve` scheduler, capture harnesses) assign ids in an order
+    /// that is deterministic for them. Identity never affects rendering:
+    /// two sessions with different ids produce byte-identical frames.
+    #[must_use]
+    pub fn session_with_id(&self, id: SessionId) -> RenderSession {
         RenderSession {
+            id,
             scene: Arc::clone(&self.scene),
             storage: Arc::clone(&self.storage),
             config: self.config.clone(),
@@ -701,6 +716,7 @@ impl RenderEngine {
 /// camera streams of the same scene concurrently.
 #[derive(Debug)]
 pub struct RenderSession {
+    id: SessionId,
     scene: Arc<GaussianCloud>,
     storage: Arc<dyn CloudStorage>,
     config: RendererConfig,
@@ -709,6 +725,13 @@ pub struct RenderSession {
 }
 
 impl RenderSession {
+    /// This session's identity — [`SessionId::ANONYMOUS`] unless the
+    /// session was minted via [`RenderEngine::session_with_id`].
+    #[must_use]
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
     /// Renders one frame, advancing all per-tile sorting state.
     ///
     /// # Errors

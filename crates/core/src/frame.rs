@@ -3,6 +3,33 @@
 use neo_pipeline::{FrameStats, Image};
 use neo_sort::SortCost;
 
+/// Stable identity of a [`crate::RenderSession`] within a serving or
+/// multi-session context.
+///
+/// The engine does not mint identifiers itself (a global counter would
+/// make identity depend on session-creation scheduling); callers that
+/// need identity — the `neo-serve` scheduler, a capture harness — assign
+/// ids via [`crate::RenderEngine::session_with_id`] in whatever order is
+/// deterministic for them. Sessions created with
+/// [`crate::RenderEngine::session`] carry [`SessionId::ANONYMOUS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u32);
+
+impl SessionId {
+    /// The id of sessions minted without an explicit identity.
+    pub const ANONYMOUS: SessionId = SessionId(u32::MAX);
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == SessionId::ANONYMOUS {
+            write!(f, "s?")
+        } else {
+            write!(f, "s{}", self.0)
+        }
+    }
+}
+
 /// Aggregate warm-start temporal-cache statistics for one frame.
 ///
 /// Populated only when the session's strategies carry a temporal cache
@@ -117,6 +144,22 @@ impl FrameResult {
     #[must_use]
     pub fn total_table_entries(&self) -> u64 {
         self.tile_loads.iter().map(|t| u64::from(t.table_len)).sum()
+    }
+
+    /// Deterministic scalar summarizing how much work this frame did —
+    /// the per-frame cost hook consumed by `neo-serve` cost models.
+    ///
+    /// Defined as the frame's total DRAM traffic in bytes plus weighted
+    /// compute proxies: `traffic + 32·blend_ops + 4·pixel_visits`. Every
+    /// term is a shard-invariant integer sum, so the value is
+    /// byte-identical across thread counts and shard plans — which is
+    /// what lets a virtual clock built on it replay identically at any
+    /// [`crate::Parallelism`]. The value does depend on functional
+    /// configuration (storage format, raster fast path, strategy), since
+    /// those change the work actually performed.
+    #[must_use]
+    pub fn work_units(&self) -> u64 {
+        self.stats.traffic.total() + 32 * self.stats.blend_ops + 4 * self.stats.pixel_visits
     }
 }
 

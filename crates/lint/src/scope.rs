@@ -4,9 +4,9 @@
 //!
 //! * **by crate** — the determinism contract binds the library crates
 //!   (`neo-math`, `neo-scene`, `neo-pipeline`, `neo-sort`, `neo-core`,
-//!   `neo-metrics`) plus this linter itself; the render-path subset
-//!   additionally bans nondeterminism sources. Bench/sim/workload and
-//!   umbrella code only get the hygiene rules.
+//!   `neo-serve`, `neo-metrics`) plus this linter itself; the
+//!   render-path subset additionally bans nondeterminism sources.
+//!   Bench/sim/workload and umbrella code only get the hygiene rules.
 //! * **by region** — `#[cfg(test)]` modules, `#[test]` functions, and
 //!   files under `tests/`/`benches/`/`examples/` are free to unwrap,
 //!   assert, and cast; only hygiene rules apply there.
@@ -19,9 +19,9 @@ pub enum CrateClass {
     /// Determinism-contract crate: all rules apply.
     Contract {
         /// True for crates on the render path (`math`, `scene`,
-        /// `pipeline`, `sort`, `core`), where nondeterminism sources
-        /// (R4) are additionally banned. `metrics` and the linter are
-        /// contract crates off the render path.
+        /// `pipeline`, `sort`, `core`, `serve`), where nondeterminism
+        /// sources (R4) are additionally banned. `metrics` and the
+        /// linter are contract crates off the render path.
         render_path: bool,
     },
     /// Workspace code outside the contract (bench, sim, workloads,
@@ -51,11 +51,14 @@ pub struct FileScope {
 }
 
 /// Contract crate directory names under `crates/`.
-const CONTRACT_CRATES: [&str; 7] = [
-    "math", "scene", "pipeline", "sort", "core", "metrics", "lint",
+const CONTRACT_CRATES: [&str; 8] = [
+    "math", "scene", "pipeline", "sort", "core", "serve", "metrics", "lint",
 ];
-/// The subset of contract crates on the render path.
-const RENDER_PATH_CRATES: [&str; 5] = ["math", "scene", "pipeline", "sort", "core"];
+/// The subset of contract crates on the render path. `serve` is included
+/// because its virtual-clock scheduler traces carry the same
+/// byte-reproducibility contract as frame results — wall clocks, RNG
+/// state, and unordered maps are just as banned there.
+const RENDER_PATH_CRATES: [&str; 6] = ["math", "scene", "pipeline", "sort", "core", "serve"];
 
 /// Classify a workspace-relative path (forward slashes).
 #[must_use]
@@ -264,6 +267,11 @@ mod tests {
             classify("crates/metrics/src/lib.rs").class,
             CrateClass::Contract { render_path: false }
         ));
+        assert!(matches!(
+            classify("crates/serve/src/server.rs").class,
+            CrateClass::Contract { render_path: true }
+        ));
+        assert!(classify("crates/serve/src/lib.rs").contract_lib_root);
         assert!(classify("crates/metrics/src/lib.rs").contract_lib_root);
         assert!(!classify("crates/sim/src/lib.rs").contract_lib_root);
         assert_eq!(

@@ -1,0 +1,103 @@
+//! Admission control: bounded active set, bounded wait queue, and the
+//! rejection accounting the fairness suite pins.
+
+use crate::{ServeError, ServeResult};
+
+/// Capacity limits for the serve loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum sessions rendering concurrently (the active set).
+    pub max_active: usize,
+    /// Maximum admitted sessions waiting for an active slot. Arrivals
+    /// beyond `max_active + queue_bound` in-flight sessions are rejected.
+    pub queue_bound: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_active: 64,
+            queue_bound: 64,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Rejects a zero-capacity active set (nothing could ever render).
+    pub fn validate(&self) -> ServeResult<()> {
+        if self.max_active == 0 {
+            return Err(ServeError::invalid_spec(
+                "admission must allow at least one active session",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Counters maintained by the serve loop's admission decisions.
+///
+/// Invariant (pinned by `tests/serve_fairness.rs`):
+/// `offered == admitted + rejected`, where *admitted* means accepted into
+/// the system (straight to the active set or into the wait queue) and
+/// *rejected* means turned away at arrival because the queue was full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Sessions offered to the server.
+    pub offered: u64,
+    /// Sessions accepted (activated immediately or queued).
+    pub admitted: u64,
+    /// Sessions turned away at arrival.
+    pub rejected: u64,
+    /// High-water mark of the wait queue (never exceeds `queue_bound`).
+    pub peak_queue: usize,
+    /// High-water mark of the active set (never exceeds `max_active`).
+    pub peak_active: usize,
+}
+
+impl AdmissionStats {
+    /// Fraction of offered sessions that were rejected (0.0 when nothing
+    /// was offered).
+    #[must_use]
+    pub fn rejection_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_active_capacity_is_rejected() {
+        assert!(AdmissionConfig {
+            max_active: 0,
+            queue_bound: 4
+        }
+        .validate()
+        .is_err());
+        assert!(AdmissionConfig::default().validate().is_ok());
+        // A zero queue bound is legal: admit-or-reject with no waiting.
+        assert!(AdmissionConfig {
+            max_active: 1,
+            queue_bound: 0
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn rejection_rate_edges() {
+        assert_eq!(AdmissionStats::default().rejection_rate(), 0.0);
+        let s = AdmissionStats {
+            offered: 10,
+            admitted: 7,
+            rejected: 3,
+            ..Default::default()
+        };
+        assert!((s.rejection_rate() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! Serving errors.
+
+use neo_core::NeoError;
+
+/// Everything that can go wrong while configuring or running a serve
+/// loop. Mirrors `neo-core`'s fallible-construction style: invalid
+/// specifications surface as values at validation time, never as panics
+/// mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A workload/session/driver specification failed validation.
+    InvalidSpec(String),
+    /// A render call failed (degenerate camera in a session spec).
+    Render(NeoError),
+    /// The simulation exceeded its configured tick bound
+    /// ([`crate::ServeConfig::max_ticks`]) — the safety valve against
+    /// runaway workloads (e.g. a period of zero would otherwise loop
+    /// forever in virtual time).
+    TickLimit {
+        /// The bound that was hit.
+        max_ticks: u64,
+    },
+}
+
+impl ServeError {
+    /// Convenience constructor mirroring `NeoError::invalid_config`.
+    pub fn invalid_spec(msg: impl Into<String>) -> Self {
+        ServeError::InvalidSpec(msg.into())
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidSpec(msg) => write!(f, "invalid serve specification: {msg}"),
+            ServeError::Render(e) => write!(f, "render error while serving: {e}"),
+            ServeError::TickLimit { max_ticks } => {
+                write!(f, "scheduler exceeded the {max_ticks}-tick safety bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<NeoError> for ServeError {
+    fn from(e: NeoError) -> Self {
+        ServeError::Render(e)
+    }
+}
+
+/// Shorthand result type for serve operations.
+pub type ServeResult<T> = Result<T, ServeError>;
