@@ -1,0 +1,206 @@
+//! Cluster-indexed LOD scaling sweep: the synthetic city preset grown
+//! across four sizes, rendered by the same street-level dolly with the
+//! spatial index off (flat per-splat pipeline) and on (cluster culling
+//! plus far-cluster proxy substitution). Reports projected splats,
+//! pipeline work units, feature-extraction traffic, and wall-clock per
+//! frame at every scale, with shape checks pinning the issue's bars:
+//! a ≥ 5x projected-splat reduction at the largest city and sub-linear
+//! frame-cost growth under LOD while the scene grows ~linearly.
+//!
+//! Writes `results/fig_lod.json`.
+//!
+//! Run: `cargo run --release -p neo-bench --bin fig_lod`
+
+use neo_bench::{ExperimentRecord, TextTable};
+use neo_core::{FrameResult, LodConfig, RenderEngine, RendererConfig};
+use neo_pipeline::Stage;
+use neo_scene::{synth::CityParams, FrameSampler, Resolution};
+use std::sync::Arc;
+use std::time::Instant;
+
+const FRAMES: usize = 6;
+const SCALES: [f32; 4] = [1.0, 4.0, 16.0, 64.0];
+
+/// Index configuration for the sweep: much tighter clusters than the
+/// library default so distant street blocks become proxy-eligible at
+/// mid range, and a 96-px footprint threshold — a cluster that projects
+/// to under three tiles is represented by its (at most eight) octant
+/// proxies.
+fn sweep_lod() -> LodConfig {
+    LodConfig {
+        cluster_size: 128,
+        proxy_footprint_px: 96.0,
+    }
+}
+
+struct ScaleRun {
+    splats: usize,
+    flat: Summary,
+    lod: Summary,
+}
+
+struct Summary {
+    projected_per_frame: f64,
+    work_units_per_frame: f64,
+    feature_bytes_per_frame: f64,
+    ms_per_frame: f64,
+    clusters_culled_per_frame: f64,
+    clusters_proxied_per_frame: f64,
+}
+
+fn summarize(frames: &[FrameResult], ms_per_frame: f64) -> Summary {
+    let n = frames.len() as f64;
+    let sum = |f: &dyn Fn(&FrameResult) -> f64| frames.iter().map(f).sum::<f64>() / n;
+    Summary {
+        projected_per_frame: sum(&|f| f.stats.projected as f64),
+        work_units_per_frame: sum(&|f| f.work_units() as f64),
+        feature_bytes_per_frame: sum(&|f| f.stats.traffic.reads(Stage::FeatureExtraction) as f64),
+        ms_per_frame,
+        clusters_culled_per_frame: sum(&|f| f.stats.clusters_culled as f64),
+        clusters_proxied_per_frame: sum(&|f| f.stats.clusters_lod as f64),
+    }
+}
+
+fn run_city(scale: f32) -> ScaleRun {
+    let params = CityParams {
+        splats_per_block: 300,
+        ..CityParams::default().scaled(scale)
+    };
+    let cloud = Arc::new(params.build());
+    let sampler = FrameSampler::new(params.trajectory(), 30.0, Resolution::Custom(320, 180));
+    let render = |lod: Option<LodConfig>| -> Summary {
+        let mut config = RendererConfig::default().with_tile_size(32);
+        if let Some(lod) = lod {
+            config = config.with_lod(lod);
+        }
+        let engine = RenderEngine::builder()
+            .scene(Arc::clone(&cloud))
+            .config(config)
+            .build()
+            .expect("figure configuration is valid");
+        let mut session = engine.session();
+        // Warm per-tile tables and scratch outside the timed loop.
+        session
+            .render_frame(&sampler.frame(0))
+            .expect("trajectory camera");
+        let start = Instant::now();
+        let frames: Vec<FrameResult> = (1..=FRAMES)
+            .map(|i| session.render_frame(&sampler.frame(i)).expect("camera"))
+            .collect();
+        let ms = start.elapsed().as_secs_f64() * 1e3 / FRAMES as f64;
+        summarize(&frames, ms)
+    };
+    ScaleRun {
+        splats: cloud.len(),
+        flat: render(None),
+        lod: render(Some(sweep_lod())),
+    }
+}
+
+fn main() {
+    println!(
+        "fig_lod: city street dolly at scales {SCALES:?}, {FRAMES} frames @320x180, 32-px tiles\n"
+    );
+
+    let runs: Vec<ScaleRun> = SCALES.iter().map(|&s| run_city(s)).collect();
+
+    let mut table = TextTable::new([
+        "scale",
+        "splats",
+        "flat projected/frame",
+        "lod projected/frame",
+        "reduction",
+        "flat ms",
+        "lod ms",
+        "culled",
+        "proxied",
+    ]);
+    for (scale, run) in SCALES.iter().zip(&runs) {
+        let reduction = run.flat.projected_per_frame / run.lod.projected_per_frame.max(1.0);
+        table.row([
+            format!("{scale}x"),
+            run.splats.to_string(),
+            format!("{:.0}", run.flat.projected_per_frame),
+            format!("{:.0}", run.lod.projected_per_frame),
+            format!("{reduction:.2}x"),
+            format!("{:.2}", run.flat.ms_per_frame),
+            format!("{:.2}", run.lod.ms_per_frame),
+            format!("{:.0}", run.lod.clusters_culled_per_frame),
+            format!("{:.0}", run.lod.clusters_proxied_per_frame),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let first = &runs[0];
+    let last = runs.last().expect("at least one scale");
+    let splat_growth = last.splats as f64 / first.splats as f64;
+    let flat_cost_growth = last.flat.work_units_per_frame / first.flat.work_units_per_frame;
+    let lod_cost_growth = last.lod.work_units_per_frame / first.lod.work_units_per_frame;
+    let largest_reduction = last.flat.projected_per_frame / last.lod.projected_per_frame.max(1.0);
+    println!(
+        "scene growth {splat_growth:.1}x | work-unit growth: flat {flat_cost_growth:.2}x, lod {lod_cost_growth:.2}x"
+    );
+
+    // Shape check 1: the issue's bar — at the largest city the index must
+    // cut projected splats by at least 5x on the street trajectory.
+    println!(
+        "shape check: projected reduction at {}x scale: {largest_reduction:.2}x (expect ≥ 5x)",
+        SCALES[SCALES.len() - 1]
+    );
+    assert!(
+        largest_reduction >= 5.0,
+        "projected-splat reduction {largest_reduction:.2}x below the 5x bar"
+    );
+    // Shape check 2: frame cost under LOD must grow sub-linearly in scene
+    // size — the street canyon the camera sees stays roughly constant, so
+    // per-frame work should approach a plateau rather than track the city.
+    assert!(
+        lod_cost_growth < 0.5 * splat_growth,
+        "LOD work-unit growth {lod_cost_growth:.2}x is not sub-linear vs scene growth {splat_growth:.2}x"
+    );
+
+    let mut record = ExperimentRecord::new(
+        "fig_lod",
+        "Cluster-indexed LOD on the growing city preset: projected splats, work units, feature traffic, and wall-clock per frame, flat vs LOD",
+    );
+    record.push_series("scales", SCALES.iter().map(|&s| f64::from(s)).collect());
+    record.push_series("splats", runs.iter().map(|r| r.splats as f64).collect());
+    record.push_series(
+        "flat_projected_per_frame",
+        runs.iter().map(|r| r.flat.projected_per_frame).collect(),
+    );
+    record.push_series(
+        "lod_projected_per_frame",
+        runs.iter().map(|r| r.lod.projected_per_frame).collect(),
+    );
+    record.push_series(
+        "flat_work_units_per_frame",
+        runs.iter().map(|r| r.flat.work_units_per_frame).collect(),
+    );
+    record.push_series(
+        "lod_work_units_per_frame",
+        runs.iter().map(|r| r.lod.work_units_per_frame).collect(),
+    );
+    record.push_series(
+        "flat_feature_bytes_per_frame",
+        runs.iter()
+            .map(|r| r.flat.feature_bytes_per_frame)
+            .collect(),
+    );
+    record.push_series(
+        "lod_feature_bytes_per_frame",
+        runs.iter().map(|r| r.lod.feature_bytes_per_frame).collect(),
+    );
+    record.push_series(
+        "flat_ms_per_frame",
+        runs.iter().map(|r| r.flat.ms_per_frame).collect(),
+    );
+    record.push_series(
+        "lod_ms_per_frame",
+        runs.iter().map(|r| r.lod.ms_per_frame).collect(),
+    );
+    match record.save() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not persist results: {e}"),
+    }
+}

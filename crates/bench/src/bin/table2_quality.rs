@@ -6,16 +6,73 @@
 //! reuse-and-update renderer. The paper's point — Neo's deltas are
 //! imperceptible (≤0.1 dB PSNR, ≤0.001 LPIPS) — is checked on the deltas.
 //!
+//! The Neo column is additionally rendered once per storage backend, so
+//! the table reports each format's *actual* feature record size (from
+//! [`StorageFormat::record_bytes`], not a hard-coded f32 AoS figure) and
+//! the per-frame feature-extraction traffic the traffic ledger charged
+//! with it — quality and bandwidth of the quantized format side by side.
+//!
 //! Run: `cargo run --release -p neo-bench --bin table2_quality`
 
 use neo_bench::{ExperimentRecord, TextTable};
-use neo_core::{RenderEngine, RendererConfig, StrategyKind};
+use neo_core::{RenderEngine, RendererConfig, StorageFormat, StrategyKind};
 use neo_metrics::{lpips_proxy, psnr};
-use neo_pipeline::{render_reference, RenderConfig};
+use neo_pipeline::{render_reference, RenderConfig, Stage};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 
 const FRAMES: usize = 16;
 const WARMUP: usize = 4;
+
+/// Quality and traffic of one renderer configuration, averaged over the
+/// post-warmup frames of a trajectory.
+struct Row {
+    psnr_db: f64,
+    lpips: f64,
+    record_bytes: usize,
+    feature_kb_per_frame: f64,
+}
+
+fn measure(
+    scene: ScenePreset,
+    kind: StrategyKind,
+    format: StorageFormat,
+    ground_truth: &[neo_pipeline::Image],
+) -> Row {
+    let sampler = FrameSampler::new(scene.trajectory(), 30.0, Resolution::Custom(256, 144));
+    let engine = RenderEngine::builder()
+        .scene(scene.build_scaled(0.004))
+        .config(
+            RendererConfig::default()
+                .with_tile_size(32)
+                .with_storage(format),
+        )
+        .strategy(kind)
+        .build()
+        .expect("table configuration is valid");
+    let record_bytes = engine.storage().record_bytes();
+    let mut session = engine.session();
+    let (mut p, mut l, mut kb) = (0.0, 0.0, 0.0);
+    let mut counted = 0.0;
+    for (i, gt) in ground_truth.iter().enumerate() {
+        let frame = session
+            .render_frame(&sampler.frame(i))
+            .expect("trajectory camera");
+        if i < WARMUP {
+            continue;
+        }
+        counted += 1.0;
+        let img = frame.image.as_ref().expect("image");
+        p += psnr(gt, img).min(60.0);
+        l += lpips_proxy(gt, img);
+        kb += frame.stats.traffic.reads(Stage::FeatureExtraction) as f64 / 1024.0;
+    }
+    Row {
+        psnr_db: p / counted,
+        lpips: l / counted,
+        record_bytes,
+        feature_kb_per_frame: kb / counted,
+    }
+}
 
 fn main() {
     println!("Table 2 — quality comparison (vs exhaustive-blend ground truth)\n");
@@ -29,79 +86,79 @@ fn main() {
 
     let mut table = TextTable::new([
         "Scene",
-        "3DGS PSNR↑",
-        "3DGS LPIPS↓",
-        "Neo PSNR↑",
-        "Neo LPIPS↓",
+        "Renderer",
+        "Storage",
+        "rec B",
+        "feat KB/f",
+        "PSNR↑",
+        "LPIPS↓",
         "ΔPSNR",
         "ΔLPIPS",
     ]);
     let mut record = ExperimentRecord::new(
         "table2",
-        "PSNR/LPIPS-proxy of original 3DGS and Neo per scene",
+        "PSNR/LPIPS-proxy and per-format feature traffic of original 3DGS and Neo per scene",
     );
 
     for scene in ScenePreset::TANKS_AND_TEMPLES {
         let sampler = FrameSampler::new(scene.trajectory(), 30.0, res);
-        let config = RendererConfig::default().with_tile_size(32);
-        let base_engine = RenderEngine::builder()
-            .scene(scene.build_scaled(0.004))
-            .config(config.clone())
-            .strategy(StrategyKind::FullResort)
-            .build()
-            .expect("table configuration is valid");
-        let cloud = std::sync::Arc::clone(base_engine.scene());
-        let neo_engine = RenderEngine::builder()
-            .scene(std::sync::Arc::clone(&cloud))
-            .config(config)
-            .strategy(StrategyKind::ReuseUpdate)
-            .build()
-            .expect("table configuration is valid");
-        let mut base = base_engine.session();
-        let mut neo = neo_engine.session();
+        let cloud = scene.build_scaled(0.004);
+        let ground_truth: Vec<_> = (0..FRAMES)
+            .map(|i| render_reference(&cloud, &sampler.frame(i), &gt_cfg).0)
+            .collect();
 
-        let (mut p_base, mut p_neo, mut l_base, mut l_neo) = (0.0, 0.0, 0.0, 0.0);
-        let mut counted = 0.0;
-        for i in 0..FRAMES {
-            let cam = sampler.frame(i);
-            let (gt, _) = render_reference(cloud.as_ref(), &cam, &gt_cfg);
-            let fb = base
-                .render_frame(&cam)
-                .expect("trajectory camera")
-                .image
-                .expect("image");
-            let fnimg = neo
-                .render_frame(&cam)
-                .expect("trajectory camera")
-                .image
-                .expect("image");
-            if i < WARMUP {
-                continue;
-            }
-            counted += 1.0;
-            p_base += psnr(&gt, &fb).min(60.0);
-            p_neo += psnr(&gt, &fnimg).min(60.0);
-            l_base += lpips_proxy(&gt, &fb);
-            l_neo += lpips_proxy(&gt, &fnimg);
-        }
-        let (pb, pn) = (p_base / counted, p_neo / counted);
-        let (lb, ln) = (l_base / counted, l_neo / counted);
+        let base = measure(
+            scene,
+            StrategyKind::FullResort,
+            StorageFormat::AosF32,
+            &ground_truth,
+        );
+        let variants = [
+            ("Neo", StorageFormat::AosF32),
+            ("Neo", StorageFormat::Compact),
+        ];
         table.row([
             scene.name().to_string(),
-            format!("{pb:.2}"),
-            format!("{lb:.4}"),
-            format!("{pn:.2}"),
-            format!("{ln:.4}"),
-            format!("{:+.2}", pn - pb),
-            format!("{:+.4}", ln - lb),
+            "3DGS".to_string(),
+            "aos-f32".to_string(),
+            base.record_bytes.to_string(),
+            format!("{:.0}", base.feature_kb_per_frame),
+            format!("{:.2}", base.psnr_db),
+            format!("{:.4}", base.lpips),
+            String::new(),
+            String::new(),
         ]);
-        record.push_series(scene.name(), vec![pb, lb, pn, ln]);
+        let mut series = vec![base.psnr_db, base.lpips];
+        for (name, format) in variants {
+            let row = measure(scene, StrategyKind::ReuseUpdate, format, &ground_truth);
+            table.row([
+                scene.name().to_string(),
+                name.to_string(),
+                format.name().to_string(),
+                row.record_bytes.to_string(),
+                format!("{:.0}", row.feature_kb_per_frame),
+                format!("{:.2}", row.psnr_db),
+                format!("{:.4}", row.lpips),
+                format!("{:+.2}", row.psnr_db - base.psnr_db),
+                format!("{:+.4}", row.lpips - base.lpips),
+            ]);
+            series.extend([
+                row.psnr_db,
+                row.lpips,
+                row.record_bytes as f64,
+                row.feature_kb_per_frame,
+            ]);
+        }
+        record.push_series(scene.name(), series);
     }
     println!("{}", table.render());
     println!(
         "Paper reference: per-scene deltas ≤0.1 dB PSNR and ≤0.001 LPIPS —\n\
          reuse-and-update sorting is visually lossless. (LPIPS column uses the\n\
-         documented LPIPS proxy; compare deltas, not absolute values.)"
+         documented LPIPS proxy; compare deltas, not absolute values. Record\n\
+         bytes and feature traffic come from the configured storage backend:\n\
+         the compact format trades a bounded quality delta for ~2.6x smaller\n\
+         records.)"
     );
     if let Ok(p) = record.save() {
         println!("saved {}", p.display());

@@ -2,6 +2,7 @@
 
 use crate::{NeoError, NeoResult};
 use neo_math::Vec3;
+use neo_pipeline::LodConfig;
 use neo_scene::StorageFormat;
 use neo_sort::dps::DpsConfig;
 use neo_sort::strategies::SorterConfig;
@@ -112,6 +113,14 @@ pub struct RendererConfig {
     /// (f16/u8/packed quaternions) for less than half the record size.
     /// See [`RendererConfig::with_storage`].
     pub storage: StorageFormat,
+    /// Cluster-index LOD path (default `None` = the flat projection
+    /// walk, byte-identical to the pre-index renderer — pinned by
+    /// `tests/lod_parity.rs`). When set, the engine builds a
+    /// [`neo_scene::ClusteredCloud`] over the scene at build time and
+    /// each frame culls whole clusters, substitutes merged proxies for
+    /// sub-threshold-footprint clusters, and invalidates the warm-start
+    /// cache at cluster granularity. See [`RendererConfig::with_lod`].
+    pub lod: Option<LodConfig>,
 }
 
 impl Default for RendererConfig {
@@ -127,6 +136,7 @@ impl Default for RendererConfig {
             parallelism: Parallelism::Serial,
             temporal_cache: None,
             storage: StorageFormat::AosF32,
+            lod: None,
         }
     }
 }
@@ -296,6 +306,40 @@ impl RendererConfig {
         self
     }
 
+    /// Enables the cluster-index LOD path: the engine builds a
+    /// [`neo_scene::ClusteredCloud`] over the scene at build time
+    /// (deterministic Morton clustering, `config.cluster_size` splats
+    /// per cluster) and, each frame, rejects whole clusters with a
+    /// conservative frustum test, renders clusters whose screen
+    /// footprint falls below `config.proxy_footprint_px` from their
+    /// merged proxy splats, and invalidates the warm-start cache of any
+    /// tile whose clusters flipped between proxy and member rendering.
+    ///
+    /// Off by default. With `proxy_footprint_px == 0` the LOD path only
+    /// culls — output stays byte-identical to the flat walk; with a
+    /// positive threshold distant clusters render from proxies, which
+    /// changes pixels (that is the point) but remains deterministic
+    /// across thread counts and shard plans.
+    ///
+    /// ```
+    /// use neo_core::{LodConfig, RendererConfig};
+    /// let cfg = RendererConfig::default().with_lod(LodConfig::default());
+    /// assert!(cfg.lod.is_some());
+    /// assert!(cfg.validate().is_ok());
+    /// ```
+    #[must_use]
+    pub fn with_lod(mut self, lod: LodConfig) -> Self {
+        self.lod = Some(lod);
+        self
+    }
+
+    /// Disables the cluster-index LOD path (the default).
+    #[must_use]
+    pub fn without_lod(mut self) -> Self {
+        self.lod = None;
+        self
+    }
+
     /// The clamped worker count a session will actually use per frame.
     #[must_use]
     pub fn effective_threads(&self) -> usize {
@@ -313,6 +357,9 @@ impl RendererConfig {
         self.dps.validate().map_err(NeoError::invalid_config)?;
         if let Some(warm) = &self.temporal_cache {
             warm.validate().map_err(NeoError::invalid_config)?;
+        }
+        if let Some(lod) = &self.lod {
+            lod.validate().map_err(NeoError::invalid_config)?;
         }
         Ok(())
     }
@@ -405,6 +452,20 @@ mod tests {
             assert_eq!(cfg.storage, format);
             assert!(cfg.validate().is_ok(), "all storage formats are valid");
         }
+    }
+
+    #[test]
+    fn lod_defaults_off_and_validates() {
+        let cfg = RendererConfig::default();
+        assert!(cfg.lod.is_none());
+        let cfg = cfg.with_lod(LodConfig::default());
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.clone().without_lod().lod.is_none());
+        let bad = cfg.with_lod(LodConfig {
+            cluster_size: 0,
+            ..LodConfig::default()
+        });
+        assert!(matches!(bad.validate(), Err(NeoError::InvalidConfig(_))));
     }
 
     #[test]

@@ -46,11 +46,13 @@ use crate::{
     TemporalCacheStats, TileLoad,
 };
 use neo_pipeline::{
-    bin_to_tiles, project_storage, FrameStats, Image, ProjectedGaussian, RenderConfig,
-    ShardScratch, Stage, TileGrid, TileRasterStats, TrafficLedger,
+    bin_to_tiles, bin_to_tiles_with_clusters, project_clusters, project_storage, ClusterProjection,
+    FrameStats, Image, ProjectedGaussian, RenderConfig, ShardScratch, Stage, TileGrid,
+    TileRasterStats, TrafficLedger,
 };
 use neo_scene::{
-    Camera, CloudStorage, CompactCloud, FrameSampler, GaussianCloud, SoaCloud, StorageFormat,
+    Camera, CloudStorage, ClusterParams, ClusteredCloud, CompactCloud, FrameSampler, GaussianCloud,
+    SoaCloud, StorageFormat,
 };
 use neo_sort::strategies::{SorterConfig, StrategyKind};
 use neo_sort::warm::{WarmStartConfig, WarmStartSorter};
@@ -117,6 +119,11 @@ impl std::fmt::Debug for StrategyFactory {
 struct TileStrategy {
     strategy: Box<dyn SortingStrategy>,
     next_frame: u64,
+    /// Cluster tags (`(cluster << 1) | proxy_bit`, sorted, deduped) seen
+    /// in this tile on the previous LOD-path frame. Empty when the LOD
+    /// path is off — the flat path never touches it, preserving the
+    /// byte-exact legacy behaviour.
+    prev_tags: Vec<u32>,
 }
 
 /// Per-session mutable rendering state: the tile grid, one strategy per
@@ -165,6 +172,31 @@ struct ShardContext<'a> {
     raster_cfg: &'a RenderConfig,
     render_image: bool,
     feature_bytes: u64,
+    /// Per-tile cluster-tag sets from [`bin_to_tiles_with_clusters`];
+    /// `None` on the flat (LOD-off) path.
+    tile_tags: Option<&'a [Vec<u32>]>,
+}
+
+/// Whether any cluster present in both tag sets flipped between proxy
+/// and member rendering. Both inputs are sorted ascending and hold at
+/// most one tag per cluster (a cluster renders one way per frame), so a
+/// two-pointer sweep on the cluster index (`tag >> 1`) suffices.
+fn lod_tags_flipped(prev: &[u32], cur: &[u32]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < prev.len() && j < cur.len() {
+        match (prev[i] >> 1).cmp(&(cur[j] >> 1)) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if prev[i] != cur[j] {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    false
 }
 
 /// One worker's frame contribution, merged on the main thread in shard
@@ -206,6 +238,19 @@ fn run_shard(
             .as_mut()
             // neo-lint: allow(r2, "invariant: render_frame_core_with_plan creates every occupied tile's strategy before sharding; a miss is a caller bug worth halting on")
             .expect("strategies are pre-created in tile order before sharding");
+        if let Some(all_tags) = ctx.tile_tags {
+            // Cluster-granular invalidation: a cluster that flipped
+            // between proxy and member rendering replaces its splats
+            // wholesale (different IDs), so the warm cache is doomed —
+            // skip the warm attempt instead of letting it fall back.
+            // Tag state is tile-local, hence shard-invariant.
+            let cur = &all_tags[tile_index];
+            if lod_tags_flipped(&slot.prev_tags, cur) {
+                slot.strategy.invalidate_cache();
+            }
+            slot.prev_tags.clear();
+            slot.prev_tags.extend_from_slice(cur);
+        }
         let frame = slot.next_frame;
         slot.next_frame += 1;
         slot.strategy.begin_frame(frame);
@@ -275,10 +320,11 @@ pub(crate) fn render_frame_core(
     factory: &StrategyFactory,
     config: &RendererConfig,
     storage: &dyn CloudStorage,
+    lod_index: Option<&ClusteredCloud>,
     cam: &Camera,
 ) -> FrameResult {
     let plan = ShardPlan::balanced(config.effective_threads());
-    render_frame_core_with_plan(state, factory, config, storage, cam, &plan)
+    render_frame_core_with_plan(state, factory, config, storage, lod_index, cam, &plan)
 }
 
 /// Renders one frame with an explicit shard plan.
@@ -295,15 +341,53 @@ pub(crate) fn render_frame_core_with_plan(
     factory: &StrategyFactory,
     config: &RendererConfig,
     storage: &dyn CloudStorage,
+    lod_index: Option<&ClusteredCloud>,
     cam: &Camera,
     plan: &ShardPlan,
 ) -> FrameResult {
     let grid = state.ensure_grid(cam, config.tile_size);
-    let projected = project_storage(cam, storage);
-    let assignments = bin_to_tiles(&grid, &projected);
 
-    // ID → projected-splat lookup for rasterization.
-    let mut by_id: Vec<Option<usize>> = vec![None; storage.len()];
+    // Projection: through the cluster index when the LOD path is on
+    // (whole-cluster culling, proxy substitution, member streaming), the
+    // flat storage walk otherwise — the latter byte-exactly preserves
+    // the pre-index renderer, which `tests/lod_parity.rs` pins.
+    let lod = config.lod.as_ref().zip(lod_index);
+    let (projected, assignments, tile_tags, cluster_stats) = match lod {
+        Some((lod_cfg, index)) => {
+            let ClusterProjection {
+                projected,
+                tags,
+                clusters_total,
+                clusters_culled,
+                clusters_proxied,
+                splats_saved,
+                splats_visited,
+            } = project_clusters(cam, storage, index, lod_cfg);
+            let (assignments, tile_tags) = bin_to_tiles_with_clusters(&grid, &projected, &tags);
+            (
+                projected,
+                assignments,
+                Some(tile_tags),
+                Some((
+                    clusters_total,
+                    clusters_culled,
+                    clusters_proxied,
+                    splats_saved,
+                    splats_visited,
+                )),
+            )
+        }
+        None => {
+            let projected = project_storage(cam, storage);
+            let assignments = bin_to_tiles(&grid, &projected);
+            (projected, assignments, None, None)
+        }
+    };
+
+    // ID → projected-splat lookup for rasterization. Proxy splats live
+    // in the ID range above the storage (`source_len + proxy_index`).
+    let id_space = storage.len() + lod.map_or(0, |(_, index)| index.proxy_count());
+    let mut by_id: Vec<Option<usize>> = vec![None; id_space];
     for (i, p) in projected.iter().enumerate() {
         by_id[neo_math::num::usize_from_u32(p.id)] = Some(i);
     }
@@ -332,12 +416,24 @@ pub(crate) fn render_frame_core_with_plan(
     };
     // Charge the *actual* per-record size of the configured storage
     // backend: compact records are less than half the f32 size, and the
-    // ledger is how that saving reaches the DRAM traffic model.
+    // ledger is how that saving reaches the DRAM traffic model. On the
+    // LOD path only the records actually decoded (surviving members +
+    // proxies) are charged — that is the traffic the index exists to
+    // cut; the flat walk touches every record, exactly as before.
     let feature_bytes = neo_math::num::u64_from_usize(storage.record_bytes());
-    stats.traffic.read(
-        Stage::FeatureExtraction,
-        neo_math::num::u64_from_usize(storage.len()) * feature_bytes,
-    );
+    let records_read = match cluster_stats {
+        Some((total, culled, proxied, saved, visited)) => {
+            stats.clusters_total = total;
+            stats.clusters_culled = culled;
+            stats.clusters_lod = proxied;
+            stats.lod_splats_saved = saved;
+            visited
+        }
+        None => neo_math::num::u64_from_usize(storage.len()),
+    };
+    stats
+        .traffic
+        .read(Stage::FeatureExtraction, records_read * feature_bytes);
 
     let raster_cfg = RenderConfig {
         tile_size: config.tile_size,
@@ -353,6 +449,7 @@ pub(crate) fn render_frame_core_with_plan(
         raster_cfg: &raster_cfg,
         render_image: config.render_image,
         feature_bytes,
+        tile_tags: tile_tags.as_deref(),
     };
 
     // Strategy creation happens here, on the calling thread, in tile
@@ -364,6 +461,7 @@ pub(crate) fn render_frame_core_with_plan(
         state.sorters[tile_index].get_or_insert_with(|| TileStrategy {
             strategy: factory.create(),
             next_frame: 0,
+            prev_tags: Vec::new(),
         });
     }
 
@@ -620,9 +718,22 @@ impl RenderEngineBuilder {
             StorageFormat::SoaF32 => Arc::new(SoaCloud::from_cloud(&scene)),
             StorageFormat::Compact => Arc::new(CompactCloud::from_cloud(&scene)),
         };
+        // The cluster index is built over the *configured* storage (not
+        // the f32 scene): clustering is a function of the decoded
+        // records, so the index sees exactly the splats projection will
+        // stream — including any compact-format quantization.
+        let lod_index = self.config.lod.as_ref().map(|lod| {
+            Arc::new(ClusteredCloud::build(
+                storage.as_ref(),
+                ClusterParams {
+                    target_cluster_size: lod.cluster_size,
+                },
+            ))
+        });
         Ok(RenderEngine {
             scene,
             storage,
+            lod_index,
             config: self.config,
             factory,
         })
@@ -640,6 +751,7 @@ impl RenderEngineBuilder {
 pub struct RenderEngine {
     scene: Arc<GaussianCloud>,
     storage: Arc<dyn CloudStorage>,
+    lod_index: Option<Arc<ClusteredCloud>>,
     config: RendererConfig,
     factory: StrategyFactory,
 }
@@ -674,6 +786,7 @@ impl RenderEngine {
             id,
             scene: Arc::clone(&self.scene),
             storage: Arc::clone(&self.storage),
+            lod_index: self.lod_index.clone(),
             config: self.config.clone(),
             factory: self.factory.clone(),
             state: TileState::default(),
@@ -692,6 +805,12 @@ impl RenderEngine {
     /// [`RenderEngineBuilder::build`] time.
     pub fn storage(&self) -> &Arc<dyn CloudStorage> {
         &self.storage
+    }
+
+    /// The cluster index built at construction when
+    /// [`RendererConfig::with_lod`] is set; `None` on the flat path.
+    pub fn lod_index(&self) -> Option<&Arc<ClusteredCloud>> {
+        self.lod_index.as_ref()
     }
 
     /// The validated configuration.
@@ -719,6 +838,7 @@ pub struct RenderSession {
     id: SessionId,
     scene: Arc<GaussianCloud>,
     storage: Arc<dyn CloudStorage>,
+    lod_index: Option<Arc<ClusteredCloud>>,
     config: RendererConfig,
     factory: StrategyFactory,
     state: TileState,
@@ -746,6 +866,7 @@ impl RenderSession {
             &self.factory,
             &self.config,
             self.storage.as_ref(),
+            self.lod_index.as_deref(),
             cam,
         ))
     }
@@ -796,6 +917,7 @@ impl RenderSession {
             &self.factory,
             &self.config,
             self.storage.as_ref(),
+            self.lod_index.as_deref(),
             cam,
             plan,
         ))
@@ -1103,6 +1225,62 @@ mod tests {
         let fr = session.render_frame(&small_sampler().frame(0)).unwrap();
         assert_eq!(fr.sort_cost.bytes_total(), 0, "passthrough is free");
         assert!(fr.image.is_some());
+    }
+
+    #[test]
+    fn lod_engine_culls_counts_and_stays_shard_invariant() {
+        use neo_pipeline::LodConfig;
+        let scene = Arc::new(
+            neo_scene::synth::CityParams {
+                splats_per_block: 150,
+                ..neo_scene::synth::CityParams::default().scaled(4.0)
+            }
+            .build(),
+        );
+        let sampler = FrameSampler::new(
+            neo_scene::synth::CityParams::default()
+                .scaled(4.0)
+                .trajectory(),
+            30.0,
+            Resolution::Custom(160, 96),
+        );
+        let build = |lod: Option<LodConfig>| {
+            let mut cfg = RendererConfig::default().with_tile_size(32);
+            if let Some(lod) = lod {
+                cfg = cfg.with_lod(lod);
+            }
+            RenderEngine::builder()
+                .scene(Arc::clone(&scene))
+                .config(cfg)
+                .build()
+                .unwrap()
+        };
+        let flat = build(None);
+        let lod = build(Some(LodConfig::default()));
+        assert!(flat.lod_index().is_none());
+        assert!(lod.lod_index().unwrap().cluster_count() > 1);
+
+        let mut flat_s = flat.session();
+        let mut lod_s = lod.session();
+        let mut lod_sharded = lod.session();
+        for i in 0..3 {
+            let cam = sampler.frame(i);
+            let f = flat_s.render_frame(&cam).unwrap();
+            let l = lod_s.render_frame(&cam).unwrap();
+            let ls = lod_sharded
+                .render_frame_with_plan(&cam, &ShardPlan::balanced(4))
+                .unwrap();
+            assert_eq!(l, ls, "LOD path diverged across shard plans (frame {i})");
+            assert_eq!(f.stats.clusters_total, 0, "flat path consults no index");
+            assert!(l.stats.clusters_total > 0);
+            assert!(l.stats.clusters_culled > 0, "street cam must cull");
+            assert!(l.stats.lod_splats_saved > 0);
+            assert!(
+                l.stats.traffic.reads(Stage::FeatureExtraction)
+                    < f.stats.traffic.reads(Stage::FeatureExtraction),
+                "index must cut feature-extraction traffic (frame {i})"
+            );
+        }
     }
 
     #[test]

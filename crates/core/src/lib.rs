@@ -77,7 +77,8 @@ pub use config::{Parallelism, RendererConfig};
 pub use engine::{FrameStream, RenderEngine, RenderEngineBuilder, RenderSession};
 pub use error::{NeoError, NeoResult};
 pub use frame::{FrameResult, SessionId, TemporalCacheStats, TileLoad};
-pub use neo_scene::{CloudStorage, StorageFormat};
+pub use neo_pipeline::LodConfig;
+pub use neo_scene::{CloudStorage, ClusterParams, ClusteredCloud, StorageFormat};
 pub use neo_sort::strategies::StrategyKind;
 pub use neo_sort::warm::{WarmStartConfig, WarmStartMode, WarmStartStats};
 pub use neo_sort::SortingStrategy;

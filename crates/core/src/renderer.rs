@@ -130,7 +130,16 @@ impl SplatRenderer {
                 temporal: crate::TemporalCacheStats::default(),
             };
         }
-        render_frame_core(&mut self.state, &self.factory, &self.config, cloud, cam)
+        // The legacy API also ignores `RendererConfig::lod` (it has no
+        // engine-build step to construct the cluster index at).
+        render_frame_core(
+            &mut self.state,
+            &self.factory,
+            &self.config,
+            cloud,
+            None,
+            cam,
+        )
     }
 }
 

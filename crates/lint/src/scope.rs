@@ -282,4 +282,29 @@ mod tests {
         assert_eq!(classify("crates/sort/src/warm.rs").role, FileRole::Source);
         assert!(matches!(classify("src/lib.rs").class, CrateClass::Other));
     }
+
+    #[test]
+    fn cluster_index_modules_are_render_path_scope() {
+        // The spatial index and LOD selection run on the render path:
+        // the determinism contract (no HashMap iteration, no clocks, no
+        // RNG, checked casts) applies to them in full.
+        for path in [
+            "crates/scene/src/cluster.rs",
+            "crates/pipeline/src/lod.rs",
+            "crates/pipeline/src/binning.rs",
+        ] {
+            let scope = classify(path);
+            assert!(
+                matches!(scope.class, CrateClass::Contract { render_path: true }),
+                "{path} must classify as render-path contract scope"
+            );
+            assert_eq!(scope.role, FileRole::Source, "{path}");
+        }
+        // The LOD figure harness and parity suite are test scope.
+        assert_eq!(
+            classify("crates/bench/src/bin/fig_lod.rs").role,
+            FileRole::Test
+        );
+        assert_eq!(classify("tests/lod_parity.rs").role, FileRole::Test);
+    }
 }

@@ -194,6 +194,45 @@ pub fn bin_to_tiles(grid: &TileGrid, projected: &[ProjectedGaussian]) -> TileAss
     out
 }
 
+/// [`bin_to_tiles`] with cluster tags threaded through: additionally
+/// returns, per tile, the sorted deduplicated set of cluster tags
+/// (`(cluster_index << 1) | proxy_bit`, as produced by
+/// [`crate::project_clusters`]) whose splats landed in that tile.
+///
+/// The warm-start cache diffs these sets between frames: a cluster
+/// whose tag flips (proxy ↔ members) changes the tile's splat
+/// population wholesale, so the sorter invalidates at cluster
+/// granularity instead of re-deriving it from per-ID diffs.
+///
+/// `tags` must be parallel to `projected` (same length).
+pub fn bin_to_tiles_with_clusters(
+    grid: &TileGrid,
+    projected: &[ProjectedGaussian],
+    tags: &[u32],
+) -> (TileAssignments, Vec<Vec<u32>>) {
+    // neo-lint: allow(r2, "misuse guard on a parallel-slice contract; a silent zip-truncate would corrupt cache invalidation")
+    assert_eq!(projected.len(), tags.len(), "tags must parallel projected");
+    let mut out = TileAssignments::new(*grid);
+    let mut tile_tags: Vec<Vec<u32>> = vec![Vec::new(); grid.tile_count()];
+    for (p, &tag) in projected.iter().zip(tags) {
+        let Some((tx0, ty0, tx1, ty1)) = grid.tiles_for_splat(p.mean2d, p.radius) else {
+            continue;
+        };
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                let ti = grid.tile_index(tx, ty);
+                out.tiles[ti].push((p.id, p.depth));
+                tile_tags[ti].push(tag);
+            }
+        }
+    }
+    for t in &mut tile_tags {
+        t.sort_unstable();
+        t.dedup();
+    }
+    (out, tile_tags)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +305,25 @@ mod tests {
         assert_eq!(diff_tile_population(&[], &cur).retention(), 1.0);
         // Disjoint populations retain nothing.
         assert_eq!(diff_tile_population(&prev, &[]).retention(), 0.0);
+    }
+
+    #[test]
+    fn clustered_binning_matches_plain_and_collects_tags() {
+        let grid = TileGrid::new(128, 128, 64);
+        let splats = vec![
+            splat(0, 30.0, 30.0, 3.0, 5.0),
+            splat(1, 35.0, 30.0, 3.0, 1.0),
+            splat(2, 100.0, 100.0, 3.0, 3.0),
+            splat(3, -500.0, 0.0, 3.0, 2.0), // off-grid: no tile, no tag
+        ];
+        let tags = vec![4, 4, 7, 9];
+        let (binned, tile_tags) = bin_to_tiles_with_clusters(&grid, &splats, &tags);
+        assert_eq!(binned, bin_to_tiles(&grid, &splats));
+        assert_eq!(tile_tags.len(), grid.tile_count());
+        assert_eq!(tile_tags[0], vec![4]); // two splats, one cluster tag
+        assert_eq!(tile_tags[grid.tile_index(1, 1)], vec![7]);
+        let mentioned: usize = tile_tags.iter().map(Vec::len).sum();
+        assert_eq!(mentioned, 2, "off-grid splat contributes no tag");
     }
 
     #[test]

@@ -31,15 +31,20 @@
 mod binning;
 mod culling;
 mod framebuffer;
+pub mod lod;
 mod pipeline;
 mod projection;
 mod scratch;
 pub mod stats;
 mod tiles;
 
-pub use binning::{bin_to_tiles, diff_tile_population, TileAssignments, TilePopulationDiff};
+pub use binning::{
+    bin_to_tiles, bin_to_tiles_with_clusters, diff_tile_population, TileAssignments,
+    TilePopulationDiff,
+};
 pub use culling::{cull_cloud, CullResult};
 pub use framebuffer::Image;
+pub use lod::{cluster_visible, project_clusters, ClusterProjection, LodConfig};
 pub use pipeline::{render_reference, RenderConfig, TileRasterStats};
 pub use projection::{project_cloud, project_gaussian, project_storage, ProjectedGaussian};
 pub use scratch::{RasterScratch, ShardScratch};

@@ -151,6 +151,17 @@ pub struct FrameStats {
     pub pixel_visits: u64,
     /// DRAM traffic attributed to this frame.
     pub traffic: TrafficLedger,
+    /// Clusters in the spatial index consulted this frame (0 when the
+    /// LOD path is disabled — the flat walk consults no index).
+    pub clusters_total: u64,
+    /// Clusters rejected by whole-cluster frustum culling.
+    pub clusters_culled: u64,
+    /// Clusters rendered from merged LOD proxies instead of members.
+    pub clusters_lod: u64,
+    /// Member splats whose per-splat projection was skipped thanks to
+    /// the cluster index (culled-cluster members plus the
+    /// member-minus-proxy surplus of proxied clusters).
+    pub lod_splats_saved: u64,
 }
 
 impl FrameStats {

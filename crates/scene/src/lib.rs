@@ -26,6 +26,7 @@
 
 mod camera;
 mod cloud;
+pub mod cluster;
 mod gaussian;
 pub mod io;
 pub mod presets;
@@ -35,6 +36,7 @@ mod trajectory;
 
 pub use camera::{Camera, Resolution};
 pub use cloud::GaussianCloud;
+pub use cluster::{Cluster, ClusterParams, ClusteredCloud};
 pub use gaussian::Gaussian;
 pub use storage::{CloudStorage, CompactCloud, SoaCloud, StorageFormat};
 pub use trajectory::{CameraPath, FrameSampler};

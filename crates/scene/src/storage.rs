@@ -125,6 +125,27 @@ pub trait CloudStorage: std::fmt::Debug + Send + Sync {
     /// into a scratch value).
     fn visit(&self, f: &mut dyn FnMut(u32, &Gaussian));
 
+    /// Visits the splats with IDs in `start..end` (clamped to the store)
+    /// in ID order — the chunked access path cluster projection uses for
+    /// consecutive-ID runs.
+    ///
+    /// Must yield exactly the `(id, Gaussian)` pairs [`visit`] would
+    /// yield restricted to the range, bit-identically. The default
+    /// decodes one record per ID via [`get`]; planar backends override
+    /// it to stream their planes into a persistent scratch record
+    /// instead of re-assembling a full record per splat.
+    ///
+    /// [`visit`]: CloudStorage::visit
+    /// [`get`]: CloudStorage::get
+    fn visit_range(&self, start: u32, end: u32, f: &mut dyn FnMut(u32, &Gaussian)) {
+        for id in start..end {
+            match self.get(id) {
+                Some(g) => f(id, &g),
+                None => break,
+            }
+        }
+    }
+
     /// Decodes the whole store back to an AoS cloud.
     fn to_cloud(&self) -> GaussianCloud {
         let mut out = Vec::with_capacity(self.len());
@@ -158,6 +179,17 @@ impl CloudStorage for GaussianCloud {
 
     fn visit(&self, f: &mut dyn FnMut(u32, &Gaussian)) {
         for (id, g) in self.iter() {
+            f(id, g);
+        }
+    }
+
+    fn visit_range(&self, start: u32, end: u32, f: &mut dyn FnMut(u32, &Gaussian)) {
+        let cap = u32::try_from(self.len()).unwrap_or(u32::MAX);
+        let lo = start.min(cap);
+        let hi = end.min(cap).max(lo);
+        let slice = &self.gaussians()[neo_math::num::usize_from_u32(lo)..]
+            [..neo_math::num::usize_from_u32(hi - lo)];
+        for (id, g) in (lo..hi).zip(slice) {
             f(id, g);
         }
     }
@@ -360,11 +392,47 @@ impl CloudStorage for SoaCloud {
     fn visit(&self, f: &mut dyn FnMut(u32, &Gaussian)) {
         // IDs are `u32` by the storage API contract: a cloud with more
         // than u32::MAX splats is unaddressable through `get` as well,
-        // and the id/index zip below simply ends at the last
-        // addressable record instead of wrapping.
-        for (id, j) in (0u32..=u32::MAX).zip(0..self.len) {
-            let g = self.decode(j);
-            f(id, &g);
+        // so clamping the range end to u32::MAX loses nothing.
+        self.visit_range(0, u32::try_from(self.len).unwrap_or(u32::MAX), f);
+    }
+
+    fn visit_range(&self, start: u32, end: u32, f: &mut dyn FnMut(u32, &Gaussian)) {
+        let cap = u32::try_from(self.len).unwrap_or(u32::MAX);
+        let lo = neo_math::num::usize_from_u32(start.min(cap));
+        let hi = neo_math::num::usize_from_u32(end.min(cap)).max(lo);
+        // Plane-streaming fast path: one scratch record per *range*.
+        // Only the `n` active SH coefficients are rewritten per splat;
+        // the zero padding above them is written once here and persists
+        // across the whole range, instead of `decode` re-copying all
+        // MAX_COEFFS coefficients per splat. Values are bit-identical
+        // to `decode` (same plane reads, same indexing).
+        let n = basis_count(self.degree).min(MAX_COEFFS);
+        let mut scratch = Gaussian {
+            mean: Vec3::ZERO,
+            scale: Vec3::ONE,
+            rotation: Quat::IDENTITY,
+            opacity: 0.0,
+            sh: ShCoefficients {
+                coeffs: [[0.0; MAX_COEFFS]; 3],
+                degree: self.degree,
+            },
+        };
+        for (id, j) in (start..).zip(lo..hi) {
+            scratch.mean = Vec3::new(self.mean[0][j], self.mean[1][j], self.mean[2][j]);
+            scratch.scale = Vec3::new(self.scale[0][j], self.scale[1][j], self.scale[2][j]);
+            scratch.rotation = Quat::new(
+                self.rot[0][j],
+                self.rot[1][j],
+                self.rot[2][j],
+                self.rot[3][j],
+            );
+            scratch.opacity = self.opacity[j];
+            for (c, coeffs_c) in scratch.sh.coeffs.iter_mut().enumerate() {
+                for (i, coeff) in coeffs_c.iter_mut().enumerate().take(n) {
+                    *coeff = self.sh[(c * n + i) * self.len + j];
+                }
+            }
+            f(id, &scratch);
         }
     }
 }
@@ -632,6 +700,53 @@ mod tests {
         });
         assert_eq!(n, cloud.len());
         assert_eq!(dyn_store.to_cloud(), cloud);
+    }
+
+    #[test]
+    fn visit_range_matches_visit_on_every_backend() {
+        let cloud = test_cloud(2);
+        let backends: [Box<dyn CloudStorage>; 3] = [
+            Box::new(cloud.clone()),
+            Box::new(SoaCloud::from_cloud(&cloud)),
+            Box::new(CompactCloud::from_cloud(&cloud)),
+        ];
+        for storage in &backends {
+            let mut full: Vec<(u32, Gaussian)> = Vec::new();
+            storage.visit(&mut |id, g| full.push((id, g.clone())));
+            let len = u32::try_from(storage.len()).unwrap();
+            for (start, end) in [(0, len), (0, 0), (1, 3), (len - 1, len), (2, 2)] {
+                let mut ranged: Vec<(u32, Gaussian)> = Vec::new();
+                storage.visit_range(start, end, &mut |id, g| ranged.push((id, g.clone())));
+                let lo = start.min(end) as usize;
+                let hi = end as usize;
+                assert_eq!(
+                    ranged,
+                    full[lo..hi.max(lo)],
+                    "{} range {start}..{end}",
+                    storage.format().name()
+                );
+            }
+            // Out-of-range ends clamp instead of panicking.
+            let mut clamped: Vec<u32> = Vec::new();
+            storage.visit_range(len - 2, len + 100, &mut |id, _| clamped.push(id));
+            assert_eq!(clamped, vec![len - 2, len - 1]);
+            let mut none = 0;
+            storage.visit_range(len + 5, len + 9, &mut |_, _| none += 1);
+            assert_eq!(none, 0);
+        }
+    }
+
+    #[test]
+    fn soa_visit_range_streams_bit_identically() {
+        // The streaming scratch path must reproduce `get` exactly,
+        // including the zero padding above the active SH degree.
+        let cloud = test_cloud(1);
+        let soa = SoaCloud::from_cloud(&cloud);
+        soa.visit_range(0, u32::try_from(soa.len()).unwrap(), &mut |id, g| {
+            let decoded = CloudStorage::get(&soa, id).unwrap();
+            assert_eq!(g, &decoded);
+            assert!(g.sh.coeffs[0][15] == 0.0 || g.sh.degree == 3);
+        });
     }
 
     #[test]

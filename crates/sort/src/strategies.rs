@@ -90,6 +90,18 @@ pub trait SortingStrategy: std::fmt::Debug + Send {
     fn table(&self) -> Option<&GaussianTable> {
         None
     }
+
+    /// Drops any cross-frame cached state, forcing the next frame to be
+    /// computed from scratch.
+    ///
+    /// Called by the renderer when it *knows* the tile's population
+    /// changed wholesale — e.g. a cluster in the tile flipped between
+    /// proxy and member rendering under the LOD path — so temporal
+    /// caches skip the doomed warm attempt. Stateless (per-frame)
+    /// strategies need not do anything; the default is a no-op. Must not
+    /// change the strategy's *output* for populations that would have
+    /// gone cold anyway — only its cost/diagnostics may differ.
+    fn invalidate_cache(&mut self) {}
 }
 
 /// Which built-in sorting strategy a [`TileSorter`] runs.

@@ -307,6 +307,9 @@ pub struct WarmStartStats {
     pub dropped_entries: u64,
     /// Element moves spent in repair passes.
     pub repair_moves: u64,
+    /// External cache invalidations honoured (see
+    /// [`SortingStrategy::invalidate_cache`]).
+    pub invalidations: u64,
 }
 
 impl WarmStartStats {
@@ -605,6 +608,15 @@ impl SortingStrategy for WarmStartSorter {
             Some(&self.cache)
         }
     }
+
+    fn invalidate_cache(&mut self) {
+        if self.primed {
+            self.stats.invalidations += 1;
+        }
+        self.primed = false;
+        self.cache.set_entries(Vec::new());
+        self.inner.invalidate_cache();
+    }
 }
 
 #[cfg(test)]
@@ -823,6 +835,34 @@ mod tests {
         drive(&mut s, 0, &frame(&[3, 1], |id| id as f32));
         let t = s.table().expect("primed cache");
         assert_eq!(ids_of(t.entries()), vec![1, 3]);
+    }
+
+    #[test]
+    fn invalidate_cache_forces_cold_and_counts() {
+        let mut s = warm(StrategyKind::FullResort, WarmStartConfig::default());
+        let ids: Vec<u32> = (0..50).collect();
+        drive(&mut s, 0, &frame(&ids, |id| id as f32));
+        assert!(
+            drive(&mut s, 1, &frame(&ids, |id| id as f32 + 0.1))
+                .reuse
+                .unwrap()
+                .warm
+        );
+        s.invalidate_cache();
+        // Invalidating an already-empty cache is not double-counted.
+        s.invalidate_cache();
+        assert_eq!(s.stats().invalidations, 1);
+        // Identical population, but the cache is gone: cold, exact order.
+        let f2 = drive(&mut s, 2, &frame(&ids, |id| id as f32 + 0.2));
+        assert!(!f2.reuse.unwrap().warm);
+        assert_eq!(ids_of(&f2.order), ids);
+        // The cache re-primes afterwards.
+        assert!(
+            drive(&mut s, 3, &frame(&ids, |id| id as f32 + 0.3))
+                .reuse
+                .unwrap()
+                .warm
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Workload capture: run the functional pipeline on reduced scenes and
 //! extrapolate the counts to full scene size.
 
-use neo_core::{RenderEngine, RendererConfig, StorageFormat};
+use neo_core::{LodConfig, RenderEngine, RendererConfig, StorageFormat};
 use neo_scene::{presets::ScenePreset, FrameSampler, Resolution};
 use neo_sim::WorkloadFrame;
 
@@ -24,6 +24,10 @@ pub struct CaptureConfig {
     /// Splat storage backend; sets the per-record feature-fetch bytes the
     /// simulator charges ([`WorkloadFrame::feature_bytes`]).
     pub storage: StorageFormat,
+    /// Cluster-index LOD configuration. `None` (the default) captures
+    /// the flat pipeline; `Some` enables cluster culling and proxy
+    /// substitution, so projected/duplicate counts reflect the index.
+    pub lod: Option<LodConfig>,
 }
 
 impl Default for CaptureConfig {
@@ -35,6 +39,7 @@ impl Default for CaptureConfig {
             scale: 0.01,
             speed: 1.0,
             storage: StorageFormat::AosF32,
+            lod: None,
         }
     }
 }
@@ -54,13 +59,15 @@ pub fn capture_workload(cfg: &CaptureConfig) -> Vec<WorkloadFrame> {
     assert!(cfg.scale > 0.0, "capture scale must be positive");
     assert!(cfg.frames > 0, "frame count must be positive");
 
+    let mut renderer_config = RendererConfig::default()
+        .without_image()
+        .with_storage(cfg.storage);
+    if let Some(lod) = cfg.lod {
+        renderer_config = renderer_config.with_lod(lod);
+    }
     let engine = RenderEngine::builder()
         .scene(cfg.scene.build_scaled(cfg.scale))
-        .config(
-            RendererConfig::default()
-                .without_image()
-                .with_storage(cfg.storage),
-        )
+        .config(renderer_config)
         .build()
         .expect("default capture config is valid and preset scenes are non-empty");
     let cloud = std::sync::Arc::clone(engine.scene());
@@ -135,6 +142,7 @@ mod tests {
             scale: 0.002,
             speed: 1.0,
             storage: StorageFormat::AosF32,
+            lod: None,
         }
     }
 
@@ -194,6 +202,26 @@ mod tests {
             compact[0].feature_bytes,
             aos[0].feature_bytes
         );
+    }
+
+    #[test]
+    fn lod_capture_never_projects_more_than_flat() {
+        let flat = capture_workload(&quick_cfg());
+        let lod = capture_workload(&CaptureConfig {
+            lod: Some(LodConfig {
+                proxy_footprint_px: 0.0,
+                ..LodConfig::default()
+            }),
+            ..quick_cfg()
+        });
+        for (f, l) in flat.iter().zip(&lod) {
+            assert!(
+                l.n_projected <= f.n_projected,
+                "cull-only LOD must not add projected splats: {} vs {}",
+                l.n_projected,
+                f.n_projected
+            );
+        }
     }
 
     #[test]
