@@ -132,11 +132,12 @@ impl FrameResult {
         if self.tile_loads.is_empty() {
             0.0
         } else {
-            self.tile_loads
-                .iter()
-                .map(|t| t.table_len as f64)
-                .sum::<f64>()
-                / self.tile_loads.len() as f64
+            // Indexed loop: the summation order is explicit (r10).
+            let mut total = 0.0f64;
+            for i in 0..self.tile_loads.len() {
+                total += f64::from(self.tile_loads[i].table_len);
+            }
+            total / self.tile_loads.len() as f64
         }
     }
 

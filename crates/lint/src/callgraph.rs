@@ -1,0 +1,378 @@
+//! Workspace call graph over the Phase-1 item model.
+//!
+//! Nodes are `fn` definitions from **library source** files only
+//! (`FileRole::Source`, outside test regions): tests, benches,
+//! examples, and `src/bin` figure harnesses are excluded so a test
+//! helper that happens to share a name with a library fn cannot inject
+//! false edges into the contract analysis.
+//!
+//! Name resolution is approximate and leans *narrow* (documented in
+//! ARCHITECTURE.md): a method call `.name(…)` edges to every workspace
+//! method named `name`; a bare call `name(…)` edges to free fns named
+//! `name` (same-file match preferred); a path call `a::b::name(…)`
+//! requires the last qualifier to match the callee's `impl` type, its
+//! innermost `mod`, its crate ident, or its file module. Calls through
+//! function pointers/closures passed as values, and calls fabricated by
+//! macros, produce no edges — the known false-negative cases.
+
+use crate::items::FnItem;
+use crate::scope::{CrateClass, FileRole, FileScope};
+
+/// One analyzed file's contribution to the graph.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: String,
+    /// Crate/role classification from [`crate::scope::classify`].
+    pub scope: FileScope,
+    /// Crate ident as it appears in `use` paths (`neo_math`), or
+    /// `workspace` for umbrella code.
+    pub crate_ident: String,
+    /// File module stem (`frame` for `frame.rs`; empty for crate
+    /// roots, which contribute no module segment).
+    pub stem: String,
+}
+
+/// A graph node: one library `fn` plus its owning file.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index into [`CallGraph::files`].
+    pub file: usize,
+    /// The item-model record.
+    pub item: FnItem,
+}
+
+/// Whole-workspace call graph (Phase 2 input).
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Analyzed files, in input order.
+    pub files: Vec<FileMeta>,
+    /// All library fns, ordered by (file, line) — deterministic.
+    pub nodes: Vec<FnNode>,
+    /// `edges[f]` = callee node indices of `f`, sorted, deduped.
+    pub edges: Vec<Vec<usize>>,
+    /// Node indices defined in render-path contract source files:
+    /// the roots the determinism contract propagates from.
+    pub entries: Vec<usize>,
+}
+
+impl CallGraph {
+    /// Build the graph from per-file item models. Input order defines
+    /// file indices; node order is (file, line) and therefore stable.
+    #[must_use]
+    pub fn build(inputs: Vec<(String, FileScope, Vec<FnItem>)>) -> CallGraph {
+        let mut files = Vec::new();
+        let mut nodes = Vec::new();
+        for (rel_path, scope, fns) in inputs {
+            let file = files.len();
+            files.push(FileMeta {
+                crate_ident: crate_ident(&rel_path),
+                stem: file_stem(&rel_path),
+                rel_path,
+                scope,
+            });
+            if files[file].scope.role != FileRole::Source {
+                continue;
+            }
+            for item in fns {
+                if !item.in_test {
+                    nodes.push(FnNode { file, item });
+                }
+            }
+        }
+        let mut graph = CallGraph {
+            files,
+            nodes,
+            edges: Vec::new(),
+            entries: Vec::new(),
+        };
+        graph.edges = (0..graph.nodes.len())
+            .map(|f| {
+                let mut es: Vec<usize> = graph.nodes[f]
+                    .item
+                    .calls
+                    .iter()
+                    .flat_map(|c| graph.resolve(f, c))
+                    .filter(|&g| g != f)
+                    .collect();
+                es.sort_unstable();
+                es.dedup();
+                es
+            })
+            .collect();
+        graph.entries = (0..graph.nodes.len())
+            .filter(|&i| {
+                matches!(
+                    graph.files[graph.nodes[i].file].scope.class,
+                    CrateClass::Contract { render_path: true }
+                )
+            })
+            .collect();
+        graph
+    }
+
+    /// Candidate callee nodes for one call site of `caller`.
+    fn resolve(&self, caller: usize, call: &crate::items::CallSite) -> Vec<usize> {
+        let Some(name) = call.segments.last() else {
+            return Vec::new();
+        };
+        let caller_file = self.nodes[caller].file;
+        if call.method {
+            return self
+                .named(name)
+                .filter(|&i| self.nodes[i].item.is_method())
+                .collect();
+        }
+        if call.segments.len() == 1 {
+            // Bare call: free fns only; a same-file match shadows the
+            // rest of the workspace.
+            let all: Vec<usize> = self
+                .named(name)
+                .filter(|&i| !self.nodes[i].item.is_method())
+                .collect();
+            let local: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| self.nodes[i].file == caller_file)
+                .collect();
+            return if local.is_empty() { all } else { local };
+        }
+        let qual = &call.segments[call.segments.len() - 2];
+        match qual.as_str() {
+            "Self" => {
+                let impl_name = self.nodes[caller].item.impl_name.clone();
+                self.named(name)
+                    .filter(|&i| {
+                        self.nodes[i].file == caller_file
+                            && self.nodes[i].item.impl_name == impl_name
+                    })
+                    .collect()
+            }
+            "crate" | "self" | "super" => {
+                let ci = &self.files[caller_file].crate_ident;
+                self.named(name)
+                    .filter(|&i| &self.files[self.nodes[i].file].crate_ident == ci)
+                    .collect()
+            }
+            _ => self
+                .named(name)
+                .filter(|&i| {
+                    let n = &self.nodes[i];
+                    let f = &self.files[n.file];
+                    n.item.impl_name.as_deref() == Some(qual.as_str())
+                        || n.item.mod_path.last() == Some(qual)
+                        || f.crate_ident == *qual
+                        || (!f.stem.is_empty() && f.stem == *qual)
+                })
+                .collect(),
+        }
+    }
+
+    fn named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = usize> + 'a {
+        (0..self.nodes.len()).filter(move |&i| self.nodes[i].item.name == name)
+    }
+
+    /// BFS from every entry in node order. Returns per-node
+    /// reachability and BFS parent (None for entries/unreached), from
+    /// which [`chain_text`](Self::chain_text) reconstructs an exemplar
+    /// call chain.
+    #[must_use]
+    pub fn reachable_from_entries(&self) -> (Vec<bool>, Vec<Option<usize>>) {
+        let n = self.nodes.len();
+        let mut reach = vec![false; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        for &e in &self.entries {
+            if !reach[e] {
+                reach[e] = true;
+                queue.push_back(e);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &g in &self.edges[f] {
+                if !reach[g] {
+                    reach[g] = true;
+                    parent[g] = Some(f);
+                    queue.push_back(g);
+                }
+            }
+        }
+        (reach, parent)
+    }
+
+    /// Crate-qualified display name of a node
+    /// (`neo_core::frame::FrameTable::mean_len`).
+    #[must_use]
+    pub fn qualified(&self, idx: usize) -> String {
+        let node = &self.nodes[idx];
+        let f = &self.files[node.file];
+        let mut s = f.crate_ident.clone();
+        if !f.stem.is_empty() {
+            s.push_str("::");
+            s.push_str(&f.stem);
+        }
+        s.push_str("::");
+        s.push_str(&node.item.display());
+        s
+    }
+
+    /// Exemplar call chain `entry -> … -> idx` using BFS parents.
+    #[must_use]
+    pub fn chain_text(&self, idx: usize, parents: &[Option<usize>]) -> String {
+        let mut rev = vec![idx];
+        let mut cur = idx;
+        while let Some(p) = parents[cur] {
+            rev.push(p);
+            cur = p;
+            if rev.len() > 64 {
+                break; // cycle guard; parents form a tree so unreachable
+            }
+        }
+        rev.reverse();
+        rev.iter()
+            .map(|&i| format!("`{}`", self.qualified(i)))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Crate ident for `use`-path matching: `crates/math/…` → `neo_math`;
+/// anything else → `workspace`.
+fn crate_ident(rel_path: &str) -> String {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    if parts.first() == Some(&"crates") {
+        if let Some(dir) = parts.get(1) {
+            return format!("neo_{}", dir.replace('-', "_"));
+        }
+    }
+    "workspace".to_string()
+}
+
+/// File module stem: `frame.rs` → `frame`; crate roots (`lib.rs`,
+/// `main.rs`, `mod.rs`) contribute no module segment.
+fn file_stem(rel_path: &str) -> String {
+    let base = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    let stem = base.strip_suffix(".rs").unwrap_or(base);
+    if matches!(stem, "lib" | "main" | "mod") {
+        String::new()
+    } else {
+        stem.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+    use crate::lexer::tokenize;
+    use crate::scope::{classify, test_regions};
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        CallGraph::build(
+            files
+                .iter()
+                .map(|(path, src)| {
+                    let toks = tokenize(src);
+                    let mask = test_regions(&toks);
+                    (
+                        (*path).to_string(),
+                        classify(path),
+                        parse_items(&toks, &mask),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn node(g: &CallGraph, name: &str) -> usize {
+        (0..g.nodes.len())
+            .find(|&i| g.nodes[i].item.name == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn cross_crate_path_call_resolves() {
+        let g = graph_of(&[
+            (
+                "crates/core/src/frame.rs",
+                "pub fn render() { neo_metrics::mse_helper(); }",
+            ),
+            ("crates/metrics/src/lib.rs", "pub fn mse_helper() {}"),
+        ]);
+        let (r, f, t) = (
+            g.reachable_from_entries().0,
+            node(&g, "render"),
+            node(&g, "mse_helper"),
+        );
+        assert!(g.edges[f].contains(&t));
+        assert!(r[t], "helper is reachable from the render-path entry");
+    }
+
+    #[test]
+    fn method_calls_edge_to_all_same_named_methods() {
+        let g = graph_of(&[
+            (
+                "crates/core/src/frame.rs",
+                "impl Frame { pub fn go(&self) { self.helper(); } fn helper(&self) {} }",
+            ),
+            (
+                "crates/scene/src/synth.rs",
+                "impl Scene { fn helper(&self) {} }",
+            ),
+        ]);
+        let go = node(&g, "go");
+        assert_eq!(g.edges[go].len(), 2, "both `helper` methods are candidates");
+    }
+
+    #[test]
+    fn bare_call_prefers_same_file() {
+        let g = graph_of(&[
+            ("crates/core/src/a.rs", "fn top() { leaf(); } fn leaf() {}"),
+            ("crates/scene/src/b.rs", "pub fn leaf() {}"),
+        ]);
+        let top = node(&g, "top");
+        assert_eq!(g.edges[top].len(), 1);
+        assert_eq!(g.nodes[g.edges[top][0]].file, 0);
+    }
+
+    #[test]
+    fn test_files_and_test_regions_contribute_no_nodes() {
+        let g = graph_of(&[
+            ("tests/parity.rs", "fn process_frame() {}"),
+            (
+                "crates/core/src/x.rs",
+                "fn live() {}\n#[cfg(test)] mod t { fn process_frame() {} }",
+            ),
+        ]);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].item.name, "live");
+    }
+
+    #[test]
+    fn entries_are_render_path_files_only() {
+        let g = graph_of(&[
+            ("crates/metrics/src/lib.rs", "pub fn mse() {}"),
+            ("crates/core/src/frame.rs", "pub fn render() {}"),
+        ]);
+        assert_eq!(g.entries, vec![node(&g, "render")]);
+    }
+
+    #[test]
+    fn chain_text_names_the_route() {
+        let g = graph_of(&[
+            ("crates/core/src/frame.rs", "pub fn render() { mid(); } "),
+            (
+                "crates/metrics/src/util.rs",
+                "pub fn mid() { leaf(); } pub fn leaf() {}",
+            ),
+        ]);
+        let (_, parents) = g.reachable_from_entries();
+        let chain = g.chain_text(node(&g, "leaf"), &parents);
+        assert!(
+            chain.contains("neo_core::frame::render")
+                && chain.contains("neo_metrics::util::mid")
+                && chain.ends_with("`neo_metrics::util::leaf`"),
+            "{chain}"
+        );
+    }
+}

@@ -1,6 +1,19 @@
-//! Per-file lint driver: lex → scope → rules → pragma matching.
+//! Lint driver: lex → scope → local rules → whole-program effect pass
+//! → pragma matching.
+//!
+//! [`lint_sources`] is the real entry point: it runs the local
+//! (per-line) rules r1–r8 on every file, then builds the item model and
+//! call graph over *all* the files at once and adds the transitive
+//! findings r9–r11 from [`crate::effects`]. A transitive finding is
+//! anchored at the effect site's file/line, so the ordinary pragma
+//! machinery — including unused-pragma accounting — applies to it
+//! unchanged. [`lint_source`] is the single-file convenience wrapper
+//! (cross-file chains obviously need [`lint_sources`]).
 
-use crate::lexer::tokenize;
+use crate::callgraph::CallGraph;
+use crate::effects;
+use crate::items::parse_items;
+use crate::lexer::{tokenize, Token};
 use crate::pragma::{self, Pragma, PragmaScope};
 use crate::report::{FileReport, Finding};
 use crate::rules::{run_rules, RawFinding, RuleId};
@@ -10,11 +23,53 @@ use crate::scope::{classify, test_regions};
 /// path drives crate/test scoping — see [`crate::scope::classify`]).
 #[must_use]
 pub fn lint_source(rel_path: &str, src: &str) -> FileReport {
-    let tokens = tokenize(src);
-    let in_test = test_regions(&tokens);
-    let scope = classify(rel_path);
-    let raw = run_rules(scope, &tokens, &in_test);
-    let (pragmas, bad) = pragma::collect(&tokens);
+    lint_sources(&[(rel_path, src)]).pop().unwrap_or_default()
+}
+
+/// Lint a set of files as one program. Returns one report per input,
+/// in input order. Local rules see each file alone; the effect pass
+/// sees the whole set, so a nondeterministic helper in one file is
+/// charged to the render path that reaches it from another.
+#[must_use]
+pub fn lint_sources(files: &[(&str, &str)]) -> Vec<FileReport> {
+    // Per-file local pass.
+    let mut tokens: Vec<Vec<Token>> = Vec::with_capacity(files.len());
+    let mut raw: Vec<Vec<RawFinding>> = Vec::with_capacity(files.len());
+    let mut graph_input = Vec::with_capacity(files.len());
+    for (rel, src) in files {
+        let toks = tokenize(src);
+        let in_test = test_regions(&toks);
+        let scope = classify(rel);
+        raw.push(run_rules(scope, &toks, &in_test));
+        graph_input.push(((*rel).to_string(), scope, parse_items(&toks, &in_test)));
+        tokens.push(toks);
+    }
+
+    // Whole-program effect pass.
+    let graph = CallGraph::build(graph_input);
+    let sites: Vec<_> = graph
+        .nodes
+        .iter()
+        .map(|n| effects::intrinsic_effects(&tokens[n.file], n.item.body).1)
+        .collect();
+    for (file_idx, finding) in effects::transitive_findings(&graph, &sites) {
+        raw[file_idx].push(finding);
+    }
+
+    files
+        .iter()
+        .zip(tokens.iter())
+        .zip(raw)
+        .map(|(((rel, src), toks), mut raw)| {
+            raw.sort_by_key(|f| (f.line, f.col));
+            finish_file(rel, src, toks, raw)
+        })
+        .collect()
+}
+
+/// Pragma-match one file's raw findings and assemble its report.
+fn finish_file(rel_path: &str, src: &str, tokens: &[Token], raw: Vec<RawFinding>) -> FileReport {
+    let (pragmas, bad) = pragma::collect(tokens);
 
     let lines: Vec<&str> = src.lines().collect();
     let snippet = |line: usize| -> String {
@@ -141,5 +196,57 @@ mod tests {
         let f = &rep.findings[0];
         assert_eq!((f.line, f.rule), (2, RuleId::R2));
         assert_eq!(f.snippet, "x.unwrap()");
+    }
+
+    #[test]
+    fn cross_file_nondeterminism_is_charged_at_the_helper() {
+        // Render-path caller in core, clock helper in a hygiene crate:
+        // exactly one r9 finding, anchored in the helper file, naming
+        // the chain.
+        let caller = (
+            "crates/core/src/frame.rs",
+            "pub fn render_frame() { neo_bench::timing::stamp(); }",
+        );
+        let helper = (
+            "crates/bench/src/timing.rs",
+            "pub fn stamp() -> u64 { let t = Instant::now(); observe(t) }",
+        );
+        let reports = lint_sources(&[caller, helper]);
+        assert!(reports[0].findings.is_empty(), "{:?}", reports[0].findings);
+        let r9: Vec<_> = reports[1]
+            .findings
+            .iter()
+            .filter(|f| f.rule == RuleId::R9)
+            .collect();
+        assert_eq!(r9.len(), 1, "{:?}", reports[1].findings);
+        assert!(r9[0].message.contains("neo_core::frame::render_frame"));
+        assert!(r9[0].message.contains("neo_bench::timing::stamp"));
+    }
+
+    #[test]
+    fn unreachable_hygiene_helper_is_not_flagged() {
+        let caller = ("crates/core/src/frame.rs", "pub fn render_frame() {}");
+        let helper = (
+            "crates/bench/src/timing.rs",
+            "pub fn stamp() -> u64 { let t = Instant::now(); observe(t) }",
+        );
+        let reports = lint_sources(&[caller, helper]);
+        assert!(reports.iter().all(|r| r.findings.is_empty()));
+    }
+
+    #[test]
+    fn transitive_finding_respects_line_pragma() {
+        let caller = (
+            "crates/core/src/frame.rs",
+            "pub fn render_frame() { neo_bench::timing::stamp(); }",
+        );
+        let helper = (
+            "crates/bench/src/timing.rs",
+            "pub fn stamp() -> u64 {\n    // neo-lint: allow(r9, \"startup-only stamp, not in frame loop\")\n    let t = Instant::now(); observe(t)\n}",
+        );
+        let reports = lint_sources(&[caller, helper]);
+        assert!(reports[1].findings.is_empty(), "{:?}", reports[1].findings);
+        assert_eq!(reports[1].suppressed.len(), 1);
+        assert_eq!(reports[1].suppressed[0].rule, RuleId::R9);
     }
 }

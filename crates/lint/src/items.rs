@@ -1,0 +1,494 @@
+//! Phase 1 of the whole-workspace analysis: a lightweight item model
+//! built from the token stream.
+//!
+//! The model is deliberately small: a brace-matched walk over the
+//! significant tokens yields every `fn` definition with its body
+//! extent, its `mod`/`impl`/`trait` nesting (for name qualification),
+//! and the set of call sites (path calls and method calls) inside each
+//! body. That is exactly what the call-graph pass
+//! ([`crate::callgraph`]) needs — no types, no expressions, no `syn`.
+//!
+//! Approximations (documented in ARCHITECTURE.md § "Static analysis"):
+//! items nested *inside* a function body (closures, nested `fn`s) are
+//! folded into the enclosing function — their calls are attributed to
+//! it; trait default methods are modeled as methods of the trait name;
+//! macro bodies are opaque. The parser never panics and always returns
+//! brace-balanced body extents, a property pinned by a mutation
+//! proptest over real workspace files (`tests/prop_items.rs`).
+
+use crate::lexer::{Token, TokenKind};
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Trailing path segments as written, last one the callee name
+    /// (`["neo_math", "num", "u64_from_usize"]`, or `["len"]` for a
+    /// method call).
+    pub segments: Vec<String>,
+    /// True for `.name(...)` method-call syntax.
+    pub method: bool,
+    /// 1-based line of the callee name token.
+    pub line: usize,
+    /// 1-based column of the callee name token.
+    pub col: usize,
+}
+
+/// One `fn` definition with its body extent and outgoing call sites.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// In-file `mod` nesting, outermost first.
+    pub mod_path: Vec<String>,
+    /// Enclosing `impl` type or `trait` name, when the fn is a method
+    /// or associated function.
+    pub impl_name: Option<String>,
+    /// 1-based line of the `fn` name token.
+    pub line: usize,
+    /// 1-based column of the `fn` name token.
+    pub col: usize,
+    /// Raw token indices of the body's `{` and its matching `}`
+    /// (inclusive; equal only for a degenerate truncated body).
+    pub body: (usize, usize),
+    /// True when the definition sits inside test-only code.
+    pub in_test: bool,
+    /// Call sites lexed out of the body.
+    pub calls: Vec<CallSite>,
+}
+
+impl FnItem {
+    /// True when the fn is defined inside an `impl`/`trait` block.
+    #[must_use]
+    pub fn is_method(&self) -> bool {
+        self.impl_name.is_some()
+    }
+
+    /// In-file qualified display name (`tiles::TileGrid::len`).
+    #[must_use]
+    pub fn display(&self) -> String {
+        let mut parts: Vec<&str> = self.mod_path.iter().map(String::as_str).collect();
+        if let Some(im) = &self.impl_name {
+            parts.push(im);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+}
+
+/// Keywords that look like `ident (` but are never calls.
+const NON_CALL_IDENTS: [&str; 10] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "in", "move", "let",
+];
+
+/// What a brace on the context stack belongs to.
+enum Ctx {
+    /// `mod name { … }` — contributes to the module path.
+    Mod(String),
+    /// `impl Type { … }` / `trait Name { … }` — methods inside.
+    Impl(String),
+    /// Any other brace (struct/enum bodies, expression blocks, …).
+    Block,
+}
+
+/// Parse the item model of one file. `in_test` is the per-raw-token
+/// test-region mask from [`crate::scope::test_regions`].
+#[must_use]
+pub fn parse_items(tokens: &[Token], in_test: &[bool]) -> Vec<FnItem> {
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut out = Vec::new();
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut k = 0usize;
+    while k < sig.len() {
+        let t = &tokens[sig[k]];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, "mod") => {
+                // `mod name { … }` pushes a module scope; `mod name;` is
+                // an out-of-line module reference.
+                let name = ident_at(tokens, &sig, k + 1);
+                if let Some(name) = name {
+                    if text_at(tokens, &sig, k + 2) == Some("{") {
+                        stack.push(Ctx::Mod(name));
+                        k += 3;
+                        continue;
+                    }
+                }
+                k += 1;
+            }
+            (TokenKind::Ident, "impl" | "trait") => {
+                // Scan to the opening `{`, extracting the subject type:
+                // `impl<T> Foo<T> { … }` → Foo; `impl Tr for Ty { … }` →
+                // Ty; `trait Name: Bound { … }` → Name.
+                let (open, name) = scan_impl_header(tokens, &sig, k);
+                match open {
+                    Some(open) => {
+                        stack.push(Ctx::Impl(name.unwrap_or_else(|| "_".to_string())));
+                        k = open + 1;
+                    }
+                    None => k += 1,
+                }
+            }
+            (TokenKind::Ident, "fn") => {
+                if let Some(name) = ident_at(tokens, &sig, k + 1) {
+                    let (next, item) = scan_fn(tokens, &sig, k, name, &stack, in_test);
+                    if let Some(item) = item {
+                        out.push(item);
+                    }
+                    k = next;
+                } else {
+                    // `fn(..)` pointer type — not a definition.
+                    k += 1;
+                }
+            }
+            (TokenKind::Punct, "{") => {
+                stack.push(Ctx::Block);
+                k += 1;
+            }
+            (TokenKind::Punct, "}") => {
+                stack.pop();
+                k += 1;
+            }
+            _ => k += 1,
+        }
+    }
+    out
+}
+
+fn ident_at(tokens: &[Token], sig: &[usize], k: usize) -> Option<String> {
+    let &i = sig.get(k)?;
+    (tokens[i].kind == TokenKind::Ident).then(|| tokens[i].text.clone())
+}
+
+fn text_at<'a>(tokens: &'a [Token], sig: &[usize], k: usize) -> Option<&'a str> {
+    sig.get(k).map(|&i| tokens[i].text.as_str())
+}
+
+/// Scan an `impl`/`trait` header starting at `sig[k]`. Returns the sig
+/// index of the opening `{` (None when the header never opens, e.g. a
+/// truncated file) and the subject name.
+fn scan_impl_header(tokens: &[Token], sig: &[usize], k: usize) -> (Option<usize>, Option<String>) {
+    let mut angle = 0i32;
+    let mut name: Option<String> = None;
+    let mut after_for = false;
+    let mut m = k + 1;
+    while m < sig.len() {
+        let t = &tokens[sig[m]];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "<") => angle += 1,
+            (TokenKind::Punct, ">") => angle -= 1,
+            (TokenKind::Punct, "{") if angle <= 0 => return (Some(m), name),
+            // An impl header can only end in `{` or (never validly) `;`;
+            // bail on `;` so a stray `impl` in macro soup cannot swallow
+            // the rest of the file.
+            (TokenKind::Punct, ";") => return (None, name),
+            (TokenKind::Ident, "for") if angle <= 0 => {
+                after_for = true;
+                name = None;
+            }
+            (TokenKind::Ident, "where") if angle <= 0 => {
+                // The subject is settled before the where clause.
+                after_for = false;
+            }
+            (TokenKind::Ident, id) if angle <= 0 && (name.is_none() || after_for) => {
+                name = Some(id.to_string());
+                after_for = false;
+            }
+            _ => {}
+        }
+        m += 1;
+    }
+    (None, name)
+}
+
+/// Scan a `fn` item whose `fn` keyword is at `sig[k]` and name at
+/// `sig[k + 1]`. Returns the sig index to resume at and the parsed item
+/// (None for bodyless trait signatures).
+fn scan_fn(
+    tokens: &[Token],
+    sig: &[usize],
+    k: usize,
+    name: String,
+    stack: &[Ctx],
+    in_test: &[bool],
+) -> (usize, Option<FnItem>) {
+    let name_tok = &tokens[sig[k + 1]];
+    // Find the opening `{` of the body or the `;` of a signature-only
+    // declaration, at paren/bracket depth 0 (return types and where
+    // clauses may contain parens: `-> impl Fn(u32) -> u32`).
+    let mut depth = 0i32;
+    let mut m = k + 2;
+    let mut open = None;
+    while m < sig.len() {
+        let t = &tokens[sig[m]];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => {
+                    open = Some(m);
+                    break;
+                }
+                ";" if depth <= 0 => return (m + 1, None),
+                _ => {}
+            }
+        }
+        m += 1;
+    }
+    let Some(open) = open else {
+        // Truncated header: consume to EOF without an item.
+        return (sig.len(), None);
+    };
+    // Match the body braces.
+    let mut brace = 0i32;
+    let mut close = sig.len() - 1;
+    let mut e = open;
+    while e < sig.len() {
+        let t = &tokens[sig[e]];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        close = e;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        e += 1;
+    }
+    let mod_path: Vec<String> = stack
+        .iter()
+        .filter_map(|c| match c {
+            Ctx::Mod(n) => Some(n.clone()),
+            _ => None,
+        })
+        .collect();
+    let impl_name = stack.iter().rev().find_map(|c| match c {
+        Ctx::Impl(n) => Some(n.clone()),
+        Ctx::Mod(_) | Ctx::Block => None,
+    });
+    let calls = scan_calls(tokens, &sig[open..=close]);
+    let item = FnItem {
+        name,
+        mod_path,
+        impl_name,
+        line: name_tok.line,
+        col: name_tok.col,
+        body: (sig[open], sig[close]),
+        in_test: in_test.get(sig[k]).copied().unwrap_or(false),
+        calls,
+    };
+    (close + 1, Some(item))
+}
+
+/// Lex call sites out of a body's significant-token slice.
+fn scan_calls(tokens: &[Token], body: &[usize]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for k in 0..body.len() {
+        let t = &tokens[body[k]];
+        if t.kind != TokenKind::Ident || NON_CALL_IDENTS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // The name must be followed by `(`, optionally via a turbofish
+        // `::<…>`; a following `!` is a macro invocation.
+        let Some(args_at) = call_paren(tokens, body, k + 1) else {
+            continue;
+        };
+        let _ = args_at;
+        let prev = k.checked_sub(1).map(|p| tokens[body[p]].text.as_str());
+        if prev == Some("fn") {
+            continue; // nested fn definition, not a call
+        }
+        if prev == Some(".") {
+            out.push(CallSite {
+                segments: vec![t.text.clone()],
+                method: true,
+                line: t.line,
+                col: t.col,
+            });
+            continue;
+        }
+        // Collect leading `seg::` path segments.
+        let mut segments = vec![t.text.clone()];
+        let mut p = k;
+        while p >= 2
+            && tokens[body[p - 1]].text == "::"
+            && tokens[body[p - 2]].kind == TokenKind::Ident
+        {
+            segments.insert(0, tokens[body[p - 2]].text.clone());
+            p -= 2;
+        }
+        // A path rooted at a `.` is a method chain continuation
+        // (`x.f::<T>(…)` handled above; `x.M::f(…)` does not occur).
+        if p >= 1 && tokens[body[p - 1]].text == "." {
+            continue;
+        }
+        out.push(CallSite {
+            segments,
+            method: false,
+            line: t.line,
+            col: t.col,
+        });
+    }
+    out
+}
+
+/// If the tokens at `body[k..]` spell `(`, or `::<…>(`, return the sig
+/// slice index of the `(`; a `!` means a macro, not a call.
+fn call_paren(tokens: &[Token], body: &[usize], k: usize) -> Option<usize> {
+    let text = |k: usize| body.get(k).map(|&i| tokens[i].text.as_str());
+    match text(k)? {
+        "(" => Some(k),
+        "::" if text(k + 1) == Some("<") => {
+            let mut angle = 0i32;
+            let mut m = k + 1;
+            while m < body.len() {
+                match text(m)? {
+                    "<" => angle += 1,
+                    ">" => {
+                        angle -= 1;
+                        if angle == 0 {
+                            return (text(m + 1) == Some("(")).then_some(m + 1);
+                        }
+                    }
+                    // Turbofish payloads are types only; cap the scan.
+                    ";" | "{" | "}" => return None,
+                    _ => {}
+                }
+                m += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::scope::test_regions;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        let toks = tokenize(src);
+        let mask = test_regions(&toks);
+        parse_items(&toks, &mask)
+    }
+
+    #[test]
+    fn free_fn_and_method_qualification() {
+        let src = "\
+pub fn free() { helper(); }
+mod inner {
+    pub struct S;
+    impl S {
+        pub fn meth(&self) -> u32 { self.other() }
+    }
+}
+";
+        let it = items(src);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it[0].display(), "free");
+        assert!(!it[0].is_method());
+        assert_eq!(it[1].display(), "inner::S::meth");
+        assert!(it[1].is_method());
+        assert_eq!(it[1].mod_path, vec!["inner".to_string()]);
+    }
+
+    #[test]
+    fn impl_trait_for_type_takes_the_type() {
+        let src = "impl<T: Clone> Default for Wrapper<T> { fn default() -> Self { todo() } }";
+        let it = items(src);
+        assert_eq!(it[0].impl_name.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn trait_default_methods_are_methods_of_the_trait() {
+        let src =
+            "trait Sorter: Send { fn invalidate(&mut self) { self.reset(); } fn decl(&self); }";
+        let it = items(src);
+        assert_eq!(it.len(), 1, "signature-only decl has no body");
+        assert_eq!(it[0].display(), "Sorter::invalidate");
+    }
+
+    #[test]
+    fn call_sites_paths_methods_macros() {
+        let src = "\
+fn f() {
+    let a = neo_math::num::u64_from_usize(x);
+    let b = v.iter().map(g).sum::<u64>();
+    println!(\"not a call\");
+    helper(1);
+    Vec::<u32>::with_capacity(4);
+}
+";
+        let calls = &items(src)[0].calls;
+        let names: Vec<(&str, bool)> = calls
+            .iter()
+            .map(|c| (c.segments.last().unwrap().as_str(), c.method))
+            .collect();
+        assert!(names.contains(&("u64_from_usize", false)));
+        assert!(names.contains(&("iter", true)));
+        assert!(names.contains(&("map", true)));
+        assert!(names.contains(&("sum", true)), "turbofish method call");
+        assert!(names.contains(&("helper", false)));
+        assert!(names.contains(&("with_capacity", false)));
+        assert!(
+            !names.iter().any(|(n, _)| *n == "println"),
+            "macros skipped"
+        );
+        let path = calls
+            .iter()
+            .find(|c| c.segments.last().unwrap() == "u64_from_usize")
+            .unwrap();
+        assert_eq!(path.segments, ["neo_math", "num", "u64_from_usize"]);
+    }
+
+    #[test]
+    fn nested_fns_fold_into_the_outer_item() {
+        let it = items("fn outer() { fn inner() { leaf(); } inner(); }");
+        assert_eq!(it.len(), 1);
+        let names: Vec<&str> = it[0]
+            .calls
+            .iter()
+            .map(|c| c.segments.last().unwrap().as_str())
+            .collect();
+        assert!(names.contains(&"leaf"));
+        assert!(names.contains(&"inner"));
+    }
+
+    #[test]
+    fn test_region_flag_carries_through() {
+        let src = "#[cfg(test)]\nmod t { fn case() { x(); } }\nfn live() {}";
+        let it = items(src);
+        assert_eq!(it.len(), 2);
+        assert!(it[0].in_test);
+        assert!(!it[1].in_test);
+    }
+
+    #[test]
+    fn bodies_are_brace_balanced_even_on_truncation() {
+        for src in [
+            "fn f() { if x { y(); }",
+            "fn f(",
+            "impl Foo { fn g(&self)",
+            "mod m { fn h() {",
+            "fn ok() {}",
+        ] {
+            for item in items(src) {
+                assert!(item.body.0 <= item.body.1, "{src:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_definitions() {
+        let it = items("fn real(cb: fn(u32) -> u32) -> u32 { cb(1) }");
+        assert_eq!(it.len(), 1);
+        assert_eq!(it[0].name, "real");
+    }
+}

@@ -19,6 +19,19 @@
 //! | `r6` | `masked-arithmetic` | `wrapping_*`/`overflowing_*`/`unchecked_*` |
 //! | `r7` | `missing-forbid-unsafe` | contract crate roots without `#![forbid(unsafe_code)]` |
 //! | `r8` | `untracked-todo` | TODO/FIXME with no issue reference |
+//! | `r9` | `transitive-nondeterminism` | clock/RNG helper reachable from the render path |
+//! | `r10` | `float-fold-order` | `.sum()`/`.product()`/`.fold()` float reductions with implicit order |
+//! | `r11` | `unordered-iteration` | `HashMap`/`HashSet` iteration feeding ordered output |
+//!
+//! Rules r1–r8 are token-local. Rules r9–r11 come from a two-phase
+//! whole-workspace pass: [`items`] builds a brace-matched item model
+//! (every `fn` with its body extent and call sites) from the same
+//! token stream, [`callgraph`] links the models into a workspace call
+//! graph, and [`effects`] computes per-function effect sets and
+//! propagates them over the graph to a fixpoint, so a hazard buried in
+//! a hygiene-scoped helper is charged the moment render-path code can
+//! reach it. Transitive findings name the full call chain and are
+//! anchored at the effect site, where a normal pragma suppresses them.
 //!
 //! Findings are suppressed — one code line or one file at a time — by
 //! an inline pragma carrying a mandatory reason:
@@ -44,7 +57,10 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod callgraph;
+pub mod effects;
 pub mod engine;
+pub mod items;
 pub mod lexer;
 pub mod pragma;
 pub mod report;
@@ -52,7 +68,7 @@ pub mod rules;
 pub mod scope;
 pub mod walk;
 
-pub use engine::lint_source;
+pub use engine::{lint_source, lint_sources};
 pub use report::{FileReport, Finding, WorkspaceReport};
 pub use rules::RuleId;
 
@@ -67,7 +83,7 @@ use std::path::Path;
 /// line/column, so output is deterministic.
 pub fn lint_workspace(root: &Path, crates: Option<&[String]>) -> io::Result<WorkspaceReport> {
     let files = walk::workspace_files(root)?;
-    let mut report = WorkspaceReport::default();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for rel in files {
         if let Some(filter) = crates {
             if !filter.iter().any(|c| walk::in_crate(&rel, c)) {
@@ -75,7 +91,14 @@ pub fn lint_workspace(root: &Path, crates: Option<&[String]>) -> io::Result<Work
             }
         }
         let src = fs::read_to_string(root.join(&rel))?;
-        let file_report = lint_source(&rel, &src);
+        sources.push((rel, src));
+    }
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(r, s)| (r.as_str(), s.as_str()))
+        .collect();
+    let mut report = WorkspaceReport::default();
+    for file_report in lint_sources(&borrowed) {
         report.files_scanned += 1;
         report.findings.extend(file_report.findings);
         report.suppressed.extend(file_report.suppressed);

@@ -5,6 +5,8 @@
 //! cargo run -p neo-lint -- --workspace
 //! cargo run -p neo-lint -- --crate neo-sort --crate neo-core
 //! cargo run -p neo-lint -- --workspace --json results/lint_report.json
+//! cargo run -p neo-lint -- --workspace --sarif results/lint_report.sarif
+//! cargo run -p neo-lint -- --workspace --format sarif   # SARIF to stdout
 //! cargo run -p neo-lint -- --list-rules
 //! ```
 //!
@@ -16,22 +18,34 @@ use neo_lint::rules::RuleId;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Stdout rendering selected by `--format`.
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Args {
     root: PathBuf,
     crates: Vec<String>,
     json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
+    format: Format,
     list_rules: bool,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: neo-lint [--workspace] [--crate <name>]... [--json <path>] \
-[--root <dir>] [--list-rules] [--quiet]";
+[--sarif <path>] [--format <text|json|sarif>] [--root <dir>] [--list-rules] [--quiet]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         crates: Vec::new(),
         json: None,
+        sarif: None,
+        format: Format::Text,
         list_rules: false,
         quiet: false,
     };
@@ -48,6 +62,22 @@ fn parse_args() -> Result<Args, String> {
                 let path = it.next().ok_or("--json needs a path")?;
                 args.json = Some(PathBuf::from(path));
             }
+            "--sarif" => {
+                let path = it.next().ok_or("--sarif needs a path")?;
+                args.sarif = Some(PathBuf::from(path));
+            }
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!(
+                            "--format needs one of text|json|sarif, got {other:?}"
+                        ))
+                    }
+                };
+            }
             "--root" => {
                 let dir = it.next().ok_or("--root needs a directory")?;
                 args.root = PathBuf::from(dir);
@@ -61,6 +91,24 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Create the parent directory (if any) and write, mapping failures to
+/// exit code 2.
+fn write_out(path: &PathBuf, contents: &str) -> Result<(), ExitCode> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("neo-lint: cannot create {}: {e}", parent.display());
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("neo-lint: cannot write {}: {e}", path.display());
+        return Err(ExitCode::from(2));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -72,7 +120,8 @@ fn main() -> ExitCode {
 
     if args.list_rules {
         for rule in RuleId::ALL {
-            println!("{:<3} {:<22} {}", rule.id(), rule.slug(), rule.describe());
+            println!("{:<3} {:<24} {}", rule.id(), rule.slug(), rule.describe());
+            println!("    scope: {}", rule.scope_note());
         }
         return ExitCode::SUCCESS;
     }
@@ -91,21 +140,22 @@ fn main() -> ExitCode {
     };
 
     if let Some(path) = &args.json {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                if let Err(e) = std::fs::create_dir_all(parent) {
-                    eprintln!("neo-lint: cannot create {}: {e}", parent.display());
-                    return ExitCode::from(2);
-                }
-            }
+        if let Err(code) = write_out(path, &report.to_json()) {
+            return code;
         }
-        if let Err(e) = std::fs::write(path, report.to_json()) {
-            eprintln!("neo-lint: cannot write {}: {e}", path.display());
-            return ExitCode::from(2);
+    }
+    if let Some(path) = &args.sarif {
+        if let Err(code) = write_out(path, &report.to_sarif()) {
+            return code;
         }
     }
 
-    if !args.quiet {
+    match args.format {
+        Format::Json => print!("{}", report.to_json()),
+        Format::Sarif => print!("{}", report.to_sarif()),
+        Format::Text => {}
+    }
+    if !args.quiet && args.format == Format::Text {
         for finding in &report.findings {
             println!("{}", finding.render());
         }

@@ -152,7 +152,12 @@ fn parse_allow(s: &str) -> Result<(RuleId, PragmaScope, String, usize), String> 
     };
     let rule_name = body[..comma].trim();
     let Some(rule) = RuleId::parse(rule_name) else {
-        return Err(format!("unknown rule `{rule_name}` in pragma"));
+        return Err(match nearest_rule(rule_name) {
+            Some(hint) => {
+                format!("unknown rule `{rule_name}` in pragma — did you mean `{hint}`?")
+            }
+            None => format!("unknown rule `{rule_name}` in pragma"),
+        });
     };
     let rest = body[comma + 1..].trim_start();
     if !rest.starts_with('"') {
@@ -172,6 +177,39 @@ fn parse_allow(s: &str) -> Result<(RuleId, PragmaScope, String, usize), String> 
     // Bytes consumed relative to the start of `s`, including the `)`.
     let consumed = s.len() - after_reason.len() + 1;
     Ok((rule, scope, reason, consumed.min(s.len())))
+}
+
+/// Closest valid rule name (id or slug) to a misspelling, by edit
+/// distance — `r12` suggests `r1`, `panic-paths` suggests
+/// `panic-path`. None when nothing is close enough to be a plausible
+/// typo (distance > 1/3 of the input length, minimum 2).
+fn nearest_rule(name: &str) -> Option<&'static str> {
+    let name = name.to_ascii_lowercase();
+    let budget = (name.len() / 3).max(2);
+    RuleId::ALL
+        .into_iter()
+        .flat_map(|r| [r.id(), r.slug()])
+        .map(|cand| (edit_distance(&name, cand), cand))
+        .filter(|&(d, _)| d <= budget)
+        .min_by_key(|&(d, cand)| (d, cand.len()))
+        .map(|(_, cand)| cand)
+}
+
+/// Levenshtein distance, two-row DP. Inputs are rule-name sized.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -224,6 +262,29 @@ mod tests {
         let (_, bad) = collect(&tokenize("// neo-lint: allow(r99, \"nope\")\n"));
         assert_eq!(bad.len(), 1);
         assert!(bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unknown_rule_suggests_the_nearest_valid_name() {
+        let (_, bad) = collect(&tokenize("// neo-lint: allow(r12, \"typo\")\n"));
+        assert!(
+            bad[0].message.contains("did you mean `r1`"),
+            "{}",
+            bad[0].message
+        );
+        let (_, bad) = collect(&tokenize("// neo-lint: allow(panic-paths, \"typo\")\n"));
+        assert!(
+            bad[0].message.contains("did you mean `panic-path`"),
+            "{}",
+            bad[0].message
+        );
+        // Gibberish gets no suggestion.
+        let (_, bad) = collect(&tokenize("// neo-lint: allow(zzqqy, \"?\")\n"));
+        assert!(
+            !bad[0].message.contains("did you mean"),
+            "{}",
+            bad[0].message
+        );
     }
 
     #[test]

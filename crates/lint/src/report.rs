@@ -1,7 +1,13 @@
-//! Finding types and report rendering (human text + JSON).
+//! Finding types and report rendering (human text, JSON, SARIF).
 //!
-//! The JSON writer is hand-rolled: the linter is dependency-free by
-//! design so it can never be blocked on the crates it polices.
+//! The JSON writer — and the small JSON reader behind
+//! [`validate_sarif`] — are hand-rolled: the linter is dependency-free
+//! by design so it can never be blocked on the crates it polices.
+//!
+//! The SARIF 2.1.0 document ([`WorkspaceReport::to_sarif`]) carries
+//! **two runs**, one per rule set: the token-local rules (r1–r8 +
+//! pragma hygiene) and the call-graph rules (r9–r11). CI uploads it as
+//! an artifact and shape-checks it with [`validate_sarif`].
 
 use crate::rules::RuleId;
 use std::fmt::Write as _;
@@ -112,6 +118,350 @@ impl WorkspaceReport {
         s.push_str("}\n");
         s
     }
+
+    /// Render the report as a SARIF 2.1.0 document with one run per
+    /// rule set: run 0 carries the token-local rules (r1–r8 + pragma),
+    /// run 1 the call-graph rules (r9–r11). Suppressed findings are
+    /// included in their run with an `inSource` suppression object, so
+    /// the allow-inventory is visible to SARIF viewers too.
+    #[must_use]
+    pub fn to_sarif(&self) -> String {
+        let local: Vec<RuleId> = RuleId::ALL
+            .into_iter()
+            .filter(|r| !r.is_transitive())
+            .chain([RuleId::Pragma])
+            .collect();
+        let transitive: Vec<RuleId> = RuleId::ALL
+            .into_iter()
+            .filter(|r| r.is_transitive())
+            .collect();
+        let mut s = String::new();
+        s.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+        s.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n");
+        self.sarif_run(&mut s, "local", &local);
+        s.push_str(",\n");
+        self.sarif_run(&mut s, "transitive", &transitive);
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    fn sarif_run(&self, s: &mut String, set: &str, rules: &[RuleId]) {
+        s.push_str("    {\n");
+        let _ = writeln!(
+            s,
+            "      \"automationDetails\": {{\"id\": \"neo-lint/{set}\"}},"
+        );
+        s.push_str("      \"tool\": {\"driver\": {\"name\": \"neo-lint\", \"rules\": [");
+        for (i, r) in rules.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "{{\"id\": \"{}\", \"name\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                r.id(),
+                r.slug(),
+                escape(r.describe())
+            );
+        }
+        s.push_str("]}},\n");
+        s.push_str("      \"results\": [");
+        let mut first = true;
+        let in_set = |f: &&Finding| rules.contains(&f.rule);
+        for (f, suppressed) in self
+            .findings
+            .iter()
+            .filter(in_set)
+            .map(|f| (f, false))
+            .chain(self.suppressed.iter().filter(in_set).map(|f| (f, true)))
+        {
+            s.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let suppression = if suppressed {
+                ", \"suppressions\": [{\"kind\": \"inSource\"}]"
+            } else {
+                ""
+            };
+            let _ = write!(
+                s,
+                "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \
+                 \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": \
+                 {}}}}}}}]{suppression}}}",
+                f.rule.id(),
+                escape(&f.message),
+                escape(&f.file),
+                f.line,
+                f.col
+            );
+        }
+        s.push_str(if first {
+            "]\n    }"
+        } else {
+            "\n      ]\n    }"
+        });
+    }
+}
+
+/// Minimal JSON value for the shape checks in [`validate_sarif`].
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    /// `null`
+    Null,
+    /// `true`/`false`
+    Bool(bool),
+    /// Any number (stored as f64; line/col magnitudes are tiny).
+    Num(f64),
+    /// String with escapes resolved.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser (strings, numbers, bools, null,
+/// arrays, objects). Rejects trailing garbage. Depth-capped so token
+/// soup cannot overflow the stack.
+fn parse_json(src: &str) -> Result<Json, String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&chars, &mut pos, 0)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing characters at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(c: &[char], pos: &mut usize) {
+    while c.get(*pos).is_some_and(|ch| ch.is_ascii_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect(c: &[char], pos: &mut usize, ch: char) -> Result<(), String> {
+    skip_ws(c, pos);
+    if c.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{ch}` at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(c: &[char], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > 64 {
+        return Err("nesting too deep".to_string());
+    }
+    skip_ws(c, pos);
+    match c.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut kv = Vec::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Obj(kv));
+            }
+            loop {
+                skip_ws(c, pos);
+                let key = parse_string(c, pos)?;
+                expect(c, pos, ':')?;
+                let val = parse_value(c, pos, depth + 1)?;
+                kv.push((key, val));
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(kv));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(c, pos, depth + 1)?);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some('"') => Ok(Json::Str(parse_string(c, pos)?)),
+        Some('t') if c[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if c[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if c[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(ch) if *ch == '-' || ch.is_ascii_digit() => {
+            let start = *pos;
+            if c.get(*pos) == Some(&'-') {
+                *pos += 1;
+            }
+            while c
+                .get(*pos)
+                .is_some_and(|ch| ch.is_ascii_digit() || matches!(ch, '.' | 'e' | 'E' | '+' | '-'))
+            {
+                *pos += 1;
+            }
+            let text: String = c[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number `{text}`"))
+        }
+        _ => Err(format!("unexpected character at offset {pos}", pos = *pos)),
+    }
+}
+
+fn parse_string(c: &[char], pos: &mut usize) -> Result<String, String> {
+    if c.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&ch) = c.get(*pos) {
+        *pos += 1;
+        match ch {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = c.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    '"' | '\\' | '/' => out.push(esc),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hex: String = c.get(*pos..*pos + 4).unwrap_or(&[]).iter().collect();
+                        if hex.len() != 4 {
+                            return Err("truncated \\u escape".to_string());
+                        }
+                        *pos += 4;
+                        let code = u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape `\\{other}`")),
+                }
+            }
+            _ => out.push(ch),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// Shape-check a SARIF document produced by
+/// [`WorkspaceReport::to_sarif`]: valid JSON, version 2.1.0, exactly
+/// one run per rule set (`neo-lint/local` then `neo-lint/transitive`),
+/// each run declaring its rules and every result referencing a rule
+/// declared by its own run. Returns the per-run result counts.
+pub fn validate_sarif(doc: &str) -> Result<Vec<usize>, String> {
+    let v = parse_json(doc)?;
+    if v.get("version").and_then(Json::as_str) != Some("2.1.0") {
+        return Err("version is not \"2.1.0\"".to_string());
+    }
+    let runs = v
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("`runs` is not an array")?;
+    let expected_ids = ["neo-lint/local", "neo-lint/transitive"];
+    if runs.len() != expected_ids.len() {
+        return Err(format!(
+            "expected {} runs, got {}",
+            expected_ids.len(),
+            runs.len()
+        ));
+    }
+    let mut counts = Vec::new();
+    for (run, expected_id) in runs.iter().zip(expected_ids) {
+        let auto = run
+            .get("automationDetails")
+            .and_then(|a| a.get("id"))
+            .and_then(Json::as_str);
+        if auto != Some(expected_id) {
+            return Err(format!("run id {auto:?}, expected {expected_id:?}"));
+        }
+        let driver = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .ok_or("run missing tool.driver")?;
+        if driver.get("name").and_then(Json::as_str) != Some("neo-lint") {
+            return Err("driver name is not neo-lint".to_string());
+        }
+        let rules = driver
+            .get("rules")
+            .and_then(Json::as_arr)
+            .ok_or("driver.rules is not an array")?;
+        let rule_ids: Vec<&str> = rules
+            .iter()
+            .filter_map(|r| r.get("id").and_then(Json::as_str))
+            .collect();
+        if rule_ids.is_empty() {
+            return Err("run declares no rules".to_string());
+        }
+        let results = run
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or("run.results is not an array")?;
+        for r in results {
+            let rid = r
+                .get("ruleId")
+                .and_then(Json::as_str)
+                .ok_or("result missing ruleId")?;
+            if !rule_ids.contains(&rid) {
+                return Err(format!("result rule `{rid}` not declared by its run"));
+            }
+            if r.get("locations").and_then(Json::as_arr).is_none() {
+                return Err(format!("`{rid}` result has no locations array"));
+            }
+        }
+        counts.push(results.len());
+    }
+    Ok(counts)
 }
 
 /// Minimal JSON string escaping.
@@ -173,5 +523,52 @@ mod tests {
     fn empty_report_is_valid_json_shape() {
         let json = WorkspaceReport::default().to_json();
         assert!(json.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn sarif_has_a_run_per_rule_set_and_validates() {
+        let mut rep = WorkspaceReport::default();
+        rep.findings.push(finding()); // r1 → local run
+        let mut t = finding();
+        t.rule = RuleId::R9;
+        t.message = "chain: `a` -> `b`".to_string();
+        rep.suppressed.push(t); // r9 suppressed → transitive run
+        let sarif = rep.to_sarif();
+        let counts = validate_sarif(&sarif).expect("emitted SARIF must validate");
+        assert_eq!(counts, vec![1, 1]);
+        assert!(sarif.contains("\"suppressions\": [{\"kind\": \"inSource\"}]"));
+    }
+
+    #[test]
+    fn empty_sarif_still_validates() {
+        let counts = validate_sarif(&WorkspaceReport::default().to_sarif()).unwrap();
+        assert_eq!(counts, vec![0, 0]);
+    }
+
+    #[test]
+    fn validate_sarif_rejects_malformed_documents() {
+        assert!(validate_sarif("not json").is_err());
+        assert!(
+            validate_sarif("{\"version\": \"2.1.0\"}").is_err(),
+            "missing runs"
+        );
+        assert!(
+            validate_sarif("{\"version\": \"2.1.0\", \"runs\": []}").is_err(),
+            "needs one run per rule set"
+        );
+        // A result citing a rule its run never declared is a shape error.
+        let bad = WorkspaceReport::default()
+            .to_sarif()
+            .replace("\"results\": []", "\"results\": [{\"ruleId\": \"r99\", \"message\": {\"text\": \"x\"}, \"locations\": []}]");
+        assert!(validate_sarif(&bad).is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_rejects_garbage() {
+        let v = parse_json("{\"a\": [1, true, null, \"x\\n\\u0041\"]}").unwrap();
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[3], Json::Str("x\nA".to_string()));
+        assert!(parse_json("{\"a\": 1,}").is_err());
+        assert!(parse_json("[1, 2] trailing").is_err());
     }
 }

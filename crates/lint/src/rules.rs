@@ -1,7 +1,9 @@
-//! The rule engine: eight token-level rules encoding the determinism
-//! contract (ARCHITECTURE.md §"Determinism contract") and the bug
-//! classes this project has actually shipped and fixed (NaN-unsafe
-//! ordering, silently-truncating casts, panicking library paths).
+//! The rule registry and the eight token-level rules encoding the
+//! determinism contract (ARCHITECTURE.md §"Determinism contract") and
+//! the bug classes this project has actually shipped and fixed
+//! (NaN-unsafe ordering, silently-truncating casts, panicking library
+//! paths). The call-graph rules r9–r11 are registered here but produced
+//! by the whole-program pass in [`crate::effects`].
 //!
 //! Rules are deliberately syntactic: with no type information they
 //! over-approximate, and the escape hatch is an explicit, *reasoned*
@@ -30,6 +32,18 @@ pub enum RuleId {
     R7,
     /// TODO/FIXME without an issue reference.
     R8,
+    /// Transitive nondeterminism: a render-path function reaches, over
+    /// the call graph, a clock or unseeded-RNG source hidden in a
+    /// helper outside render-path scope.
+    R9,
+    /// Float reduction-order hazard (implicit `.sum()`/`.product()`/
+    /// `.fold()` or iterator-loop `+=` over floats) in contract code or
+    /// reachable from the render path.
+    R10,
+    /// Unordered-container iteration whose results can feed ordered
+    /// output: off-render-path contract code, or any helper reachable
+    /// from the render path.
+    R11,
     /// Meta-rule for pragma hygiene: malformed, unknown-rule, or unused
     /// suppressions. Not itself suppressible.
     Pragma,
@@ -37,7 +51,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every real rule, in order (excludes the pragma meta-rule).
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
@@ -46,6 +60,9 @@ impl RuleId {
         RuleId::R6,
         RuleId::R7,
         RuleId::R8,
+        RuleId::R9,
+        RuleId::R10,
+        RuleId::R11,
     ];
 
     /// Short id (`r1` … `r8`, `pragma`).
@@ -60,6 +77,9 @@ impl RuleId {
             RuleId::R6 => "r6",
             RuleId::R7 => "r7",
             RuleId::R8 => "r8",
+            RuleId::R9 => "r9",
+            RuleId::R10 => "r10",
+            RuleId::R11 => "r11",
             RuleId::Pragma => "pragma",
         }
     }
@@ -76,6 +96,9 @@ impl RuleId {
             RuleId::R6 => "masked-arithmetic",
             RuleId::R7 => "missing-forbid-unsafe",
             RuleId::R8 => "untracked-todo",
+            RuleId::R9 => "transitive-nondeterminism",
+            RuleId::R10 => "float-fold-order",
+            RuleId::R11 => "unordered-iteration",
             RuleId::Pragma => "pragma",
         }
     }
@@ -113,8 +136,52 @@ impl RuleId {
             RuleId::R8 => {
                 "TODO/FIXME comment without an issue reference (`#NNN`, an ISSUE tag, or a link)"
             }
+            RuleId::R9 => {
+                "transitive nondeterminism: a render-path function calls, possibly through \
+                 several hops, a helper using clocks or unseeded RNG; the finding names the \
+                 full call chain (whole-program companion to r4)"
+            }
+            RuleId::R10 => {
+                "float reduction-order hazard: implicit `.sum()`/`.product()`/`.fold()` over \
+                 floats, or a float `+=` fold inside an iterator-chain loop; reduction order \
+                 must be explicit (indexed loop) or justified order-independent"
+            }
+            RuleId::R11 => {
+                "unordered-container iteration (HashMap/HashSet iter/keys/values/drain or a \
+                 `for` over the map) whose results can feed ordered output; iterate a sorted \
+                 view instead"
+            }
             RuleId::Pragma => "malformed, unknown, or unused `neo-lint:` suppression pragma",
         }
+    }
+
+    /// Where the rule applies, for `--list-rules` and the README scope
+    /// table. Mirrors the crate-class table in ARCHITECTURE.md.
+    #[must_use]
+    pub fn scope_note(self) -> &'static str {
+        match self {
+            RuleId::R1 | RuleId::R2 | RuleId::R3 | RuleId::R5 | RuleId::R6 => {
+                "contract-crate library code (math/scene/pipeline/sort/core/serve/metrics/lint)"
+            }
+            RuleId::R4 => "render-path library code (math/scene/pipeline/sort/core/serve)",
+            RuleId::R7 => "contract crate roots (src/lib.rs)",
+            RuleId::R8 | RuleId::Pragma => "every scanned file, tests and benches included",
+            RuleId::R9 => "any library helper reachable from render-path code (call-graph rule)",
+            RuleId::R10 => {
+                "contract-crate library code, plus anything reachable from the render path"
+            }
+            RuleId::R11 => {
+                "off-render-path contract code, plus helpers reachable from the render path"
+            }
+        }
+    }
+
+    /// True for the call-graph (whole-program) rules r9–r11, which the
+    /// SARIF emitter reports in their own run, separate from the
+    /// token-local rules.
+    #[must_use]
+    pub fn is_transitive(self) -> bool {
+        matches!(self, RuleId::R9 | RuleId::R10 | RuleId::R11)
     }
 
     /// Parse a rule name as written in a pragma: `r1` … `r8` or a slug.

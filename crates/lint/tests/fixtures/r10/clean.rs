@@ -1,0 +1,11 @@
+//! Clean twin of the r10 fixture: the indexed loop makes the
+//! summation order explicit, which is the sanctioned rewrite.
+
+/// Mean opacity of a splat batch, accumulated left to right.
+pub fn mean_opacity(opacities: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    for i in 0..opacities.len() {
+        total += opacities[i];
+    }
+    total / opacities.len() as f32
+}

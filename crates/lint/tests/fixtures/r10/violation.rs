@@ -1,0 +1,8 @@
+//! Deliberate r10 violation: an implicit-order float reduction in
+//! render-path contract code.
+
+/// Mean opacity of a splat batch.
+pub fn mean_opacity(opacities: &[f32]) -> f32 {
+    let total: f32 = opacities.iter().copied().sum();
+    total / opacities.len() as f32
+}

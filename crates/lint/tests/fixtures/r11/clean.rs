@@ -1,0 +1,12 @@
+//! Clean twin of the r11 fixture: a `BTreeMap` iterates in key order,
+//! so the emitted histogram is deterministic.
+
+/// Histogram of per-tile splat counts, emitted in sorted tile order.
+pub fn tile_histogram(frame_counts: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let counts: BTreeMap<u32, u32> = frame_counts.iter().copied().collect();
+    let mut out = Vec::new();
+    for (tile, n) in counts.iter() {
+        out.push((tile, n));
+    }
+    out
+}

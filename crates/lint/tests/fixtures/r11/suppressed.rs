@@ -1,0 +1,13 @@
+//! Suppressed twin of the r11 fixture: the map iteration stays, with a
+//! reasoned pragma on the loop that consumes it.
+
+/// Histogram of per-tile splat counts.
+pub fn tile_histogram(frame_counts: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let counts: HashMap<u32, u32> = frame_counts.iter().copied().collect();
+    let mut out = Vec::new();
+    // neo-lint: allow(r11, "caller sorts the histogram before it is emitted")
+    for (tile, n) in counts.iter() {
+        out.push((tile, n));
+    }
+    out
+}

@@ -1,0 +1,12 @@
+//! Deliberate r11 violation: iterating a `HashMap` straight into
+//! ordered output in an off-render-path contract crate.
+
+/// Histogram of per-tile splat counts, emitted in map order.
+pub fn tile_histogram(frame_counts: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let counts: HashMap<u32, u32> = frame_counts.iter().copied().collect();
+    let mut out = Vec::new();
+    for (tile, n) in counts.iter() {
+        out.push((tile, n));
+    }
+    out
+}

@@ -1,0 +1,10 @@
+//! Render-path caller for the r9 cross-module fixtures: this file is
+//! linted under a render-path contract path, and its call into the
+//! hygiene helper is what drags the helper under the determinism
+//! contract.
+
+/// Frame entry point; reaches the helper through a path call.
+pub fn submit_frame(frame_id: u64) -> u128 {
+    let _ = frame_id;
+    helper::run_stamp()
+}

@@ -1,0 +1,7 @@
+//! Clean twin of the r9 helper: the stamp is derived from the frame
+//! id, so the render-path caller inherits no nondeterminism.
+
+/// Deterministic stamp derived from the frame id.
+pub fn run_stamp(frame_id: u64) -> u128 {
+    u128::from(frame_id) * 3 + 1
+}

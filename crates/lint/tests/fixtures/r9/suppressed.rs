@@ -1,0 +1,10 @@
+//! Suppressed twin of the r9 helper: the clock read stays, but the
+//! pragma on the effect line silences the transitive finding for every
+//! chain that reaches it.
+
+/// Stamp the current run with a wall-clock-derived value.
+pub fn run_stamp() -> u128 {
+    // neo-lint: allow(r9, "startup banner only; never inside the frame loop")
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos()
+}

@@ -1,0 +1,9 @@
+//! Deliberate r9 violation: a wall-clock read inside a hygiene-scoped
+//! helper. Harmless on its own — the finding only fires when a
+//! render-path caller (`r9/caller.rs`) can reach this function.
+
+/// Stamp the current run with a wall-clock-derived value.
+pub fn run_stamp() -> u128 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos()
+}

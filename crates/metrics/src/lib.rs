@@ -34,16 +34,15 @@ use neo_pipeline::Image;
 /// Panics when image dimensions differ.
 pub fn mse(a: &Image, b: &Image) -> f64 {
     assert_dims(a, b);
-    let sum: f64 = a
-        .pixels()
-        .iter()
-        .zip(b.pixels())
-        .map(|(p, q)| {
-            let d = *p - *q;
-            (d.x as f64).powi(2) + (d.y as f64).powi(2) + (d.z as f64).powi(2)
-        })
-        .sum();
-    sum / (a.pixels().len() as f64 * 3.0)
+    let (pa, pb) = (a.pixels(), b.pixels());
+    // Indexed loop: the summation order is explicit (r10), pixel 0
+    // first — the exact order the old iterator fold used.
+    let mut sum = 0.0f64;
+    for i in 0..pa.len() {
+        let d = pa[i] - pb[i];
+        sum += (d.x as f64).powi(2) + (d.y as f64).powi(2) + (d.z as f64).powi(2);
+    }
+    sum / (pa.len() as f64 * 3.0)
 }
 
 /// Peak signal-to-noise ratio in dB (peak = 1.0). Infinite for identical

@@ -141,7 +141,12 @@ pub fn generate(params: &SynthParams) -> GaussianCloud {
     let weights: Vec<f32> = (0..params.cluster_count)
         .map(|i| 1.0 / (1.0 + i as f32).sqrt())
         .collect();
-    let total_weight: f32 = weights.iter().sum();
+    // Explicit slice-order accumulation: the summation order is the
+    // storage order, not an iterator adapter's (r10).
+    let mut total_weight = 0.0f32;
+    for &w in &weights {
+        total_weight += w;
+    }
 
     let mut cloud = GaussianCloud::new();
     for _ in 0..params.gaussian_count {

@@ -50,6 +50,44 @@ fn every_honored_suppression_names_its_rule_site() {
 }
 
 #[test]
+fn all_eleven_rules_are_registered_and_scoped() {
+    // The live-tree gate above only proves the rules that exist found
+    // nothing; this pins that the transitive rules r9–r11 actually
+    // exist in the registry, so "clean" keeps meaning "clean under all
+    // eleven rules".
+    let ids: Vec<&str> = neo_lint::RuleId::ALL.iter().map(|r| r.id()).collect();
+    assert_eq!(
+        ids,
+        ["r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11"]
+    );
+    for r in neo_lint::RuleId::ALL {
+        assert!(!r.scope_note().is_empty(), "{} has no scope note", r.id());
+    }
+}
+
+#[test]
+fn live_tree_sarif_is_valid_with_a_run_per_rule_set() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = neo_lint::lint_workspace(root, None).expect("workspace sources must be readable");
+    let sarif = report.to_sarif();
+    let counts = neo_lint::report::validate_sarif(&sarif)
+        .expect("workspace SARIF must pass the shape check");
+    assert_eq!(counts.len(), 2, "one run per rule set (local, transitive)");
+    // A clean tree means zero *unsuppressed* findings; the SARIF still
+    // carries the suppressed inventory, so every finding — live or
+    // suppressed — appears in exactly one of the two runs.
+    assert_eq!(
+        counts[0] + counts[1],
+        report.findings.len() + report.suppressed.len(),
+        "SARIF runs must account for every finding exactly once"
+    );
+    assert!(
+        counts[0] > 0,
+        "suppressed inventory should appear in the local run"
+    );
+}
+
+#[test]
 fn crate_filter_restricts_the_walk() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let all = neo_lint::lint_workspace(root, None).expect("workspace walk");
